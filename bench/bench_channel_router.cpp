@@ -1,0 +1,67 @@
+// Section 5.2.4 — the left-edge channel router baseline: "A channel router
+// is very fast but has two limitations, terminals may create constraint
+// loops and the terminals must be on opposite sides of the channel."
+//
+// The bench verifies the classic optimality (tracks used == channel
+// density when vertical constraints don't bind), measures the violation
+// rate the plain algorithm incurs, and times the router across problem
+// sizes — quantifying "very fast" against the general-purpose engines.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "gen/channel_gen.hpp"
+#include "route/channel.hpp"
+
+namespace {
+
+using namespace na;
+
+void BM_LeftEdge(benchmark::State& state) {
+  gen::ChannelGenOptions opt;
+  opt.columns = static_cast<int>(state.range(0));
+  opt.nets = opt.columns / 2;
+  opt.seed = 7;
+  const ChannelProblem p = gen::random_channel(opt);
+  int tracks = 0;
+  for (auto _ : state) {
+    const ChannelResult r = left_edge_route(p);
+    tracks = r.tracks_used;
+    benchmark::DoNotOptimize(r.trunks.data());
+  }
+  state.counters["tracks"] = tracks;
+  state.counters["density"] = channel_density(p);
+}
+
+BENCHMARK(BM_LeftEdge)->RangeMultiplier(2)->Range(16, 256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace na;
+  std::printf("\n=== section 5.2.4 — left-edge channel router ===\n");
+  std::printf("paper: fills one track at a time as dense as possible; fast; "
+              "ignores vertical constraints\n");
+  std::printf("%8s %6s %8s %8s %12s\n", "columns", "nets", "density", "tracks",
+              "violations");
+  int optimal = 0;
+  int total = 0;
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    gen::ChannelGenOptions opt;
+    opt.columns = 40;
+    opt.nets = 16;
+    opt.seed = seed;
+    const ChannelProblem p = gen::random_channel(opt);
+    const ChannelResult r = left_edge_route(p);
+    std::printf("%8d %6d %8d %8d %12zu\n", opt.columns, opt.nets,
+                channel_density(p), r.tracks_used, r.constraint_violations.size());
+    optimal += r.tracks_used == channel_density(p) ? 1 : 0;
+    ++total;
+  }
+  std::printf("track-count optimal (== density) on %d/%d random channels\n",
+              optimal, total);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Section 4.2/4.3/4.5 shoot-out — the placement approaches the paper
+// weighs before choosing the flow-aware epitaxial pipeline:
+//
+//   pipeline  (the paper's choice, chapter 4): partitions + strings,
+//             "great resemblance with the hand-drawing process";
+//   min-cut   (4.2.3): reduces crossings between regions but "does not
+//             concern about the signal flow direction ... results in
+//             unreadable schematic diagrams";
+//   epitaxial (4.2.2): wire-length greedy, no flow control;
+//   columnar  (4.3): flow-perfect but "imposes a lot of undesirable
+//             constraints" (gate-like networks only).
+//
+// Reproduced shape: the pipeline beats min-cut/epitaxial on signal-flow
+// violations while staying routable; min-cut tends to win on crossings.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "place/columnar.hpp"
+#include "place/epitaxial.hpp"
+#include "place/improve.hpp"
+#include "place/mincut.hpp"
+#include "place/placer.hpp"
+#include "schematic/metrics.hpp"
+
+namespace {
+
+using namespace na;
+using namespace na::bench;
+
+struct Workload {
+  std::string name;
+  std::unique_ptr<Network> net;
+};
+
+std::vector<Workload>& workloads() {
+  static std::vector<Workload> all = [] {
+    std::vector<Workload> w;
+    auto add = [&w](std::string name, Network net) {
+      Workload item;
+      item.name = std::move(name);
+      item.net = std::make_unique<Network>(std::move(net));
+      w.push_back(std::move(item));
+    };
+    add("chain", gen::chain_network({8, true, true}));
+    add("controller", gen::controller_network());
+    for (unsigned seed : {41u, 42u, 43u}) {
+      gen::RandomNetOptions gopt;
+      gopt.modules = 14;
+      gopt.extra_nets = 8;
+      gopt.seed = seed;
+      add("random-" + std::to_string(seed), gen::random_network(gopt));
+    }
+    return w;
+  }();
+  return all;
+}
+
+enum class Kind { Pipeline, Mincut, Epitaxial, Columnar, EpitaxialImproved };
+constexpr const char* kKindNames[] = {"pipeline", "min-cut", "epitaxial",
+                                      "columnar", "epi+swap"};
+
+void place_with(Diagram& dia, Kind kind) {
+  switch (kind) {
+    case Kind::Pipeline: {
+      PlacerOptions opt;
+      opt.max_part_size = 5;
+      opt.max_box_size = 4;
+      opt.max_connections = 10;
+      place(dia, opt);
+      break;
+    }
+    case Kind::Mincut:
+      mincut_place(dia);
+      break;
+    case Kind::Epitaxial:
+      epitaxial_place(dia);
+      break;
+    case Kind::Columnar:
+      columnar_place(dia);
+      break;
+    case Kind::EpitaxialImproved:
+      // The 4.2.1 improvement class the paper rejects as too greedy/slow:
+      // epitaxial start + pairwise-exchange refinement.
+      epitaxial_place(dia);
+      improve_by_exchange(dia);
+      break;
+  }
+}
+
+DiagramStats evaluate(const Workload& w, Kind kind) {
+  Diagram dia(*w.net);
+  place_with(dia, kind);
+  RouterOptions ropt;
+  ropt.margin = 8;
+  ropt.order_criterion = 2;
+  route_all(dia, ropt);
+  require_valid(dia, w.name.c_str());
+  return compute_stats(dia);
+}
+
+void BM_Placer(benchmark::State& state) {
+  const Kind kind = static_cast<Kind>(state.range(0));
+  for (auto _ : state) {
+    for (const Workload& w : workloads()) {
+      Diagram dia(*w.net);
+      place_with(dia, kind);
+      benchmark::DoNotOptimize(dia.placement_bounds());
+    }
+  }
+  state.SetLabel(kKindNames[state.range(0)]);
+}
+
+BENCHMARK(BM_Placer)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace na;
+  using namespace na::bench;
+
+  std::printf("\n=== sections 4.2/4.3/4.5 — placement baselines (after routing) ===\n");
+  std::printf("paper: the flow-aware pipeline reads best; min-cut ignores signal "
+              "flow; columnar only suits gate networks\n");
+  std::printf("%-14s %-10s %9s %9s %6s %6s %7s %9s\n", "workload", "placer",
+              "unrouted", "flowviol", "bends", "cross", "length", "area");
+  // Aggregate flow violations for the headline comparison.
+  int flow[5] = {0, 0, 0, 0, 0};
+  int cross[5] = {0, 0, 0, 0, 0};
+  for (const Workload& w : workloads()) {
+    for (int k = 0; k < 5; ++k) {
+      const DiagramStats s = evaluate(w, static_cast<Kind>(k));
+      std::printf("%-14s %-10s %9d %9d %6d %6d %7d %4dx%d\n", w.name.c_str(),
+                  kKindNames[k], s.unrouted, s.flow_violations, s.bends,
+                  s.crossings, s.wire_length, s.width, s.height);
+      flow[k] += s.flow_violations;
+      cross[k] += s.crossings;
+    }
+  }
+  std::printf("totals: flow violations pipeline=%d mincut=%d epitaxial=%d "
+              "columnar=%d epi+swap=%d; crossings %d/%d/%d/%d/%d\n",
+              flow[0], flow[1], flow[2], flow[3], flow[4], cross[0], cross[1],
+              cross[2], cross[3], cross[4]);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

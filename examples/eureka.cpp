@@ -1,0 +1,72 @@
+// eureka: the routing program of Appendix F.  Reads an ESCHER-style
+// diagram (the placement, possibly with prerouted nets) plus the net-list
+// connection rules, adds the unrouted nets, and writes the completed
+// diagram.  "When a net is unroutable, a warning is displayed."
+//
+//   $ ./eureka [-s] [-L|-H] [-m n] [-noclaim] [-noretry] [-u -d -l -r]
+//              <graphic-file.es> <call-file> <netlist-file> [io-file]
+//              [-o out.es]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/options.hpp"
+#include "netlist/netlist_io.hpp"
+#include "schematic/escher_reader.hpp"
+#include "schematic/escher_writer.hpp"
+#include "schematic/metrics.hpp"
+#include "schematic/validate.hpp"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace na;
+  std::string out_path = "routed.es";
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      args.push_back(a);
+    }
+  }
+  GeneratorOptions opt;
+  std::vector<std::string> files;
+  try {
+    files = parse_generator_args(args, opt);
+    if (files.size() < 3) {
+      std::cerr << "usage: eureka [options] <graphic.es> <call-file>"
+                << " <netlist-file> [io-file] [-o out.es]\n"
+                << generator_usage() << '\n';
+      return 2;
+    }
+    const ModuleLibrary lib = ModuleLibrary::standard_cells();
+    const std::string io = files.size() > 3 ? slurp(files[3]) : std::string{};
+    const Network net = parse_network(lib, slurp(files[1]), io, slurp(files[2]));
+    Diagram dia = parse_escher_diagram(net, slurp(files[0]));
+
+    const RouteReport report = route_all(dia, opt.router);
+    for (NetId n : report.failed_nets) {
+      std::cerr << "warning: net '" << net.net(n).name << "' unroutable\n";
+    }
+    std::cout << compute_stats(dia).summary() << '\n';
+    for (const auto& p : validate_diagram(dia)) std::cerr << "PROBLEM: " << p << '\n';
+    std::ofstream(out_path) << to_escher_diagram(dia, "eureka");
+    std::cout << "wrote " << out_path << '\n';
+  } catch (const std::exception& e) {
+    std::cerr << "eureka: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

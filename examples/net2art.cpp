@@ -1,0 +1,93 @@
+// net2art: the full file-driven flow of the paper — "from network to
+// artwork".  Reads the Appendix-A net-list files, generates the diagram,
+// and writes SVG, ASCII and ESCHER-style output.
+//
+//   $ ./net2art <call-file> <netlist-file> [io-file] [-o out_prefix] [flags]
+//
+// Flags are the historical PABLO/EUREKA options (see core/options.hpp).
+// Module templates are resolved against the built-in standard cell library;
+// unknown templates can be supplied as Appendix-B descriptions via
+// `-lib <file>` (one module per file, repeatable).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/generator.hpp"
+#include "core/options.hpp"
+#include "netlist/netlist_io.hpp"
+#include "schematic/ascii_writer.hpp"
+#include "schematic/eps_writer.hpp"
+#include "schematic/escher_writer.hpp"
+#include "schematic/svg_writer.hpp"
+#include "schematic/validate.hpp"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace na;
+  std::vector<std::string> args;
+  std::string out_prefix = "diagram";
+  std::vector<std::string> lib_files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-o" && i + 1 < argc) {
+      out_prefix = argv[++i];
+    } else if (a == "-lib" && i + 1 < argc) {
+      lib_files.push_back(argv[++i]);
+    } else {
+      args.push_back(a);
+    }
+  }
+
+  GeneratorOptions opt;
+  std::vector<std::string> files;
+  try {
+    files = parse_generator_args(args, opt);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+  if (files.size() < 2) {
+    std::cerr << "usage: net2art <call-file> <netlist-file> [io-file] [-o prefix]"
+              << " [-lib module-file]...\n"
+              << generator_usage() << '\n';
+    return 2;
+  }
+
+  try {
+    ModuleLibrary lib = ModuleLibrary::standard_cells();
+    for (const std::string& f : lib_files) {
+      lib.add(parse_module_description(slurp(f)));
+    }
+    const std::string io = files.size() > 2 ? slurp(files[2]) : std::string{};
+    const Network net = parse_network(lib, slurp(files[0]), io, slurp(files[1]));
+
+    GeneratorResult result;
+    const Diagram dia = generate_diagram(net, opt, &result);
+    std::cout << result.stats.summary() << '\n';
+    for (NetId n : result.route.failed_nets) {
+      std::cout << "warning: net '" << net.net(n).name << "' unroutable\n";
+    }
+    for (const auto& p : validate_diagram(dia)) std::cout << "PROBLEM: " << p << '\n';
+
+    std::ofstream(out_prefix + ".svg") << to_svg(dia);
+    std::ofstream(out_prefix + ".txt") << to_ascii(dia);
+    std::ofstream(out_prefix + ".es") << to_escher_diagram(dia, out_prefix);
+    std::ofstream(out_prefix + ".eps") << to_eps(dia);
+    std::cout << "wrote " << out_prefix << ".svg/.txt/.es/.eps\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

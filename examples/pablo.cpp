@@ -1,0 +1,77 @@
+// pablo: the placement program of Appendix E.  Reads the Appendix-A
+// net-list files, places modules and system terminals (no nets), and
+// writes the diagram in the ESCHER-style format for the editor — or for
+// eureka to route.
+//
+//   $ ./pablo [-p n] [-b n] [-c n] [-e n] [-i n] [-s n] [-g preplaced.es]
+//             <call-file> <netlist-file> [io-file] [-o out.es]
+//
+// The -g option reads a preplaced (possibly prerouted) partial diagram;
+// the preplaced part forms a partition of its own and stays put.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/options.hpp"
+#include "netlist/netlist_io.hpp"
+#include "schematic/escher_reader.hpp"
+#include "schematic/escher_writer.hpp"
+#include "schematic/validate.hpp"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace na;
+  std::string out_path = "placed.es";
+  std::string preplaced_path;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "-g" && i + 1 < argc) {
+      preplaced_path = argv[++i];
+    } else {
+      args.push_back(a);
+    }
+  }
+  GeneratorOptions opt;
+  std::vector<std::string> files;
+  try {
+    files = parse_generator_args(args, opt);
+    if (files.size() < 2) {
+      std::cerr << "usage: pablo [options] <call-file> <netlist-file> [io-file]"
+                << " [-o out.es] [-g preplaced.es]\n"
+                << generator_usage() << '\n';
+      return 2;
+    }
+    const ModuleLibrary lib = ModuleLibrary::standard_cells();
+    const std::string io = files.size() > 2 ? slurp(files[2]) : std::string{};
+    const Network net = parse_network(lib, slurp(files[0]), io, slurp(files[1]));
+
+    Diagram dia(net);
+    if (!preplaced_path.empty()) {
+      dia = parse_escher_diagram(net, slurp(preplaced_path));
+    }
+    const PlacementInfo info = place(dia, opt.placer);
+    std::cout << "placed " << net.module_count() << " modules in "
+              << info.partitions.size() << " partitions\n";
+    for (const auto& p : validate_diagram(dia)) std::cerr << "PROBLEM: " << p << '\n';
+    std::ofstream(out_path) << to_escher_diagram(dia, "pablo");
+    std::cout << "wrote " << out_path << '\n';
+  } catch (const std::exception& e) {
+    std::cerr << "pablo: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

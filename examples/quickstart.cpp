@@ -1,0 +1,55 @@
+// Quickstart: build a small network in code, generate a schematic diagram,
+// and print it as ASCII art plus quality metrics.
+//
+//   $ ./quickstart [-p 4 -b 4 ...]     (PABLO/EUREKA-style flags, optional)
+#include <iostream>
+
+#include "core/generator.hpp"
+#include "core/options.hpp"
+#include "netlist/module_library.hpp"
+#include "schematic/ascii_writer.hpp"
+#include "schematic/validate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace na;
+
+  // --- 1. describe the network ------------------------------------------------
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  const ModuleId a = lib.instantiate(net, "and2", "a0");
+  const ModuleId o = lib.instantiate(net, "or2", "o0");
+  const ModuleId d = lib.instantiate(net, "dff", "ff");
+
+  auto connect2 = [&](const std::string& name, TermId t0, TermId t1) {
+    const NetId n = net.add_net(name);
+    net.connect(n, t0);
+    net.connect(n, t1);
+  };
+  connect2("n0", *net.term_by_name(a, "y"), *net.term_by_name(o, "a"));
+  connect2("n1", *net.term_by_name(o, "y"), *net.term_by_name(d, "d"));
+  connect2("in0", net.add_system_terminal("in0", TermType::In),
+           *net.term_by_name(a, "a"));
+  connect2("in1", net.add_system_terminal("in1", TermType::In),
+           *net.term_by_name(a, "b"));
+  connect2("q", *net.term_by_name(d, "q"), net.add_system_terminal("q", TermType::Out));
+
+  // --- 2. generate the diagram -------------------------------------------------
+  GeneratorOptions opt;
+  opt.placer.max_part_size = 4;  // one functional group
+  opt.placer.max_box_size = 4;   // let the string form
+  try {
+    parse_generator_args({argv + 1, argv + argc}, opt);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+  GeneratorResult result;
+  const Diagram dia = generate_diagram(net, opt, &result);
+
+  // --- 3. inspect ---------------------------------------------------------------
+  std::cout << to_ascii(dia) << '\n';
+  std::cout << result.stats.summary() << '\n';
+  const auto problems = validate_diagram(dia, /*require_all_routed=*/true);
+  for (const auto& p : problems) std::cout << "PROBLEM: " << p << '\n';
+  return problems.empty() ? 0 : 1;
+}

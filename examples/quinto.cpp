@@ -1,0 +1,44 @@
+// quinto: the module generator of Appendix B — "adds a new module to the
+// library".  Reads a simple module description and emits the ESCHER-style
+// library representation (Appendix C), validating the description the way
+// the historical tool did (coordinates on the outline, pitch-aligned).
+//
+//   $ ./quinto [file]          reads stdin when no file is given
+//   $ ./quinto -pitch 10 file  historical files with pitch-10 coordinates
+#include <fstream>
+#include <iostream>
+
+#include "netlist/module_library.hpp"
+#include "schematic/escher_writer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace na;
+  int pitch = 1;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-pitch" && i + 1 < argc) {
+      pitch = std::stoi(argv[++i]);
+    } else {
+      path = a;
+    }
+  }
+  try {
+    ModuleTemplate tmpl;
+    if (path.empty()) {
+      tmpl = parse_module_description(std::cin, pitch);
+    } else {
+      std::ifstream in(path);
+      if (!in) throw std::runtime_error("cannot open '" + path + "'");
+      tmpl = parse_module_description(in, pitch);
+    }
+    std::cout << to_escher_template(tmpl);
+    std::cerr << "module '" << tmpl.name << "' (" << tmpl.size.x << "x"
+              << tmpl.size.y << ", " << tmpl.terms.size()
+              << " terminals) added to the library\n";
+  } catch (const std::exception& e) {
+    std::cerr << "quinto: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Command-line option parsing in the dialect of the historical programs
+// (Appendix E: PABLO, Appendix F: EUREKA), so the examples can be driven
+// exactly like the 1989 tools:
+//
+//   pablo  -p <int> -b <int> -c <int> -e <int> -i <int> -s <int> [-g]
+//   eureka [-u -d -l -r] [-s] [-L|-H]   (engine letters are an extension)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/generator.hpp"
+
+namespace na {
+
+/// Parses PABLO-style placement flags into `opt.placer` and EUREKA-style
+/// routing flags into `opt.router`.  Unknown flags raise std::runtime_error
+/// naming the flag.  Returns the non-flag (positional) arguments.
+std::vector<std::string> parse_generator_args(const std::vector<std::string>& args,
+                                              GeneratorOptions& opt);
+
+/// One-line usage text for the examples.
+std::string generator_usage();
+
+}  // namespace na

@@ -1,0 +1,50 @@
+#include "gen/chain.hpp"
+
+#include <stdexcept>
+
+#include "netlist/module_library.hpp"
+
+namespace na::gen {
+
+Network chain_network(const ChainOptions& opt) {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  // Alternate a few shapes so rotations and terminal sides get exercised.
+  const char* shapes[] = {"buf", "and2", "dff", "inv", "or2", "mux2"};
+  std::vector<ModuleId> mods;
+  for (int i = 0; i < opt.length; ++i) {
+    mods.push_back(lib.instantiate(net, shapes[i % std::size(shapes)],
+                                   "m" + std::to_string(i)));
+  }
+  auto out_term = [&](ModuleId m) {
+    for (TermId t : net.module(m).terms) {
+      if (net.term(t).type == TermType::Out && net.term(t).net == kNone) return t;
+    }
+    throw std::logic_error("no free out terminal");
+  };
+  auto in_term = [&](ModuleId m) {
+    for (TermId t : net.module(m).terms) {
+      if (net.term(t).type == TermType::In && net.term(t).net == kNone) return t;
+    }
+    throw std::logic_error("no free in terminal");
+  };
+
+  for (int i = 0; i + 1 < opt.length; ++i) {
+    const NetId n = net.add_net("chain" + std::to_string(i));
+    net.connect(n, out_term(mods[i]));
+    net.connect(n, in_term(mods[i + 1]));
+  }
+  if (opt.with_input && opt.length > 0) {
+    const NetId n = net.add_net("nin");
+    net.connect(n, net.add_system_terminal("in", TermType::In));
+    net.connect(n, in_term(mods[0]));
+  }
+  if (opt.with_output && opt.length > 0) {
+    const NetId n = net.add_net("nout");
+    net.connect(n, out_term(mods[opt.length - 1]));
+    net.connect(n, net.add_system_terminal("out", TermType::Out));
+  }
+  return net;
+}
+
+}  // namespace na::gen

@@ -1,0 +1,21 @@
+// Chain (string) network generator — the shape of the paper's Example 1
+// (figure 6.1): one string of signal-flow-connected modules that the
+// placement must lay out as a single box with minimum-bend chain nets.
+#pragma once
+
+#include "netlist/network.hpp"
+
+namespace na::gen {
+
+struct ChainOptions {
+  int length = 6;           ///< number of modules
+  bool with_input = false;  ///< system in-terminal driving the head
+  bool with_output = true;  ///< system out-terminal after the tail
+};
+
+/// Figure 6.1 shape: `length` modules in a driving chain.  With the
+/// defaults (6 modules, output only) the network has exactly the paper's
+/// 6 modules and 6 nets.
+Network chain_network(const ChainOptions& opt = {});
+
+}  // namespace na::gen

@@ -1,0 +1,27 @@
+#include "gen/channel_gen.hpp"
+
+#include <random>
+
+namespace na::gen {
+
+ChannelProblem random_channel(const ChannelGenOptions& opt) {
+  ChannelProblem p;
+  p.top.assign(opt.columns, ChannelTrunk::kNoNet);
+  p.bottom.assign(opt.columns, ChannelTrunk::kNoNet);
+  std::mt19937 rng(opt.seed);
+  for (int n = 0; n < opt.nets; ++n) {
+    const int pins = 2 + static_cast<int>(rng() % 3);
+    int placed = 0;
+    for (int tries = 0; tries < 50 && placed < pins; ++tries) {
+      auto& row = (rng() % 2 == 0) ? p.top : p.bottom;
+      const int col = static_cast<int>(rng() % opt.columns);
+      if (row[col] == ChannelTrunk::kNoNet) {
+        row[col] = n;
+        ++placed;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace na::gen

@@ -1,0 +1,21 @@
+// Random channel-routing problems for the left-edge baseline's tests and
+// benches.
+#pragma once
+
+#include <cstdint>
+
+#include "route/channel.hpp"
+
+namespace na::gen {
+
+struct ChannelGenOptions {
+  int columns = 20;
+  int nets = 8;
+  std::uint32_t seed = 1;
+};
+
+/// Each net gets 2-4 pins on random columns of random sides; deterministic
+/// for a given option set.
+ChannelProblem random_channel(const ChannelGenOptions& opt = {});
+
+}  // namespace na::gen

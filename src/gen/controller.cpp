@@ -1,0 +1,60 @@
+#include "gen/controller.hpp"
+
+#include "netlist/module_library.hpp"
+
+namespace na::gen {
+
+Network controller_network() {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  const ModuleId ctrl = lib.instantiate(net, "ctrl", "ctrl");
+
+  auto term = [&](ModuleId m, const char* name) {
+    return *net.term_by_name(m, name);
+  };
+
+  // Three functional clusters, each a 5-module loop:
+  //   reg -> and2 -> or2 -> inv -> dff -> (feedback) reg
+  for (int c = 0; c < 3; ++c) {
+    const std::string p = "u" + std::to_string(c) + "_";
+    const ModuleId reg = lib.instantiate(net, "reg", p + "reg");
+    const ModuleId a = lib.instantiate(net, "and2", p + "and");
+    const ModuleId o = lib.instantiate(net, "or2", p + "or");
+    const ModuleId i = lib.instantiate(net, "inv", p + "inv");
+    const ModuleId d = lib.instantiate(net, "dff", p + "dff");
+
+    auto link = [&](const std::string& name, ModuleId from, const char* fr,
+                    ModuleId to, const char* tt) {
+      const NetId n = net.add_net(p + name);
+      net.connect(n, term(from, fr));
+      net.connect(n, term(to, tt));
+    };
+    link("q", reg, "q", a, "a");
+    link("s0", a, "y", o, "a");
+    link("s1", o, "y", i, "a");
+    link("s2", i, "y", d, "d");
+    link("fb", d, "q", reg, "d");
+
+    // Controller steering: c0..c2 gate the and stage, c3..c5 the or stage.
+    const NetId gate = net.add_net(p + "gate");
+    net.connect(gate, term(ctrl, ("c" + std::to_string(c)).c_str()));
+    net.connect(gate, term(a, "b"));
+    const NetId sel = net.add_net(p + "sel");
+    net.connect(sel, term(ctrl, ("c" + std::to_string(3 + c)).c_str()));
+    net.connect(sel, term(o, "b"));
+    // Status feedback from the first two clusters into the controller.
+    if (c < 2) {
+      const NetId st = net.add_net(p + "st");
+      net.connect(st, term(d, "qn"));
+      net.connect(st, term(ctrl, c == 0 ? "i0" : "i1"));
+    }
+  }
+
+  // The controller's last command leaves the system.
+  const NetId done = net.add_net("done");
+  net.connect(done, term(ctrl, "c6"));
+  net.connect(done, net.add_system_terminal("done", TermType::Out));
+  return net;
+}
+
+}  // namespace na::gen

@@ -1,0 +1,15 @@
+// Controller network generator — the shape of the paper's Example 2
+// (figures 6.2-6.5): 16 modules and 24 nets, three functional clusters
+// around a central controller ("the only common nets are the ones coming
+// from the controller in the center").
+#pragma once
+
+#include "netlist/network.hpp"
+
+namespace na::gen {
+
+/// Exactly 16 modules, 24 nets, 1 system terminal: a central `ctrl`
+/// instance steering three 5-module datapath loops.
+Network controller_network();
+
+}  // namespace na::gen

@@ -1,0 +1,49 @@
+#include "gen/datapath.hpp"
+
+#include "netlist/module_library.hpp"
+
+namespace na::gen {
+
+Network datapath_network(const DatapathOptions& opt) {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  const ModuleId ctl = lib.instantiate(net, "ctrl", "ctl");
+  auto t = [&](ModuleId m, const char* name) { return *net.term_by_name(m, name); };
+  auto wire = [&](const std::string& name, std::initializer_list<TermId> terms) {
+    const NetId n = net.add_net(name);
+    for (TermId term : terms) net.connect(n, term);
+    return n;
+  };
+
+  const TermId clk_in = net.add_system_terminal("clk", TermType::In);
+  const NetId clk = net.add_net("nclk");
+  net.connect(clk, clk_in);
+
+  TermId carry = net.add_system_terminal("cin", TermType::In);
+  const NetId sel =
+      wire("sel", {t(ctl, "c0")});  // write-back select, fans out to all bits
+  for (int b = 0; b < opt.bits; ++b) {
+    const std::string p = "b" + std::to_string(b) + "_";
+    const ModuleId add = lib.instantiate(net, "adder", p + "add");
+    const ModuleId mux = lib.instantiate(net, "mux2", p + "mux");
+    const ModuleId reg = lib.instantiate(net, "dff", p + "reg");
+
+    const TermId din =
+        net.add_system_terminal("d" + std::to_string(b), TermType::In);
+    wire(p + "din", {din, t(mux, "b")});
+    wire(p + "sum", {t(add, "s"), t(mux, "a")});
+    wire(p + "wb", {t(mux, "y"), t(reg, "d")});
+    wire(p + "acc", {t(reg, "q"), t(add, "a"), t(add, "b")});
+    net.connect(clk, t(reg, "ck"));
+    net.connect(sel, t(mux, "s"));
+    // Ripple carry: previous stage (or the system cin) into this adder.
+    wire(p + "ci", {carry, t(add, "cin")});
+    carry = t(add, "cout");
+  }
+  wire("cout", {carry, net.add_system_terminal("cout", TermType::Out)});
+  // Status back into the controller.
+  wire("stat", {t(net.module_count() - 1, "qn"), t(ctl, "i0")});
+  return net;
+}
+
+}  // namespace na::gen

@@ -1,0 +1,20 @@
+// Parameterised bit-sliced datapath generator: an n-bit ripple-carry
+// accumulator (adder + register + write-back mux per bit, one controller).
+// The scalable workload family for the timing studies — the "complex
+// VLSI-circuits generated from a high level description" the paper's
+// introduction motivates, at adjustable size.
+#pragma once
+
+#include "netlist/network.hpp"
+
+namespace na::gen {
+
+struct DatapathOptions {
+  int bits = 4;
+};
+
+/// 3*bits + 1 modules; ~6*bits nets; bits+3 system terminals
+/// (per-bit data inputs, clk, carry-in, carry-out).
+Network datapath_network(const DatapathOptions& opt = {});
+
+}  // namespace na::gen

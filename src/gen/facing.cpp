@@ -1,0 +1,52 @@
+#include "gen/facing.hpp"
+
+#include <string>
+#include <vector>
+
+namespace na::gen {
+namespace {
+
+int side_height(const FacingOptions& opt) { return 2 * opt.terms_per_side + 2; }
+
+}  // namespace
+
+Network facing_pairs(const FacingOptions& opt) {
+  Network net;
+  std::uint32_t state = opt.seed * 2654435761u + 7;
+  auto rnd = [&]() { return state = state * 1664525u + 1013904223u; };
+  const int h = side_height(opt);
+  for (int p = 0; p < opt.pairs; ++p) {
+    const ModuleId l = net.add_module("L" + std::to_string(p), "", {6, h});
+    const ModuleId r = net.add_module("R" + std::to_string(p), "", {6, h});
+    for (int t = 0; t < opt.terms_per_side; ++t) {
+      net.add_terminal(l, "o" + std::to_string(t), TermType::Out, {6, 1 + 2 * t});
+      net.add_terminal(r, "i" + std::to_string(t), TermType::In, {0, 1 + 2 * t});
+    }
+    // Fisher-Yates permutation: nets leave terminal t and enter perm[t].
+    std::vector<int> perm(opt.terms_per_side);
+    for (int t = 0; t < opt.terms_per_side; ++t) perm[t] = t;
+    for (int t = opt.terms_per_side - 1; t > 0; --t) {
+      std::swap(perm[t], perm[rnd() % (t + 1)]);
+    }
+    for (int t = 0; t < opt.terms_per_side; ++t) {
+      const NetId n =
+          net.add_net("p" + std::to_string(p) + "_" + std::to_string(t));
+      net.connect(n, *net.term_by_name(l, "o" + std::to_string(t)));
+      net.connect(n, *net.term_by_name(r, "i" + std::to_string(perm[t])));
+    }
+  }
+  return net;
+}
+
+void facing_placement(Diagram& dia, const FacingOptions& opt) {
+  const Network& net = dia.network();
+  const int h = side_height(opt);
+  for (int p = 0; p < opt.pairs; ++p) {
+    dia.place_module(*net.module_by_name("L" + std::to_string(p)),
+                     {0, p * (h + 3)});
+    dia.place_module(*net.module_by_name("R" + std::to_string(p)),
+                     {6 + opt.channel + 1, p * (h + 3)});
+  }
+}
+
+}  // namespace na::gen

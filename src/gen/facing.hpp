@@ -1,0 +1,31 @@
+// Facing-pairs workload: the figure 5.10 claimpoint scenario scaled up.
+//
+// Rows of module pairs stare at each other across a narrow channel; the
+// connections between their terminals are permuted so most nets must bend
+// inside the channel.  Without claimpoints, the first nets routed bend
+// right in front of the later nets' terminals and seal them in — the exact
+// failure mode section 5.7's claimpoints were invented for.
+#pragma once
+
+#include <cstdint>
+
+#include "schematic/diagram.hpp"
+
+namespace na::gen {
+
+struct FacingOptions {
+  int pairs = 3;          ///< rows of facing module pairs
+  int terms_per_side = 6; ///< terminals per facing side
+  int channel = 4;        ///< free tracks between the facing modules
+  std::uint32_t seed = 1; ///< permutation seed
+};
+
+/// Builds the network: `pairs` module pairs, `pairs * terms_per_side`
+/// point-to-point nets with permuted endpoints.
+Network facing_pairs(const FacingOptions& opt = {});
+
+/// The canonical placement for the workload (the diagram must wrap the
+/// network returned by facing_pairs with the same options).
+void facing_placement(Diagram& dia, const FacingOptions& opt = {});
+
+}  // namespace na::gen

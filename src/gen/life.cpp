@@ -1,0 +1,158 @@
+#include "gen/life.hpp"
+
+#include <stdexcept>
+
+#include "place/terminal_place.hpp"
+
+namespace na::gen {
+namespace {
+
+// The 8 neighbour directions of a LIFE cell (row delta, column delta).
+constexpr int kDirs[8][2] = {{-1, -1}, {-1, 0}, {-1, 1}, {0, -1},
+                             {0, 1},   {1, -1}, {1, 0},  {1, 1}};
+
+int opposite_dir(int k) {
+  for (int j = 0; j < 8; ++j) {
+    if (kDirs[j][0] == -kDirs[k][0] && kDirs[j][1] == -kDirs[k][1]) return j;
+  }
+  throw std::logic_error("no opposite direction");
+}
+
+int cell_of(int r, int c) { return ((r % 3) + 3) % 3 * 3 + ((c % 3) + 3) % 3; }
+
+bool is_tap_cell(int i) { return i == 0 || i == 4 || i == 8; }
+
+}  // namespace
+
+Network life_network() {
+  Network net;
+  std::vector<ModuleId> sum(9), rule(9), reg(9);
+
+  for (int i = 0; i < 9; ++i) {
+    const std::string suffix = std::to_string(i / 3) + std::to_string(i % 3);
+    // sum: one-hot + binary neighbour counter.
+    // Terminal rows follow the neighbour direction: northern connections
+    // near the top of the side, southern near the bottom — the ordering a
+    // designer picks to keep the neighbour bundles untangled.
+    sum[i] = net.add_module("sum" + suffix, "life_sum", {6, 14});
+    for (int k = 0; k < 8; ++k) {
+      net.add_terminal(sum[i], "n" + std::to_string(k), TermType::In, {0, 9 - k});
+    }
+    for (int k = 0; k <= 8; ++k) {
+      net.add_terminal(sum[i], "c" + std::to_string(k), TermType::Out, {6, 1 + k});
+    }
+    for (int k = 0; k < 4; ++k) {
+      net.add_terminal(sum[i], "b" + std::to_string(k), TermType::Out, {6, 10 + k});
+    }
+    // rule: B3/S23 next-state logic.
+    rule[i] = net.add_module("rule" + suffix, "life_rule", {6, 16});
+    for (int k = 0; k <= 8; ++k) {
+      net.add_terminal(rule[i], "c" + std::to_string(k), TermType::In, {0, 1 + k});
+    }
+    for (int k = 0; k < 4; ++k) {
+      net.add_terminal(rule[i], "b" + std::to_string(k), TermType::In, {0, 10 + k});
+    }
+    net.add_terminal(rule[i], "self", TermType::In, {0, 15});
+    net.add_terminal(rule[i], "mode", TermType::In, {3, 0});
+    net.add_terminal(rule[i], "next", TermType::Out, {6, 7});
+    net.add_terminal(rule[i], "we", TermType::Out, {6, 9});
+    // reg: state register with one fan-out driver per neighbour.
+    reg[i] = net.add_module("reg" + suffix, "life_reg", {6, 10});
+    net.add_terminal(reg[i], "d", TermType::In, {0, 8});
+    net.add_terminal(reg[i], "we", TermType::In, {0, 6});
+    net.add_terminal(reg[i], "ck", TermType::In, {2, 0});
+    net.add_terminal(reg[i], "rst", TermType::In, {4, 0});
+    for (int k = 0; k < 8; ++k) {
+      net.add_terminal(reg[i], "q" + std::to_string(k), TermType::Out, {6, 8 - k});
+    }
+    net.add_terminal(reg[i], "q_self", TermType::Out, {3, 10});
+    if (is_tap_cell(i)) {
+      net.add_terminal(reg[i], "q_tap", TermType::Out, {5, 10});
+    }
+  }
+
+  auto term = [&](ModuleId m, const std::string& name) {
+    auto t = net.term_by_name(m, name);
+    if (!t) throw std::logic_error("missing terminal " + name);
+    return *t;
+  };
+  auto link2 = [&](const std::string& name, TermId a, TermId b) {
+    const NetId n = net.add_net(name);
+    net.connect(n, a);
+    net.connect(n, b);
+    return n;
+  };
+
+  // Neighbour wiring: reg q_k of a cell drives n_{opposite(k)} of the
+  // neighbour in direction k — 72 point-to-point nets on the 3x3 torus.
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const int i = cell_of(r, c);
+      for (int k = 0; k < 8; ++k) {
+        const int j = cell_of(r + kDirs[k][0], c + kDirs[k][1]);
+        link2("st" + std::to_string(i) + "d" + std::to_string(k),
+              term(reg[i], "q" + std::to_string(k)),
+              term(sum[j], "n" + std::to_string(opposite_dir(k))));
+      }
+    }
+  }
+  // Per-cell internal nets: 16 each.
+  for (int i = 0; i < 9; ++i) {
+    const std::string p = "x" + std::to_string(i) + "_";
+    for (int k = 0; k <= 8; ++k) {
+      link2(p + "c" + std::to_string(k), term(sum[i], "c" + std::to_string(k)),
+            term(rule[i], "c" + std::to_string(k)));
+    }
+    for (int k = 0; k < 4; ++k) {
+      link2(p + "b" + std::to_string(k), term(sum[i], "b" + std::to_string(k)),
+            term(rule[i], "b" + std::to_string(k)));
+    }
+    link2(p + "self", term(reg[i], "q_self"), term(rule[i], "self"));
+    link2(p + "next", term(rule[i], "next"), term(reg[i], "d"));
+    link2(p + "we", term(rule[i], "we"), term(reg[i], "we"));
+  }
+  // Global nets and observation taps.
+  const NetId clk = net.add_net("clk");
+  net.connect(clk, net.add_system_terminal("clk", TermType::In));
+  const NetId rst = net.add_net("rst");
+  net.connect(rst, net.add_system_terminal("rst", TermType::In));
+  const NetId mode = net.add_net("mode");
+  net.connect(mode, net.add_system_terminal("mode", TermType::In));
+  for (int i = 0; i < 9; ++i) {
+    net.connect(clk, term(reg[i], "ck"));
+    net.connect(rst, term(reg[i], "rst"));
+    net.connect(mode, term(rule[i], "mode"));
+  }
+  for (int i : {0, 4, 8}) {
+    link2("alive" + std::to_string(i), term(reg[i], "q_tap"),
+          net.add_system_terminal("alive" + std::to_string(i), TermType::Out));
+  }
+  return net;
+}
+
+void life_hand_placement(Diagram& dia) {
+  const Network& net = dia.network();
+  // Cell groups on a regular 3x3 grid, sum -> rule -> reg left to right —
+  // the arrangement a designer would draw by hand (figure 6.6).  The sum
+  // and rule symbols are levelled so the thirteen count nets run straight
+  // (c_k leaves sum at y0+5+k and enters rule at y0+5+k), and the channels
+  // between cells are kept wide for the 72 neighbour nets.
+  constexpr int kPitchX = 52;
+  constexpr int kPitchY = 40;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const int i = cell_of(r, c);
+      const std::string suffix = std::to_string(i / 3) + std::to_string(i % 3);
+      const geom::Point base{c * kPitchX, (2 - r) * kPitchY};
+      dia.place_module(*net.module_by_name("sum" + suffix), base + geom::Point{4, 6});
+      dia.place_module(*net.module_by_name("rule" + suffix),
+                       base + geom::Point{18, 6});  // count nets dead level
+      dia.place_module(*net.module_by_name("reg" + suffix),
+                       base + geom::Point{32, 5});  // rule.next level with reg.d
+    }
+  }
+  place_system_terminals(dia);
+  dia.normalize();
+}
+
+}  // namespace na::gen

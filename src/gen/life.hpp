@@ -1,0 +1,32 @@
+// The LIFE network — the paper's Example 3 (figures 6.6/6.7): "a network
+// showing the game LIFE", 27 modules and 222 nets.
+//
+// The original schematic is lost; this generator reconstructs a hardware
+// Game-of-Life with the same counts and the same character (a regular cell
+// array with very dense point-to-point neighbour wiring):
+//
+//   * a 3x3 torus of cells, each cell built from three modules —
+//     `sum` (one-hot + binary neighbour count), `rule` (B3/S23 next-state
+//     logic), `reg` (state register with one fan-out output per neighbour)
+//     => 27 modules;
+//   * per cell: 8 incoming neighbour nets, 9 one-hot count nets, 4 binary
+//     count nets, self-state, next-state and write-enable nets => 9*24
+//     = 216 nets;
+//   * global clk / rst / mode nets and three observation taps => 6 nets;
+//   * total 222 nets over 6 system terminals.
+#pragma once
+
+#include "schematic/diagram.hpp"
+
+namespace na::gen {
+
+/// Builds the 27-module / 222-net LIFE network.
+Network life_network();
+
+/// "Hand" placement for figure 6.6: the regular arrangement a careful
+/// designer would draw — cells on a 3x3 grid, sum -> rule -> reg left to
+/// right inside each cell — plus system terminals on the ring.
+/// The diagram must wrap the network returned by life_network().
+void life_hand_placement(Diagram& dia);
+
+}  // namespace na::gen

@@ -1,0 +1,19 @@
+#include "geom/orientation.hpp"
+
+#include <ostream>
+
+namespace na::geom {
+
+std::string to_string(Rot r) {
+  switch (r) {
+    case Rot::R0: return "R0";
+    case Rot::R90: return "R90";
+    case Rot::R180: return "R180";
+    case Rot::R270: return "R270";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Rot r) { return os << to_string(r); }
+
+}  // namespace na::geom

@@ -1,0 +1,92 @@
+// Module orientations (rotations in steps of 90 degrees) and terminal sides.
+//
+// PLACE_MODULE rotates each module so that the side carrying the connecting
+// input terminal faces left (and the first module of a string so its output
+// side faces right).  These helpers transform module sizes, terminal
+// positions and terminal sides under such rotations.
+//
+// A terminal's *side* is derived from its position on the module perimeter
+// exactly as in paper section 4.6.2:
+//   x == 0       -> left        x == size.x  -> right
+//   y == 0       -> down        y == size.y  -> up
+// (corners resolve to left/right first, mirroring the paper's definition
+// which gives left/right the closed y-range).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "geom/point.hpp"
+
+namespace na::geom {
+
+/// Counter-clockwise rotation applied to a module symbol.
+enum class Rot : std::uint8_t { R0 = 0, R90 = 1, R180 = 2, R270 = 3 };
+
+inline constexpr Rot kAllRots[] = {Rot::R0, Rot::R90, Rot::R180, Rot::R270};
+
+/// Terminal sides reuse the direction type: the side names in the paper
+/// ({left, right, up, down}) coincide with the outward routing direction.
+using Side = Dir;
+
+/// Size of a module after rotation (90/270 swap the axes).
+constexpr Point rotate_size(Point size, Rot r) {
+  if (r == Rot::R90 || r == Rot::R270) return {size.y, size.x};
+  return size;
+}
+
+/// Position of a point of a (size.x x size.y) module after rotating the
+/// module counter-clockwise by `r` and re-normalising so the lower-left
+/// corner is again at (0,0).
+constexpr Point rotate_point(Point p, Point size, Rot r) {
+  switch (r) {
+    case Rot::R0: return p;
+    case Rot::R90: return {size.y - p.y, p.x};
+    case Rot::R180: return {size.x - p.x, size.y - p.y};
+    case Rot::R270: return {p.y, size.x - p.x};
+  }
+  return p;
+}
+
+/// Side of a module edge after counter-clockwise rotation.
+constexpr Side rotate_side(Side s, Rot r) {
+  // One CCW step maps right->up->left->down->right.
+  constexpr Side ccw[4] = {/*Left*/ Side::Down, /*Right*/ Side::Up,
+                           /*Up*/ Side::Left, /*Down*/ Side::Right};
+  auto side = s;
+  for (int i = 0; i < static_cast<int>(r); ++i) side = ccw[static_cast<int>(side)];
+  return side;
+}
+
+/// Rotation that brings side `from` onto side `to` (counter-clockwise).
+constexpr Rot rotation_taking(Side from, Side to) {
+  for (Rot r : kAllRots) {
+    if (rotate_side(from, r) == to) return r;
+  }
+  return Rot::R0;
+}
+
+/// Side of the module perimeter a relative terminal position lies on
+/// (paper 4.6.2).  Positions strictly inside the module yield Side::Left
+/// as a safe default; callers validate perimeter membership separately.
+constexpr Side side_of(Point rel, Point size) {
+  if (rel.x == 0) return Side::Left;
+  if (rel.x == size.x) return Side::Right;
+  if (rel.y == 0) return Side::Down;
+  if (rel.y == size.y) return Side::Up;
+  return Side::Left;
+}
+
+/// True when a relative terminal position lies on the module perimeter.
+constexpr bool on_perimeter(Point rel, Point size) {
+  const bool in_x = 0 <= rel.x && rel.x <= size.x;
+  const bool in_y = 0 <= rel.y && rel.y <= size.y;
+  if (!in_x || !in_y) return false;
+  return rel.x == 0 || rel.x == size.x || rel.y == 0 || rel.y == size.y;
+}
+
+std::string to_string(Rot r);
+std::ostream& operator<<(std::ostream& os, Rot r);
+
+}  // namespace na::geom

@@ -1,0 +1,25 @@
+#include "geom/point.hpp"
+
+#include <ostream>
+
+namespace na::geom {
+
+std::string to_string(Point p) {
+  return "(" + std::to_string(p.x) + "," + std::to_string(p.y) + ")";
+}
+
+std::ostream& operator<<(std::ostream& os, Point p) { return os << to_string(p); }
+
+std::string to_string(Dir d) {
+  switch (d) {
+    case Dir::Left: return "left";
+    case Dir::Right: return "right";
+    case Dir::Up: return "up";
+    case Dir::Down: return "down";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Dir d) { return os << to_string(d); }
+
+}  // namespace na::geom

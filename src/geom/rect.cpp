@@ -1,0 +1,19 @@
+#include "geom/rect.hpp"
+
+#include <ostream>
+
+namespace na::geom {
+
+std::string to_string(Rect r) {
+  return "[" + to_string(r.lo) + ".." + to_string(r.hi) + "]";
+}
+
+std::ostream& operator<<(std::ostream& os, Rect r) { return os << to_string(r); }
+
+std::string to_string(Segment s) {
+  return to_string(s.a) + "-" + to_string(s.b);
+}
+
+std::ostream& operator<<(std::ostream& os, Segment s) { return os << to_string(s); }
+
+}  // namespace na::geom

@@ -1,0 +1,104 @@
+#include "netlist/hierarchy.hpp"
+
+#include <stdexcept>
+
+namespace na {
+
+void Design::add_template(std::string name, Network net) {
+  templates_.insert_or_assign(std::move(name), std::move(net));
+}
+
+const Network& Design::template_net(const std::string& name) const {
+  const auto it = templates_.find(name);
+  if (it == templates_.end()) {
+    throw std::runtime_error("unknown design template '" + name + "'");
+  }
+  return it->second;
+}
+
+void Design::expand(const std::string& tmpl, const std::string& path, Network& out,
+                    const std::map<std::string, NetId>& port_map, int depth,
+                    int max_depth) const {
+  if (depth > max_depth) {
+    throw std::runtime_error("hierarchy deeper than " + std::to_string(max_depth) +
+                             " at '" + path + "' (recursive design?)");
+  }
+  const Network& t = template_net(tmpl);
+  const bool top_level = depth == 0;
+
+  // Map every template net to a net of the flat network.  Nets touching a
+  // bound port reuse the parent's net.
+  std::vector<NetId> netmap(t.net_count(), kNone);
+  for (NetId n = 0; n < t.net_count(); ++n) {
+    for (TermId term : t.net(n).terms) {
+      if (!t.term(term).is_system() || top_level) continue;
+      const auto it = port_map.find(t.term(term).name);
+      if (it == port_map.end() || it->second == kNone) continue;
+      if (netmap[n] != kNone && netmap[n] != it->second) {
+        throw std::runtime_error("net '" + t.net(n).name + "' of '" + tmpl +
+                                 "' bridges two ports bound to different nets");
+      }
+      netmap[n] = it->second;
+    }
+  }
+  for (NetId n = 0; n < t.net_count(); ++n) {
+    if (netmap[n] == kNone) {
+      netmap[n] = out.add_net(path.empty() ? t.net(n).name
+                                           : path + "/" + t.net(n).name);
+    }
+  }
+  // The root template's ports become the flat network's system terminals.
+  if (top_level) {
+    for (TermId st : t.system_terms()) {
+      const TermId flat = out.add_system_terminal(t.term(st).name, t.term(st).type);
+      if (t.term(st).net != kNone) out.connect(netmap[t.term(st).net], flat);
+    }
+  }
+
+  for (ModuleId m = 0; m < t.module_count(); ++m) {
+    const Module& mod = t.module(m);
+    const std::string child_path =
+        path.empty() ? mod.name : path + "/" + mod.name;
+    if (templates_.contains(mod.template_name)) {
+      // Hierarchical instance: bind child ports to this level's nets.
+      std::map<std::string, NetId> child_ports;
+      for (TermId term : mod.terms) {
+        const Terminal& inst_term = t.term(term);
+        child_ports[inst_term.name] =
+            inst_term.net == kNone ? kNone : netmap[inst_term.net];
+      }
+      expand(mod.template_name, child_path, out, child_ports, depth + 1,
+             max_depth);
+    } else {
+      // Leaf: copy the symbol verbatim under its path name.
+      const ModuleId flat = out.add_module(child_path, mod.template_name, mod.size);
+      for (TermId term : mod.terms) {
+        const Terminal& src = t.term(term);
+        const TermId nt = out.add_terminal(flat, src.name, src.type, src.pos);
+        if (src.net != kNone) out.connect(netmap[src.net], nt);
+      }
+    }
+  }
+}
+
+Network Design::flatten(const std::string& root, int max_depth) const {
+  Network out;
+  expand(root, "", out, {}, 0, max_depth);
+  return out;
+}
+
+int Design::leaf_count(const std::string& root, int max_depth) const {
+  if (max_depth < 0) {
+    throw std::runtime_error("hierarchy too deep (recursive design?)");
+  }
+  const Network& t = template_net(root);
+  int count = 0;
+  for (const Module& m : t.modules()) {
+    count += templates_.contains(m.template_name)
+                 ? leaf_count(m.template_name, max_depth - 1)
+                 : 1;
+  }
+  return count;
+}
+
+}  // namespace na

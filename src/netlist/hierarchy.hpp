@@ -1,0 +1,61 @@
+// Hierarchical designs (paper section 3.2): "A network consists of modules
+// and interconnections.  Each module contains an internal description
+// consisting of submodules and interconnections.  Besides, each module has
+// a representation."
+//
+// A Design is a set of named template networks; a module instance whose
+// template names another network is hierarchical, everything else is a
+// leaf symbol.  Two operations mirror the paper's uses:
+//   * flatten(): expand a root template into one leaf-only network (what
+//     the generator consumes) — instance names become path names
+//     (`parent/child`), internal nets are renamed per instantiation, and
+//     nets crossing a boundary are merged through the template's system
+//     terminals (its ports);
+//   * each template can also be generated as its own diagram, giving one
+//     schematic page per hierarchy level, the way the ESCHER library held
+//     one drawing per template.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "netlist/module_library.hpp"
+#include "netlist/network.hpp"
+
+namespace na {
+
+class Design {
+ public:
+  explicit Design(ModuleLibrary leaf_library) : lib_(std::move(leaf_library)) {}
+
+  /// Registers `net` as the internal description of template `name`.  The
+  /// template's ports are the network's system terminals.
+  void add_template(std::string name, Network net);
+  bool has_template(const std::string& name) const {
+    return templates_.contains(name);
+  }
+  const Network& template_net(const std::string& name) const;
+  const ModuleLibrary& leaf_library() const { return lib_; }
+  const std::map<std::string, Network>& templates() const { return templates_; }
+
+  /// Expands the template `root` into a single leaf-only network.
+  /// Instance paths are joined with '/'; a hierarchical instance's nets are
+  /// prefixed with its path.  Boundary nets (a parent net wired to a child
+  /// port) absorb the child's internal net so the flat net-list stays
+  /// electrically identical.  Throws on unknown templates or recursion
+  /// deeper than `max_depth`.
+  Network flatten(const std::string& root, int max_depth = 16) const;
+
+  /// Number of leaf module instances flatten(root) will produce.
+  int leaf_count(const std::string& root, int max_depth = 16) const;
+
+ private:
+  void expand(const std::string& tmpl, const std::string& path, Network& out,
+              const std::map<std::string, NetId>& port_map, int depth,
+              int max_depth) const;
+
+  ModuleLibrary lib_;
+  std::map<std::string, Network> templates_;
+};
+
+}  // namespace na

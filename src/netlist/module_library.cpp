@@ -1,0 +1,198 @@
+#include "netlist/module_library.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace na {
+
+std::optional<const TemplateTerm*> ModuleTemplate::term_by_name(
+    std::string_view n) const {
+  for (const TemplateTerm& t : terms) {
+    if (t.name == n) return &t;
+  }
+  return std::nullopt;
+}
+
+void ModuleLibrary::add(ModuleTemplate t) {
+  auto [it, inserted] = templates_.emplace(t.name, t);
+  if (inserted) {
+    order_.push_back(t.name);
+  } else {
+    it->second = std::move(t);
+  }
+}
+
+const ModuleTemplate* ModuleLibrary::find(std::string_view name) const {
+  auto it = templates_.find(std::string(name));
+  return it == templates_.end() ? nullptr : &it->second;
+}
+
+ModuleId ModuleLibrary::instantiate(Network& net, std::string_view tmpl,
+                                    std::string instance) const {
+  const ModuleTemplate* t = find(tmpl);
+  if (t == nullptr) {
+    throw std::runtime_error("unknown module template '" + std::string(tmpl) + "'");
+  }
+  const ModuleId m = net.add_module(std::move(instance), t->name, t->size);
+  for (const TemplateTerm& term : t->terms) {
+    net.add_terminal(m, term.name, term.type, term.pos);
+  }
+  return m;
+}
+
+namespace {
+
+ModuleTemplate gate2(std::string name) {
+  return {std::move(name),
+          {4, 4},
+          {{"a", TermType::In, {0, 1}},
+           {"b", TermType::In, {0, 3}},
+           {"y", TermType::Out, {4, 2}}}};
+}
+
+}  // namespace
+
+ModuleLibrary ModuleLibrary::standard_cells() {
+  ModuleLibrary lib;
+  lib.add({"buf", {4, 2}, {{"a", TermType::In, {0, 1}}, {"y", TermType::Out, {4, 1}}}});
+  lib.add({"inv", {4, 2}, {{"a", TermType::In, {0, 1}}, {"y", TermType::Out, {4, 1}}}});
+  lib.add(gate2("and2"));
+  lib.add(gate2("or2"));
+  lib.add(gate2("xor2"));
+  lib.add(gate2("nand2"));
+  lib.add(gate2("nor2"));
+  lib.add({"and3",
+           {4, 4},
+           {{"a", TermType::In, {0, 1}},
+            {"b", TermType::In, {0, 2}},
+            {"c", TermType::In, {0, 3}},
+            {"y", TermType::Out, {4, 2}}}});
+  lib.add({"dff",
+           {6, 4},
+           {{"d", TermType::In, {0, 3}},
+            {"ck", TermType::In, {0, 1}},
+            {"q", TermType::Out, {6, 3}},
+            {"qn", TermType::Out, {6, 1}}}});
+  lib.add({"mux2",
+           {6, 4},
+           {{"a", TermType::In, {0, 3}},
+            {"b", TermType::In, {0, 1}},
+            {"s", TermType::In, {3, 0}},
+            {"y", TermType::Out, {6, 2}}}});
+  lib.add({"adder",
+           {8, 6},
+           {{"a", TermType::In, {0, 4}},
+            {"b", TermType::In, {0, 2}},
+            {"cin", TermType::In, {4, 0}},
+            {"s", TermType::Out, {8, 3}},
+            {"cout", TermType::Out, {4, 6}}}});
+  lib.add({"alu",
+           {10, 8},
+           {{"a", TermType::In, {0, 6}},
+            {"b", TermType::In, {0, 2}},
+            {"op", TermType::In, {5, 0}},
+            {"y", TermType::Out, {10, 4}},
+            {"flags", TermType::Out, {5, 8}}}});
+  lib.add({"reg",
+           {8, 6},
+           {{"d", TermType::In, {0, 4}},
+            {"en", TermType::In, {0, 2}},
+            {"ck", TermType::In, {4, 0}},
+            {"q", TermType::Out, {8, 3}}}});
+  lib.add({"ctrl",
+           {10, 10},
+           {{"i0", TermType::In, {0, 3}},
+            {"i1", TermType::In, {0, 7}},
+            {"c0", TermType::Out, {10, 2}},
+            {"c1", TermType::Out, {10, 5}},
+            {"c2", TermType::Out, {10, 8}},
+            {"c3", TermType::Out, {3, 10}},
+            {"c4", TermType::Out, {7, 10}},
+            {"c5", TermType::Out, {3, 0}},
+            {"c6", TermType::Out, {7, 0}}}});
+  return lib;
+}
+
+namespace {
+
+/// Splits a line into whitespace-separated fields (Appendix A record rules).
+std::vector<std::string> fields_of(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream iss(line);
+  std::string f;
+  while (iss >> f) out.push_back(f);
+  return out;
+}
+
+[[noreturn]] void fail(int line_no, const std::string& why) {
+  throw std::runtime_error("module description line " + std::to_string(line_no) +
+                           ": " + why);
+}
+
+int parse_coord(const std::string& s, int pitch, int line_no) {
+  int v = 0;
+  try {
+    v = std::stoi(s);
+  } catch (const std::exception&) {
+    fail(line_no, "expected integer, got '" + s + "'");
+  }
+  if (pitch > 1) {
+    if (v % pitch != 0) {
+      fail(line_no, "coordinate " + s + " not divisible by pitch " +
+                        std::to_string(pitch));
+    }
+    v /= pitch;
+  }
+  return v;
+}
+
+}  // namespace
+
+ModuleTemplate parse_module_description(std::istream& in, int pitch) {
+  ModuleTemplate t;
+  std::string line;
+  int line_no = 0;
+  bool have_heading = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto f = fields_of(line);
+    if (f.empty()) continue;
+    if (!have_heading) {
+      if (f.size() != 4 || f[0] != "module") {
+        fail(line_no, "expected 'module <name> <width> <height>'");
+      }
+      t.name = f[1];
+      t.size = {parse_coord(f[2], pitch, line_no), parse_coord(f[3], pitch, line_no)};
+      if (t.size.x <= 0 || t.size.y <= 0) fail(line_no, "non-positive module size");
+      have_heading = true;
+      continue;
+    }
+    if (f.size() != 4) fail(line_no, "expected '<type> <name> <x> <y>'");
+    auto type = parse_term_type(f[0]);
+    if (!type) fail(line_no, "bad terminal type '" + f[0] + "'");
+    geom::Point pos{parse_coord(f[2], pitch, line_no), parse_coord(f[3], pitch, line_no)};
+    if (!geom::on_perimeter(pos, t.size)) {
+      fail(line_no, "terminal '" + f[1] + "' not on the module outline");
+    }
+    t.terms.push_back({f[1], *type, pos});
+  }
+  if (!have_heading) throw std::runtime_error("module description: empty input");
+  return t;
+}
+
+ModuleTemplate parse_module_description(std::string_view text, int pitch) {
+  std::istringstream iss{std::string(text)};
+  return parse_module_description(iss, pitch);
+}
+
+std::string format_module_description(const ModuleTemplate& t) {
+  std::ostringstream out;
+  out << "module " << t.name << ' ' << t.size.x << ' ' << t.size.y << '\n';
+  for (const TemplateTerm& term : t.terms) {
+    out << to_string(term.type) << ' ' << term.name << ' ' << term.pos.x << ' '
+        << term.pos.y << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace na

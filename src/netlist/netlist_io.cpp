@@ -1,0 +1,138 @@
+#include "netlist/netlist_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace na {
+namespace {
+
+std::vector<std::string> fields_of(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream iss(line);
+  std::string f;
+  while (iss >> f) {
+    if (f.starts_with('#')) break;  // comment extension
+    out.push_back(f);
+  }
+  return out;
+}
+
+[[noreturn]] void fail(std::string_view file, int line_no, const std::string& why) {
+  throw std::runtime_error(std::string(file) + " line " + std::to_string(line_no) +
+                           ": " + why);
+}
+
+/// Calls `record` for each non-empty record of `in`.
+template <typename Fn>
+void for_each_record(std::istream& in, std::string_view file_name, Fn record) {
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto f = fields_of(line);
+    if (f.empty()) continue;
+    record(f, line_no);
+  }
+  (void)file_name;
+}
+
+}  // namespace
+
+Network parse_network(const ModuleLibrary& lib, std::istream& call_file,
+                      std::istream& io_file, std::istream& netlist_file) {
+  Network net;
+
+  for_each_record(call_file, "call-file",
+                  [&](const std::vector<std::string>& f, int line_no) {
+    if (f.size() != 2) fail("call-file", line_no, "expected '<instance> <template>'");
+    if (f[0] == "root") fail("call-file", line_no, "'root' is a reserved instance name");
+    if (net.module_by_name(f[0])) {
+      fail("call-file", line_no, "duplicate instance '" + f[0] + "'");
+    }
+    try {
+      lib.instantiate(net, f[1], f[0]);
+    } catch (const std::exception& e) {
+      fail("call-file", line_no, e.what());
+    }
+  });
+
+  for_each_record(io_file, "io-file",
+                  [&](const std::vector<std::string>& f, int line_no) {
+    if (f.size() != 2) fail("io-file", line_no, "expected '<terminal> <type>'");
+    auto type = parse_term_type(f[1]);
+    if (!type) fail("io-file", line_no, "bad terminal type '" + f[1] + "'");
+    if (net.term_by_name(kNone, f[0])) {
+      fail("io-file", line_no, "duplicate system terminal '" + f[0] + "'");
+    }
+    net.add_system_terminal(f[0], *type);
+  });
+
+  for_each_record(netlist_file, "net-list-file",
+                  [&](const std::vector<std::string>& f, int line_no) {
+    if (f.size() != 3) {
+      fail("net-list-file", line_no, "expected '<net> <instance> <terminal>'");
+    }
+    const NetId n = net.get_or_add_net(f[0]);
+    ModuleId m = kNone;
+    if (f[1] != "root") {
+      auto found = net.module_by_name(f[1]);
+      if (!found) fail("net-list-file", line_no, "unknown instance '" + f[1] + "'");
+      m = *found;
+    }
+    auto t = net.term_by_name(m, f[2]);
+    if (!t) {
+      fail("net-list-file", line_no,
+           "unknown terminal '" + f[2] + "' of '" + f[1] + "'");
+    }
+    try {
+      net.connect(n, *t);
+    } catch (const std::exception& e) {
+      fail("net-list-file", line_no, e.what());
+    }
+  });
+
+  return net;
+}
+
+Network parse_network(const ModuleLibrary& lib, std::string_view call_file,
+                      std::string_view io_file, std::string_view netlist_file) {
+  std::istringstream call{std::string(call_file)};
+  std::istringstream io{std::string(io_file)};
+  std::istringstream nl{std::string(netlist_file)};
+  return parse_network(lib, call, io, nl);
+}
+
+NetlistFiles write_network(const Network& net) {
+  NetlistFiles out;
+  {
+    std::ostringstream os;
+    for (const Module& m : net.modules()) {
+      os << m.name << ' ' << (m.template_name.empty() ? m.name : m.template_name)
+         << '\n';
+    }
+    out.call_file = os.str();
+  }
+  {
+    std::ostringstream os;
+    for (TermId t : net.system_terms()) {
+      os << net.term(t).name << ' ' << to_string(net.term(t).type) << '\n';
+    }
+    out.io_file = os.str();
+  }
+  {
+    std::ostringstream os;
+    for (const Net& n : net.nets()) {
+      for (TermId t : n.terms) {
+        const Terminal& term = net.term(t);
+        os << n.name << ' '
+           << (term.is_system() ? std::string("root") : net.module(term.module).name)
+           << ' ' << term.name << '\n';
+      }
+    }
+    out.netlist_file = os.str();
+  }
+  return out;
+}
+
+}  // namespace na

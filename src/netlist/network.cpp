@@ -1,0 +1,232 @@
+#include "netlist/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace na {
+
+std::string to_string(TermType t) {
+  switch (t) {
+    case TermType::In: return "in";
+    case TermType::Out: return "out";
+    case TermType::InOut: return "inout";
+  }
+  return "?";
+}
+
+std::optional<TermType> parse_term_type(std::string_view s) {
+  if (s == "in") return TermType::In;
+  if (s == "out") return TermType::Out;
+  if (s == "inout") return TermType::InOut;
+  return std::nullopt;
+}
+
+ModuleId Network::add_module(std::string name, std::string template_name,
+                             geom::Point size) {
+  if (size.x <= 0 || size.y <= 0) {
+    throw std::invalid_argument("module '" + name + "' must have positive size");
+  }
+  const ModuleId id = module_count();
+  module_names_.emplace(name, id);
+  modules_.push_back({std::move(name), std::move(template_name), size, {}});
+  return id;
+}
+
+TermId Network::add_terminal(ModuleId m, std::string name, TermType type,
+                             geom::Point rel) {
+  Module& mod = modules_.at(m);
+  if (!geom::on_perimeter(rel, mod.size)) {
+    throw std::invalid_argument("terminal '" + name + "' of module '" + mod.name +
+                                "' not on module perimeter");
+  }
+  const TermId id = term_count();
+  terms_.push_back({std::move(name), type, rel, m, kNone});
+  mod.terms.push_back(id);
+  return id;
+}
+
+TermId Network::add_system_terminal(std::string name, TermType type) {
+  const TermId id = term_count();
+  terms_.push_back({std::move(name), type, {}, kNone, kNone});
+  system_terms_.push_back(id);
+  return id;
+}
+
+NetId Network::add_net(std::string name) {
+  const NetId id = net_count();
+  net_names_.emplace(name, id);
+  nets_.push_back({std::move(name), {}});
+  return id;
+}
+
+NetId Network::get_or_add_net(std::string_view name) {
+  if (auto it = net_names_.find(std::string(name)); it != net_names_.end()) {
+    return it->second;
+  }
+  return add_net(std::string(name));
+}
+
+void Network::connect(NetId n, TermId t) {
+  Terminal& term = terms_.at(t);
+  if (term.net == n) return;
+  if (term.net != kNone) {
+    throw std::invalid_argument("terminal '" + term.name + "' already connected");
+  }
+  term.net = n;
+  nets_.at(n).terms.push_back(t);
+}
+
+std::optional<ModuleId> Network::module_by_name(std::string_view name) const {
+  auto it = module_names_.find(std::string(name));
+  if (it == module_names_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<NetId> Network::net_by_name(std::string_view name) const {
+  auto it = net_names_.find(std::string(name));
+  if (it == net_names_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<TermId> Network::term_by_name(ModuleId m, std::string_view term_name) const {
+  if (m == kNone) {
+    for (TermId t : system_terms_) {
+      if (terms_[t].name == term_name) return t;
+    }
+    return std::nullopt;
+  }
+  for (TermId t : modules_.at(m).terms) {
+    if (terms_[t].name == term_name) return t;
+  }
+  return std::nullopt;
+}
+
+geom::Side Network::term_side(TermId t) const {
+  const Terminal& term = terms_.at(t);
+  if (term.is_system()) return geom::Side::Left;
+  return geom::side_of(term.pos, modules_[term.module].size);
+}
+
+bool Network::connected_by(ModuleId m0, ModuleId m1, NetId n) const {
+  const Net& nn = nets_.at(n);
+  bool has0 = false;
+  bool has1 = false;
+  for (TermId t : nn.terms) {
+    if (terms_[t].module == m0) has0 = true;
+    if (terms_[t].module == m1) has1 = true;
+  }
+  return has0 && has1;
+}
+
+int Network::connections(ModuleId m0, ModuleId m1) const {
+  if (m0 == m1) return 0;
+  int count = 0;
+  for (TermId t : modules_.at(m0).terms) {
+    const NetId n = terms_[t].net;
+    if (n == kNone) continue;
+    // Count each net once even if m0 touches it through several terminals.
+    bool counted_before = false;
+    for (TermId t2 : modules_[m0].terms) {
+      if (t2 == t) break;
+      if (terms_[t2].net == n) {
+        counted_before = true;
+        break;
+      }
+    }
+    if (counted_before) continue;
+    for (TermId other : nets_[n].terms) {
+      if (terms_[other].module == m1) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+int Network::connections_to(ModuleId m, const std::vector<bool>& in_set) const {
+  std::unordered_set<NetId> seen;
+  int count = 0;
+  for (TermId t : modules_.at(m).terms) {
+    const NetId n = terms_[t].net;
+    if (n == kNone || !seen.insert(n).second) continue;
+    for (TermId other : nets_[n].terms) {
+      const ModuleId om = terms_[other].module;
+      if (om != kNone && om != m && om < static_cast<int>(in_set.size()) && in_set[om]) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+int Network::external_connections(const std::vector<bool>& in_set) const {
+  int count = 0;
+  for (const Net& n : nets_) {
+    bool inside = false;
+    bool outside = false;
+    for (TermId t : n.terms) {
+      const ModuleId m = terms_[t].module;
+      const bool in =
+          m != kNone && m < static_cast<int>(in_set.size()) && in_set[m];
+      (in ? inside : outside) = true;
+    }
+    if (inside && outside) ++count;
+  }
+  return count;
+}
+
+std::vector<ModuleId> Network::neighbors(ModuleId m) const {
+  std::unordered_set<ModuleId> seen;
+  std::vector<ModuleId> result;
+  for (TermId t : modules_.at(m).terms) {
+    const NetId n = terms_[t].net;
+    if (n == kNone) continue;
+    for (TermId other : nets_[n].terms) {
+      const ModuleId om = terms_[other].module;
+      if (om != kNone && om != m && seen.insert(om).second) result.push_back(om);
+    }
+  }
+  return result;
+}
+
+std::vector<NetId> Network::nets_of(ModuleId m) const {
+  std::unordered_set<NetId> seen;
+  std::vector<NetId> result;
+  for (TermId t : modules_.at(m).terms) {
+    const NetId n = terms_[t].net;
+    if (n != kNone && seen.insert(n).second) result.push_back(n);
+  }
+  return result;
+}
+
+std::vector<std::string> Network::validate() const {
+  std::vector<std::string> problems;
+  for (int m = 0; m < module_count(); ++m) {
+    for (TermId t : modules_[m].terms) {
+      if (!geom::on_perimeter(terms_[t].pos, modules_[m].size)) {
+        problems.push_back("terminal '" + terms_[t].name + "' of '" +
+                           modules_[m].name + "' off perimeter");
+      }
+    }
+    // Two terminals of one module must not coincide.
+    for (size_t i = 0; i < modules_[m].terms.size(); ++i) {
+      for (size_t j = i + 1; j < modules_[m].terms.size(); ++j) {
+        if (terms_[modules_[m].terms[i]].pos == terms_[modules_[m].terms[j]].pos) {
+          problems.push_back("module '" + modules_[m].name +
+                             "' has coincident terminals");
+        }
+      }
+    }
+  }
+  for (const Net& n : nets_) {
+    if (n.terms.size() < 2) {
+      problems.push_back("net '" + n.name + "' connects fewer than 2 terminals");
+    }
+  }
+  return problems;
+}
+
+}  // namespace na

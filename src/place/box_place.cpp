@@ -1,0 +1,46 @@
+#include "place/box_place.hpp"
+
+#include <stdexcept>
+
+namespace na {
+
+geom::Point PartitionLayout::term_pos(const Network& net, TermId t) const {
+  const ModuleId m = net.term(t).module;
+  for (size_t b = 0; b < boxes.size(); ++b) {
+    if (boxes[b].index_of(m) >= 0) return box_pos[b] + boxes[b].term_pos(net, t);
+  }
+  throw std::logic_error("terminal not in this partition");
+}
+
+PartitionLayout place_boxes(const Network& net, std::vector<BoxLayout> boxes,
+                            int spacing) {
+  std::vector<GravityItem> items;
+  items.reserve(boxes.size());
+  for (const BoxLayout& box : boxes) {
+    GravityItem item;
+    item.size = box.size;
+    item.weight = static_cast<int>(box.modules.size());
+    for (ModuleId m : box.modules) {
+      for (TermId t : net.module(m).terms) {
+        if (net.term(t).net == kNone) continue;
+        item.terms.emplace_back(net.term(t).net, box.term_pos(net, t));
+      }
+    }
+    items.push_back(std::move(item));
+  }
+
+  PartitionLayout layout;
+  layout.box_pos = gravity_place(items, spacing);
+  layout.boxes = std::move(boxes);
+
+  // Normalise to a (0,0) lower-left partition origin.
+  geom::Rect hull;
+  for (size_t b = 0; b < layout.boxes.size(); ++b) {
+    hull = hull.hull(geom::Rect::from_size(layout.box_pos[b], layout.boxes[b].size));
+  }
+  for (auto& p : layout.box_pos) p -= hull.lo;
+  layout.size = {hull.width(), hull.height()};
+  return layout;
+}
+
+}  // namespace na

@@ -1,0 +1,32 @@
+// Box placement within a partition (paper section 4.6.5).
+//
+// Thin adapter over the shared gravity engine: each box of a partition
+// becomes a GravityItem whose terminals are the connected subsystem
+// terminals of its modules, positioned box-relative.
+#pragma once
+
+#include <vector>
+
+#include "place/gravity.hpp"
+#include "place/module_place.hpp"
+
+namespace na {
+
+/// A fully arranged partition: every box keeps its internal layout and gets
+/// an origin in partition coordinates; `size` is the partition bounding box
+/// (size-partition in the paper).
+struct PartitionLayout {
+  std::vector<BoxLayout> boxes;
+  std::vector<geom::Point> box_pos;
+  geom::Point size;
+
+  /// Partition-relative position of a subsystem terminal.
+  geom::Point term_pos(const Network& net, TermId t) const;
+};
+
+/// BOX_PLACEMENT: arranges the boxes of one partition; `spacing` is the -i
+/// option (extra tracks around each box).
+PartitionLayout place_boxes(const Network& net, std::vector<BoxLayout> boxes,
+                            int spacing);
+
+}  // namespace na

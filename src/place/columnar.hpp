@@ -1,0 +1,29 @@
+// Columnar logic-schematic placement baseline (paper section 4.3).
+//
+// The highly constrained scheme used for pure logic diagrams: modules are
+// layered into columns by input dependency (column 1: modules driven only
+// from outside; column k: driven only by columns < k), then the symbols in
+// each column are permuted to reduce net crossings with barycentre sweeps.
+// The paper's point — which the baseline bench demonstrates — is that this
+// works only for acyclic, gate-like networks and "imposes a lot of
+// undesirable constraints" for general schematics.
+#pragma once
+
+#include "schematic/diagram.hpp"
+
+namespace na {
+
+struct ColumnarOptions {
+  int sweeps = 4;   ///< barycentre reordering passes
+  int gap_x = 4;    ///< tracks between columns
+  int gap_y = 2;    ///< tracks between symbols in a column
+};
+
+/// Places every module of the diagram and the system terminals.
+void columnar_place(Diagram& dia, const ColumnarOptions& opt = {});
+
+/// Exposed for tests: the column index (level) of each module; cycles are
+/// cut by capping relaxation at module-count iterations.
+std::vector<int> columnar_levels(const Network& net);
+
+}  // namespace na

@@ -1,0 +1,144 @@
+#include "place/gravity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+namespace na {
+
+geom::Point nearest_free_position(geom::Point ideal, geom::Point size,
+                                  std::span<const geom::Rect> placed, int spacing) {
+  auto feasible = [&](geom::Point pos) {
+    const geom::Rect candidate = geom::Rect::from_size(pos, size).expanded(spacing);
+    for (const geom::Rect& r : placed) {
+      if (candidate.overlaps(r)) return false;
+    }
+    return true;
+  };
+  if (feasible(ideal)) return ideal;
+
+  // Ring search by Chebyshev radius; a ring of radius r contains offsets
+  // with Euclidean norm in [r, r*sqrt(2)], so once a feasible position at
+  // squared distance d2 is known, rings with r*r > d2 cannot improve it.
+  geom::Point best = ideal;
+  std::int64_t best_d2 = std::numeric_limits<std::int64_t>::max();
+  constexpr int kMaxRadius = 100000;
+  for (int r = 1; r <= kMaxRadius; ++r) {
+    if (best_d2 < static_cast<std::int64_t>(r) * r) break;
+    auto consider = [&](int dx, int dy) {
+      const geom::Point pos = ideal + geom::Point{dx, dy};
+      const std::int64_t d2 = geom::dist2(pos, ideal);
+      if (d2 < best_d2 && feasible(pos)) {
+        best = pos;
+        best_d2 = d2;
+      }
+    };
+    for (int dx = -r; dx <= r; ++dx) {
+      consider(dx, r);
+      consider(dx, -r);
+    }
+    for (int dy = -r + 1; dy < r; ++dy) {
+      consider(r, dy);
+      consider(-r, dy);
+    }
+  }
+  return best;
+}
+
+std::vector<geom::Point> gravity_place(std::span<const GravityItem> items,
+                                       int spacing) {
+  const int n = static_cast<int>(items.size());
+  std::vector<geom::Point> pos(n);
+  std::vector<bool> done(n, false);
+  std::vector<geom::Rect> placed_rects;
+  int placed_count = 0;
+
+  auto commit = [&](int i, geom::Point p) {
+    pos[i] = p;
+    done[i] = true;
+    placed_rects.push_back(geom::Rect::from_size(p, items[i].size));
+    ++placed_count;
+  };
+
+  // Preplaced items first (incremental placement keeps them untouched).
+  for (int i = 0; i < n; ++i) {
+    if (items[i].fixed_pos) commit(i, *items[i].fixed_pos);
+  }
+  // Otherwise the heaviest item anchors the arrangement at the origin.
+  if (placed_count == 0 && n > 0) {
+    int first = 0;
+    for (int i = 1; i < n; ++i) {
+      if (items[i].weight > items[first].weight) first = i;
+    }
+    commit(first, {0, 0});
+  }
+
+  // Net ids present on placed items (for the shared-net tests).
+  auto placed_nets = [&]() {
+    std::unordered_set<NetId> nets;
+    for (int i = 0; i < n; ++i) {
+      if (!done[i]) continue;
+      for (const auto& [net, p] : items[i].terms) nets.insert(net);
+    }
+    return nets;
+  };
+
+  while (placed_count < n) {
+    const auto nets = placed_nets();
+    // SELECT_NEXT_*: the unplaced item with the most terminals on nets
+    // shared with the placed structure.
+    int next = -1;
+    int next_conn = -1;
+    for (int i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      int conn = 0;
+      for (const auto& [net, p] : items[i].terms) conn += nets.contains(net) ? 1 : 0;
+      if (conn > next_conn) {
+        next = i;
+        next_conn = conn;
+      }
+    }
+
+    geom::Point ideal;
+    if (next_conn > 0) {
+      // Shared nets between `next` and the placed structure.
+      std::unordered_set<NetId> shared;
+      for (const auto& [net, p] : items[next].terms) {
+        if (nets.contains(net)) shared.insert(net);
+      }
+      // g0: gravity of this item's terminals on shared nets (item-relative).
+      std::int64_t sx = 0, sy = 0, cnt = 0;
+      for (const auto& [net, p] : items[next].terms) {
+        if (shared.contains(net)) {
+          sx += p.x;
+          sy += p.y;
+          ++cnt;
+        }
+      }
+      const geom::Point g0{static_cast<int>(sx / cnt), static_cast<int>(sy / cnt)};
+      // g1: gravity of the placed terminals on those nets (absolute).
+      sx = sy = cnt = 0;
+      for (int i = 0; i < n; ++i) {
+        if (!done[i]) continue;
+        for (const auto& [net, p] : items[i].terms) {
+          if (shared.contains(net)) {
+            sx += pos[i].x + p.x;
+            sy += pos[i].y + p.y;
+            ++cnt;
+          }
+        }
+      }
+      const geom::Point g1{static_cast<int>(sx / cnt), static_cast<int>(sy / cnt)};
+      ideal = g1 - g0;
+    } else {
+      // No electrical pull: line up right of everything placed so far.
+      geom::Rect hull;
+      for (const geom::Rect& r : placed_rects) hull = hull.hull(r);
+      ideal = {hull.hi.x + spacing + 1, hull.lo.y};
+    }
+    commit(next, nearest_free_position(ideal, items[next].size, placed_rects, spacing));
+  }
+  return pos;
+}
+
+}  // namespace na

@@ -1,0 +1,141 @@
+#include "place/module_place.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace na {
+namespace {
+
+/// The out/inout -> in/inout terminal pair that links two successive string
+/// modules (the edge LONGEST_PATH followed).
+std::optional<std::pair<TermId, TermId>> link_pair(const Network& net,
+                                                   ModuleId prev, ModuleId cur) {
+  for (TermId tf : net.module(prev).terms) {
+    const Terminal& out = net.term(tf);
+    if (out.net == kNone) continue;
+    for (TermId tt : net.net(out.net).terms) {
+      const Terminal& in = net.term(tt);
+      if (in.module == cur && drives(out.type, in.type)) return {{tf, tt}};
+    }
+  }
+  return std::nullopt;
+}
+
+/// Connected-terminal count on a rotated side of a module.
+int side_terms(const Network& net, ModuleId m, geom::Rot rot, geom::Side side) {
+  int count = 0;
+  for (TermId t : net.module(m).terms) {
+    if (net.term(t).net == kNone) continue;
+    if (geom::rotate_side(net.term_side(t), rot) == side) ++count;
+  }
+  return count;
+}
+
+geom::Point rotated_term(const Network& net, TermId t, geom::Rot rot) {
+  const Terminal& term = net.term(t);
+  return geom::rotate_point(term.pos, net.module(term.module).size, rot);
+}
+
+}  // namespace
+
+geom::Point BoxLayout::term_pos(const Network& net, TermId t) const {
+  const ModuleId m = net.term(t).module;
+  const int i = index_of(m);
+  return pos.at(i) + geom::rotate_point(net.term(t).pos, net.module(m).size, rot.at(i));
+}
+
+int BoxLayout::index_of(ModuleId m) const {
+  for (size_t i = 0; i < modules.size(); ++i) {
+    if (modules[i] == m) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int whitespace(int connected_terms, int extra) {
+  return connected_terms + 1 + extra;
+}
+
+BoxLayout place_box_modules(const Network& net, const Box& box, int extra_space) {
+  BoxLayout layout;
+  layout.modules = box;
+  layout.pos.resize(box.size());
+  layout.rot.assign(box.size(), geom::Rot::R0);
+  if (box.empty()) return layout;
+
+  auto f = [&](ModuleId m, geom::Rot r, geom::Side s) {
+    return whitespace(side_terms(net, m, r, s), extra_space);
+  };
+
+  // --- INIT_MODULE_PLACEMENT: the head of the string --------------------------
+  const ModuleId m0 = box[0];
+  if (box.size() > 1) {
+    if (auto pair = link_pair(net, box[0], box[1])) {
+      // Rotate m0 so the driving terminal's side faces right.
+      layout.rot[0] =
+          geom::rotation_taking(net.term_side(pair->first), geom::Side::Right);
+    }
+  }
+  const geom::Point size0 = geom::rotate_size(net.module(m0).size, layout.rot[0]);
+  layout.pos[0] = {f(m0, layout.rot[0], geom::Side::Left),
+                   f(m0, layout.rot[0], geom::Side::Down)};
+  int left = 0;
+  int down = 0;
+  int right = layout.pos[0].x + size0.x + f(m0, layout.rot[0], geom::Side::Right);
+  int up = layout.pos[0].y + size0.y + f(m0, layout.rot[0], geom::Side::Up);
+
+  // --- PLACE_MODULE: every further level ---------------------------------------
+  for (size_t i = 1; i < box.size(); ++i) {
+    const ModuleId prev = box[i - 1];
+    const ModuleId cur = box[i];
+    const auto pair = link_pair(net, prev, cur);
+
+    geom::Rot rot = geom::Rot::R0;
+    if (pair) {
+      rot = geom::rotation_taking(net.term_side(pair->second), geom::Side::Left);
+    }
+    layout.rot[i] = rot;
+    const geom::Point size = geom::rotate_size(net.module(cur).size, rot);
+    const geom::Point size_prev =
+        geom::rotate_size(net.module(prev).size, layout.rot[i - 1]);
+
+    int y = layout.pos[i - 1].y;  // fallback: same baseline
+    if (pair) {
+      const geom::Point tp = rotated_term(net, pair->first, layout.rot[i - 1]);
+      const geom::Point t = rotated_term(net, pair->second, rot);
+      const geom::Side side_prev =
+          geom::rotate_side(net.term_side(pair->first), layout.rot[i - 1]);
+      const int py = layout.pos[i - 1].y;
+      switch (side_prev) {
+        case geom::Side::Right:
+          y = py + tp.y - t.y;  // terminals level: zero extra bends
+          break;
+        case geom::Side::Up:
+          y = py + tp.y - t.y + 1;
+          break;
+        case geom::Side::Down:
+          y = py - 1 - t.y;
+          break;
+        case geom::Side::Left:
+          // Route around the shorter way past the previous module.
+          if (size_prev.y - tp.y > tp.y) {
+            y = py - 1 - t.y;
+          } else {
+            y = py + size_prev.y + 1 - t.y;
+          }
+          break;
+      }
+    }
+    const int x = right + f(cur, rot, geom::Side::Left);
+    layout.pos[i] = {x, y};
+    right = x + size.x + f(cur, rot, geom::Side::Right);
+    up = std::max(up, y + size.y + f(cur, rot, geom::Side::Up));
+    down = std::min(down, y - f(cur, rot, geom::Side::Down));
+  }
+
+  // --- translation-box: shift so the lower-left of the box is (0,0) -----------
+  for (auto& p : layout.pos) p -= geom::Point{left, down};
+  layout.size = {right - left, up - down};
+  return layout;
+}
+
+}  // namespace na

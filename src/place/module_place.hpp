@@ -1,0 +1,43 @@
+// Module placement inside a box (paper section 4.6.4, MODULE_PLACEMENT /
+// INIT_MODULE_PLACEMENT / PLACE_MODULE).
+//
+// Modules of a string are placed strictly left to right.  Each module is
+// rotated so the terminal connecting to its predecessor faces left (the
+// first module so its driving terminal faces right), then shifted
+// vertically so the connecting net needs at most two bends — zero when the
+// facing sides oppose (the minimum-bend lemma of section 4.6.4).
+// White space around each module side is a function of the number of
+// connected terminals on that side: f(k) = k + 1 + extra tracks
+// (Appendix E, option -s).
+#pragma once
+
+#include <vector>
+
+#include "place/boxes.hpp"
+#include "schematic/diagram.hpp"
+
+namespace na {
+
+/// The relative layout of one box: positions are measured from the box's
+/// lower-left corner; `size` is the box bounding box including routing
+/// white space.
+struct BoxLayout {
+  Box modules;  ///< level order, as produced by form_boxes
+  std::vector<geom::Point> pos;
+  std::vector<geom::Rot> rot;
+  geom::Point size;
+
+  /// Box-relative position of a subsystem terminal of a module in this box.
+  geom::Point term_pos(const Network& net, TermId t) const;
+  /// Index of `m` within `modules`, or -1.
+  int index_of(ModuleId m) const;
+};
+
+/// White-space function f: tracks to leave next to a side carrying `k`
+/// connected terminals.
+int whitespace(int connected_terms, int extra);
+
+/// Places the modules of `box` (paper MODULE_PLACEMENT inner loop).
+BoxLayout place_box_modules(const Network& net, const Box& box, int extra_space);
+
+}  // namespace na

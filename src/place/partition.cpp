@@ -1,0 +1,96 @@
+#include "place/partition.hpp"
+
+#include <stdexcept>
+
+namespace na {
+
+ModuleId take_a_seed(const Network& net, const std::vector<bool>& free_mask) {
+  ModuleId seed = kNone;
+  int seed_free_conns = -1;
+  int seed_placed_conns = 0;
+  // "not free" = already included in a partition.
+  std::vector<bool> placed_mask(free_mask.size());
+  for (size_t i = 0; i < free_mask.size(); ++i) placed_mask[i] = !free_mask[i];
+
+  for (ModuleId m = 0; m < net.module_count(); ++m) {
+    if (!free_mask[m]) continue;
+    // Connections to the remaining free modules (excluding m itself —
+    // connections_to never counts self).
+    std::vector<bool> others = free_mask;
+    others[m] = false;
+    const int free_conns = net.connections_to(m, others);
+    const int placed_conns = net.connections_to(m, placed_mask);
+    if (seed == kNone || free_conns > seed_free_conns ||
+        (free_conns == seed_free_conns && placed_conns < seed_placed_conns)) {
+      seed = m;
+      seed_free_conns = free_conns;
+      seed_placed_conns = placed_conns;
+    }
+  }
+  if (seed == kNone) throw std::logic_error("take_a_seed: no free module");
+  return seed;
+}
+
+std::vector<ModuleId> form_partition(const Network& net, std::vector<bool>& free_mask,
+                                     ModuleId seed, const PartitionLimits& limits) {
+  std::vector<ModuleId> partition{seed};
+  std::vector<bool> in_partition(net.module_count(), false);
+  in_partition[seed] = true;
+  free_mask[seed] = false;
+
+  int connections = net.external_connections(in_partition);
+
+  while (static_cast<int>(partition.size()) < limits.max_part_size &&
+         connections < limits.max_connections) {
+    // Next module: most connections into the partition, tie -> fewest
+    // connections to the modules outside it.
+    ModuleId best = kNone;
+    int best_inside = -1;
+    int best_outside = 0;
+    for (ModuleId m = 0; m < net.module_count(); ++m) {
+      if (!free_mask[m]) continue;
+      const int inside = net.connections_to(m, in_partition);
+      if (inside == 0) continue;  // keep partitions connected
+      std::vector<bool> outside_mask(net.module_count());
+      for (ModuleId o = 0; o < net.module_count(); ++o) {
+        outside_mask[o] = !in_partition[o] && o != m;
+      }
+      const int outside = net.connections_to(m, outside_mask);
+      if (best == kNone || inside > best_inside ||
+          (inside == best_inside && outside < best_outside)) {
+        best = m;
+        best_inside = inside;
+        best_outside = outside;
+      }
+    }
+    if (best == kNone) break;  // no connected free module left
+    partition.push_back(best);
+    in_partition[best] = true;
+    free_mask[best] = false;
+    connections = net.external_connections(in_partition);
+  }
+  return partition;
+}
+
+std::vector<std::vector<ModuleId>> partition_network(
+    const Network& net, const PartitionLimits& limits,
+    const std::vector<bool>& include) {
+  std::vector<bool> free_mask = include;
+  std::vector<std::vector<ModuleId>> partitions;
+  int remaining = 0;
+  for (bool b : free_mask) remaining += b ? 1 : 0;
+  while (remaining > 0) {
+    const ModuleId seed = take_a_seed(net, free_mask);
+    auto part = form_partition(net, free_mask, seed, limits);
+    remaining -= static_cast<int>(part.size());
+    partitions.push_back(std::move(part));
+  }
+  return partitions;
+}
+
+std::vector<std::vector<ModuleId>> partition_network(const Network& net,
+                                                     const PartitionLimits& limits) {
+  return partition_network(net, limits, std::vector<bool>(net.module_count(), true));
+}
+
+}  // namespace na

@@ -1,0 +1,43 @@
+// Partitioning: decomposing the network into functional groups
+// (paper section 4.6.3, procedures PARTITIONING / TAKE_A_SEED /
+// FORM_PARTITION).
+//
+// A seed — the free module most heavily connected to the other free
+// modules — is grown into a cluster by repeatedly adding the free module
+// with the most connections into the cluster, until the partition size
+// limit or the external-connection limit is exceeded.  Limiting external
+// connections "is used to avoid very dense routing areas".
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace na {
+
+struct PartitionLimits {
+  int max_part_size = 1;  ///< -p: maximum modules per partition
+  int max_connections = std::numeric_limits<int>::max();  ///< -c: max external nets
+};
+
+/// TAKE_A_SEED: the free module most heavily connected with the remaining
+/// free modules; ties broken by the fewest connections to the already
+/// formed partitions (the non-free modules), then by lowest id.
+/// `free_mask[m]` marks modules still to be partitioned.
+ModuleId take_a_seed(const Network& net, const std::vector<bool>& free_mask);
+
+/// FORM_PARTITION: grows a cluster around `seed`.  Modules added to the
+/// cluster are cleared from `free_mask`.
+std::vector<ModuleId> form_partition(const Network& net, std::vector<bool>& free_mask,
+                                     ModuleId seed, const PartitionLimits& limits);
+
+/// PARTITIONING: covers all modules for which `include[m]` is true (pass an
+/// all-true mask for the whole network) by disjoint partitions.
+std::vector<std::vector<ModuleId>> partition_network(const Network& net,
+                                                     const PartitionLimits& limits,
+                                                     const std::vector<bool>& include);
+std::vector<std::vector<ModuleId>> partition_network(const Network& net,
+                                                     const PartitionLimits& limits);
+
+}  // namespace na

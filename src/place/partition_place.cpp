@@ -1,0 +1,56 @@
+#include "place/partition_place.hpp"
+
+#include <stdexcept>
+
+namespace na {
+
+geom::Point FullLayout::term_pos(const Network& net, TermId t) const {
+  const ModuleId m = net.term(t).module;
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    for (const BoxLayout& box : partitions[p].boxes) {
+      if (box.index_of(m) >= 0) {
+        return partition_pos[p] + partitions[p].term_pos(net, t);
+      }
+    }
+  }
+  throw std::logic_error("terminal not in any partition");
+}
+
+FullLayout place_partitions(const Network& net,
+                            std::vector<PartitionLayout> partitions, int spacing,
+                            const std::vector<std::optional<geom::Point>>& fixed) {
+  std::vector<GravityItem> items;
+  items.reserve(partitions.size());
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    const PartitionLayout& part = partitions[i];
+    GravityItem item;
+    item.size = part.size;
+    for (const BoxLayout& box : part.boxes) {
+      item.weight += static_cast<int>(box.modules.size());
+    }
+    for (const BoxLayout& box : part.boxes) {
+      for (ModuleId m : box.modules) {
+        for (TermId t : net.module(m).terms) {
+          if (net.term(t).net == kNone) continue;
+          item.terms.emplace_back(net.term(t).net, part.term_pos(net, t));
+        }
+      }
+    }
+    if (i < fixed.size() && fixed[i]) item.fixed_pos = *fixed[i];
+    items.push_back(std::move(item));
+  }
+
+  FullLayout layout;
+  layout.partition_pos = gravity_place(items, spacing);
+  layout.partitions = std::move(partitions);
+
+  geom::Rect hull;
+  for (size_t i = 0; i < layout.partitions.size(); ++i) {
+    hull = hull.hull(
+        geom::Rect::from_size(layout.partition_pos[i], layout.partitions[i].size));
+  }
+  layout.bounds = hull;
+  return layout;
+}
+
+}  // namespace na

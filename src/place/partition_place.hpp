@@ -1,0 +1,32 @@
+// Partition placement (paper section 4.6.6) — the same gravity scheme one
+// level up: partitions are placed relative to each other, heaviest first,
+// most-connected next, minimising gravity-centre distance without overlap.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "place/box_place.hpp"
+
+namespace na {
+
+/// The finished hierarchy: every partition keeps its internal layout and
+/// gets an absolute origin; `bounds` is the overall placement bounding box
+/// (lower-left + size-placement in the paper).
+struct FullLayout {
+  std::vector<PartitionLayout> partitions;
+  std::vector<geom::Point> partition_pos;
+  geom::Rect bounds;
+
+  /// Absolute position of a subsystem terminal.
+  geom::Point term_pos(const Network& net, TermId t) const;
+};
+
+/// PARTITION_PLACEMENT: `spacing` is the -e option (extra tracks around
+/// each partition).  `fixed` optionally pins partition i at an absolute
+/// origin (incremental placement of a preplaced part, option -g).
+FullLayout place_partitions(const Network& net,
+                            std::vector<PartitionLayout> partitions, int spacing,
+                            const std::vector<std::optional<geom::Point>>& fixed = {});
+
+}  // namespace na

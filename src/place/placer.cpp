@@ -1,0 +1,110 @@
+#include "place/placer.hpp"
+
+#include "place/partition.hpp"
+#include "place/partition_place.hpp"
+#include "place/terminal_place.hpp"
+
+namespace na {
+namespace {
+
+/// Wraps the already-placed modules of a diagram into a pseudo partition
+/// layout pinned at its current location (Appendix E, option -g: "the
+/// preplaced part will form a partition on its own").
+PartitionLayout preplaced_layout(const Diagram& dia,
+                                 const std::vector<ModuleId>& fixed_modules,
+                                 geom::Rect hull) {
+  PartitionLayout part;
+  for (ModuleId m : fixed_modules) {
+    BoxLayout box;
+    box.modules = {m};
+    box.rot = {dia.placed(m).rot};
+    box.pos = {{0, 0}};
+    box.size = dia.module_size(m);
+    part.boxes.push_back(std::move(box));
+    part.box_pos.push_back(dia.placed(m).pos - hull.lo);
+  }
+  part.size = {hull.width(), hull.height()};
+  return part;
+}
+
+}  // namespace
+
+PlacementInfo place(Diagram& dia, const PlacerOptions& opt) {
+  const Network& net = dia.network();
+  PlacementInfo info;
+
+  // Split preplaced from free modules.
+  std::vector<ModuleId> fixed_modules;
+  std::vector<bool> free_mask(net.module_count(), false);
+  int free_count = 0;
+  for (ModuleId m = 0; m < net.module_count(); ++m) {
+    if (dia.module_placed(m)) {
+      fixed_modules.push_back(m);
+    } else {
+      free_mask[m] = true;
+      ++free_count;
+    }
+  }
+
+  if (net.module_count() == 0) {
+    // Degenerate: terminal-only network — spread terminals on a line.
+    int y = 0;
+    for (TermId st : net.system_terms()) {
+      if (!dia.system_term_placed(st)) dia.place_system_term(st, {0, y += 2});
+    }
+    return info;
+  }
+
+  std::vector<PartitionLayout> layouts;
+  std::vector<std::optional<geom::Point>> fixed_pos;
+  if (!fixed_modules.empty()) {
+    geom::Rect hull;
+    for (ModuleId m : fixed_modules) hull = hull.hull(dia.module_rect(m));
+    layouts.push_back(preplaced_layout(dia, fixed_modules, hull));
+    fixed_pos.push_back(hull.lo);
+    info.partitions.push_back(fixed_modules);
+    std::vector<Box> fixed_boxes;
+    for (ModuleId m : fixed_modules) fixed_boxes.push_back({m});
+    info.boxes.push_back(std::move(fixed_boxes));
+  }
+
+  if (free_count > 0) {
+    const PartitionLimits limits{opt.max_part_size, opt.max_connections};
+    auto partitions = partition_network(net, limits, free_mask);
+    for (auto& partition : partitions) {
+      auto boxes = form_boxes(net, partition, opt.max_box_size);
+      std::vector<BoxLayout> box_layouts;
+      box_layouts.reserve(boxes.size());
+      for (const Box& b : boxes) {
+        box_layouts.push_back(place_box_modules(net, b, opt.module_spacing));
+      }
+      layouts.push_back(place_boxes(net, std::move(box_layouts), opt.box_spacing));
+      fixed_pos.emplace_back(std::nullopt);
+      info.boxes.push_back(std::move(boxes));
+      info.partitions.push_back(std::move(partition));
+    }
+  }
+
+  FullLayout full =
+      place_partitions(net, std::move(layouts), opt.partition_spacing, fixed_pos);
+
+  // Commit absolute module positions.
+  for (size_t p = 0; p < full.partitions.size(); ++p) {
+    const PartitionLayout& part = full.partitions[p];
+    for (size_t b = 0; b < part.boxes.size(); ++b) {
+      const BoxLayout& box = part.boxes[b];
+      for (size_t i = 0; i < box.modules.size(); ++i) {
+        const ModuleId m = box.modules[i];
+        if (dia.module_placed(m)) continue;  // preplaced stays put
+        dia.place_module(m, full.partition_pos[p] + part.box_pos[b] + box.pos[i],
+                         box.rot[i]);
+      }
+    }
+  }
+
+  place_system_terminals(dia);
+  if (fixed_modules.empty()) dia.normalize();
+  return info;
+}
+
+}  // namespace na

@@ -1,0 +1,43 @@
+// The placement pipeline — the paper's PABLO program (chapter 4).
+//
+//   1. PARTITIONING        seed-and-grow functional groups  (-p, -c)
+//   2. BOX_FORMATION       longest signal-flow strings      (-b)
+//   3. MODULE_PLACEMENT    left-to-right within each box    (-s)
+//   4. BOX_PLACEMENT       gravity centres within partition (-i)
+//   5. PARTITION_PLACEMENT gravity centres globally         (-e)
+//   6. TERMINAL_PLACEMENT  system terminals on the ring
+//
+// Modules already placed in the diagram (preplaced, option -g) are kept:
+// they form a partition of their own that stays at its absolute position,
+// and the remaining modules are arranged around it.
+#pragma once
+
+#include <limits>
+
+#include "place/boxes.hpp"
+#include "schematic/diagram.hpp"
+
+namespace na {
+
+struct PlacerOptions {
+  int max_part_size = 1;  ///< -p: maximum modules per partition
+  int max_box_size = 1;   ///< -b: maximum string length
+  int max_connections = std::numeric_limits<int>::max();  ///< -c
+  int partition_spacing = 0;  ///< -e: extra tracks around each partition
+  int box_spacing = 0;        ///< -i: extra tracks around each box
+  int module_spacing = 0;     ///< -s: extra tracks around each module
+};
+
+/// The structural decomposition the placement produced, for inspection,
+/// tests, and the experiment harness.
+struct PlacementInfo {
+  std::vector<std::vector<ModuleId>> partitions;
+  std::vector<std::vector<Box>> boxes;  ///< boxes per partition, level order
+};
+
+/// Runs the full pipeline on `dia`, placing every unplaced module and
+/// system terminal.  The diagram is normalised to a (0,0) lower-left
+/// corner afterwards unless preplaced modules pin the coordinates.
+PlacementInfo place(Diagram& dia, const PlacerOptions& opt = {});
+
+}  // namespace na

@@ -1,0 +1,19 @@
+// System terminal placement (paper section 4.6.7, TERMINAL_PLACEMENT).
+//
+// The placed partitions give a bounding box; system terminals go on the
+// ring of free positions one track outside it, each at the spot closest to
+// the gravity centre of the terminals its net connects.  Because string
+// heads sit on the left, input terminals naturally land on the left and
+// output terminals on the right (rule 4).
+#pragma once
+
+#include "schematic/diagram.hpp"
+
+namespace na {
+
+/// Places every still-unplaced system terminal of the diagram.  Modules
+/// must already be placed.  Terminals whose net has no placed terminal yet
+/// fall back to a type-based side (in -> left edge, out -> right edge).
+void place_system_terminals(Diagram& dia);
+
+}  // namespace na

@@ -1,0 +1,111 @@
+#include "route/channel.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace na {
+
+ChannelResult left_edge_route(const ChannelProblem& p) {
+  // Gather each net's trunk interval over both pin rows.
+  std::map<int, ChannelTrunk> by_net;
+  auto account = [&](const std::vector<int>& pins) {
+    for (int col = 0; col < static_cast<int>(pins.size()); ++col) {
+      const int net = pins[col];
+      if (net == ChannelTrunk::kNoNet) continue;
+      auto [it, inserted] = by_net.try_emplace(net, ChannelTrunk{net, col, col, -1});
+      it->second.lo = std::min(it->second.lo, col);
+      it->second.hi = std::max(it->second.hi, col);
+    }
+  };
+  account(p.top);
+  account(p.bottom);
+
+  ChannelResult result;
+  for (auto& [net, trunk] : by_net) result.trunks.push_back(trunk);
+  // Left-edge order: by left endpoint, ties by right endpoint.
+  std::sort(result.trunks.begin(), result.trunks.end(),
+            [](const ChannelTrunk& a, const ChannelTrunk& b) {
+              return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+            });
+
+  // Fill tracks bottom-up, each as dense as possible with free segments.
+  std::vector<bool> assigned(result.trunks.size(), false);
+  size_t remaining = result.trunks.size();
+  int track = 0;
+  while (remaining > 0) {
+    ++track;
+    int reach = std::numeric_limits<int>::min();
+    for (size_t i = 0; i < result.trunks.size(); ++i) {
+      if (assigned[i]) continue;
+      if (result.trunks[i].lo > reach) {
+        result.trunks[i].track = track;
+        reach = result.trunks[i].hi;
+        assigned[i] = true;
+        --remaining;
+      }
+    }
+  }
+  result.tracks_used = track;
+
+  // Vertical constraints: at a column with both a top pin (net t) and a
+  // bottom pin (net b != t), net t's drop from the top edge must not cross
+  // net b's trunk — i.e. track(t) must exceed track(b).  Plain left-edge
+  // ignores this; report where it bites.
+  std::map<int, int> track_of;
+  for (const ChannelTrunk& t : result.trunks) track_of[t.net] = t.track;
+  const int cols = std::min(p.top.size(), p.bottom.size());
+  for (int col = 0; col < cols; ++col) {
+    const int t = p.top[col];
+    const int b = p.bottom[col];
+    if (t == ChannelTrunk::kNoNet || b == ChannelTrunk::kNoNet || t == b) continue;
+    if (track_of[t] <= track_of[b]) result.constraint_violations.push_back(col);
+  }
+  return result;
+}
+
+int channel_density(const ChannelProblem& p) {
+  std::map<int, std::pair<int, int>> span;
+  auto account = [&](const std::vector<int>& pins) {
+    for (int col = 0; col < static_cast<int>(pins.size()); ++col) {
+      const int net = pins[col];
+      if (net == ChannelTrunk::kNoNet) continue;
+      auto [it, inserted] = span.try_emplace(net, std::pair{col, col});
+      it->second.first = std::min(it->second.first, col);
+      it->second.second = std::max(it->second.second, col);
+    }
+  };
+  account(p.top);
+  account(p.bottom);
+  int density = 0;
+  for (int col = 0; col < p.columns(); ++col) {
+    int crossing = 0;
+    for (const auto& [net, s] : span) {
+      if (s.first <= col && col <= s.second) ++crossing;
+    }
+    density = std::max(density, crossing);
+  }
+  return density;
+}
+
+std::vector<std::vector<geom::Segment>> ChannelResult::wires(
+    const ChannelProblem& p) const {
+  std::vector<std::vector<geom::Segment>> out;
+  const int top_row = tracks_used + 1;
+  for (const ChannelTrunk& t : trunks) {
+    std::vector<geom::Segment> segs;
+    segs.push_back({{t.lo, t.track}, {t.hi, t.track}});
+    for (int col = t.lo; col <= t.hi; ++col) {
+      if (col < static_cast<int>(p.top.size()) && p.top[col] == t.net) {
+        segs.push_back({{col, t.track}, {col, top_row}});
+      }
+      if (col < static_cast<int>(p.bottom.size()) && p.bottom[col] == t.net) {
+        segs.push_back({{col, 0}, {col, t.track}});
+      }
+    }
+    out.push_back(std::move(segs));
+  }
+  return out;
+}
+
+}  // namespace na

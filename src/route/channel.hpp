@@ -1,0 +1,60 @@
+// Left-edge channel router baseline (paper section 5.2.4).
+//
+// A channel is a rectangular routing area with terminals on the top and
+// bottom edge only.  Each net reduces to a horizontal trunk interval
+// spanning its leftmost..rightmost pin column; the left-edge algorithm
+// fills one track at a time as densely as possible with non-overlapping
+// trunks.  The two classic limitations the paper lists — vertical
+// constraint loops and the opposite-side terminal requirement — are
+// surfaced rather than solved: vertical-constraint violations are reported
+// in the result.
+#pragma once
+
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace na {
+
+/// Pin columns of a channel: pins_top[i] / pins_bottom[i] give the net id at
+/// column i (kNone for no pin).
+struct ChannelProblem {
+  std::vector<int> top;
+  std::vector<int> bottom;
+
+  int columns() const { return static_cast<int>(top.size()); }
+};
+
+struct ChannelTrunk {
+  int net = kNoNet;
+  int lo = 0;  ///< leftmost pin column
+  int hi = 0;  ///< rightmost pin column
+  int track = -1;
+
+  static constexpr int kNoNet = -1;
+};
+
+struct ChannelResult {
+  std::vector<ChannelTrunk> trunks;  ///< one per net with >= 1 pin
+  int tracks_used = 0;
+  /// Columns where a net's vertical drop from the top pin passes the trunk
+  /// of the bottom pin's net placed on a lower track index (the classic
+  /// vertical constraint the plain left-edge router ignores).
+  std::vector<int> constraint_violations;
+
+  /// Wire geometry for rendering: the channel occupies rows 1..tracks_used,
+  /// top pins sit on row tracks_used + 1, bottom pins on row 0.  Returns,
+  /// per trunk, a polyline tree (trunk plus pin drops) flattened as a list
+  /// of segments.
+  std::vector<std::vector<geom::Segment>> wires(const ChannelProblem& p) const;
+};
+
+/// Runs the left-edge algorithm.  Track 1 is nearest the bottom edge.
+ChannelResult left_edge_route(const ChannelProblem& p);
+
+/// Channel density: the maximum number of trunks crossing any column —
+/// a lower bound on the number of tracks any channel router needs; the
+/// left-edge algorithm meets it when no vertical constraints interfere.
+int channel_density(const ChannelProblem& p);
+
+}  // namespace na

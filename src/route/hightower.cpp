@@ -1,0 +1,256 @@
+// Hightower line-search router baseline (paper section 5.2.3, Hightower [8]).
+//
+// Runs escape lines from both endpoints, alternating sides, picking a small
+// set of escape points per line (the origin projection and the line ends —
+// "if there is a multiple choice, the escape line nearest to the starting
+// terminal is taken").  Fast on simple mazes; famously *not* guaranteed to
+// find an existing connection — the paper cites exactly this draw-back as
+// the reason to move to line expansion, and the benches reproduce it.
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "route/router.hpp"
+
+namespace na {
+namespace {
+
+struct Line {
+  bool horizontal = false;
+  int index = 0;            ///< y for horizontal lines, x for vertical
+  int lo = 0, hi = 0;       ///< coordinate range along the line
+  geom::Point origin;       ///< escape point this line was drawn through
+  int parent = -1;          ///< index into the owning side's line list
+  int depth = 0;
+};
+
+geom::Point line_point(const Line& l, int coord) {
+  return l.horizontal ? geom::Point{coord, l.index} : geom::Point{l.index, coord};
+}
+
+struct Maze {
+  const RoutingGrid& grid;
+  const SearchProblem& prob;
+
+  bool cell_ok(geom::Point p, bool horizontal) const {
+    return grid.passable(p, prob.net, horizontal) && !grid.occupied_by(p, prob.net);
+  }
+
+  /// Is `q`, entered moving `d`, a completion of the search?  The arrival
+  /// point becomes a node of this net, so no foreign net may touch it.
+  bool is_goal(geom::Point q, geom::Dir d) const {
+    const bool arrivable =
+        grid.enterable(q, prob.net) && grid.node_free(q, prob.net);
+    if (prob.target && q == prob.target->p &&
+        (!prob.target->facing || d == geom::opposite(*prob.target->facing)) &&
+        arrivable) {
+      return true;
+    }
+    return prob.join_own_net && arrivable && grid.occupied_by(q, prob.net);
+  }
+};
+
+/// Extends a line from `from` through free cells in both (or one) direction;
+/// records a completion if the line runs into the goal.
+Line trace_line(const Maze& mz, geom::Point from, bool horizontal, int parent,
+                int depth, std::optional<geom::Dir> only_dir,
+                std::optional<geom::Point>* goal_hit) {
+  Line l;
+  l.horizontal = horizontal;
+  l.index = horizontal ? from.y : from.x;
+  const int start = horizontal ? from.x : from.y;
+  l.lo = l.hi = start;
+  l.origin = from;
+  l.parent = parent;
+  l.depth = depth;
+  const geom::Dir pos_dir = horizontal ? geom::Dir::Right : geom::Dir::Up;
+  const geom::Dir neg_dir = geom::opposite(pos_dir);
+  for (geom::Dir d : {pos_dir, neg_dir}) {
+    if (only_dir && *only_dir != d) continue;
+    int coord = start;
+    while (true) {
+      const geom::Point q = line_point(l, coord) + geom::delta(d);
+      if (goal_hit && !goal_hit->has_value() && mz.is_goal(q, d)) {
+        *goal_hit = q;
+        // The goal cell terminates the line; include it in the range so the
+        // traceback can bend onto it.
+        coord += (d == pos_dir) ? 1 : -1;
+        break;
+      }
+      if (!mz.cell_ok(q, horizontal)) break;
+      coord += (d == pos_dir) ? 1 : -1;
+    }
+    if (d == pos_dir) {
+      l.hi = coord;
+    } else {
+      l.lo = coord;
+    }
+  }
+  return l;
+}
+
+std::vector<geom::Point> traceback(const std::vector<Line>& lines, int idx,
+                                   geom::Point from) {
+  std::vector<geom::Point> pts{from};
+  while (idx != -1) {
+    const Line& l = lines[idx];
+    // Bend from the current point onto this line's origin: the current
+    // point lies on the line, so move along it to the origin first.
+    if (pts.back() != l.origin) pts.push_back(l.origin);
+    idx = l.parent;
+  }
+  return pts;
+}
+
+int count_bends(const std::vector<geom::Point>& pl) {
+  int bends = 0;
+  for (size_t i = 2; i < pl.size(); ++i) {
+    const bool ph = pl[i - 1].y == pl[i - 2].y && pl[i - 1].x != pl[i - 2].x;
+    const bool ch = pl[i].y == pl[i - 1].y && pl[i].x != pl[i - 1].x;
+    if (ph != ch) ++bends;
+  }
+  return bends;
+}
+
+int path_length(const std::vector<geom::Point>& pl) {
+  int len = 0;
+  for (size_t i = 1; i < pl.size(); ++i) len += manhattan(pl[i - 1], pl[i]);
+  return len;
+}
+
+}  // namespace
+
+std::optional<SearchResult> hightower_search(const RoutingGrid& grid,
+                                             const SearchProblem& prob) {
+  if (prob.starts.empty()) return std::nullopt;
+  constexpr int kMaxDepth = 40;
+  constexpr int kMaxLines = 4000;
+  const Maze mz{grid, prob};
+  long expansions = 0;
+
+  std::vector<Line> a_lines;
+  std::vector<Line> b_lines;
+  std::optional<geom::Point> a_goal;  // goal reached directly by an A line
+
+  auto finish_via = [&](const std::vector<Line>& lines, int idx,
+                        geom::Point goal) -> SearchResult {
+    auto pts = traceback(lines, idx, goal);
+    std::reverse(pts.begin(), pts.end());
+    SearchResult r;
+    r.cost.bends = count_bends(pts);
+    r.cost.length = path_length(pts);
+    r.expansions = expansions;
+    r.path = std::move(pts);
+    return r;
+  };
+
+  // Initial escape lines from every start (the start is a node of the net).
+  for (const SearchStart& s : prob.starts) {
+    if (!grid.node_free(s.p, prob.net)) continue;
+    if (s.dir) {
+      a_lines.push_back(trace_line(mz, s.p, geom::is_horizontal(*s.dir), -1, 0,
+                                   *s.dir, &a_goal));
+    } else {
+      a_lines.push_back(trace_line(mz, s.p, true, -1, 0, std::nullopt, &a_goal));
+      a_lines.push_back(trace_line(mz, s.p, false, -1, 0, std::nullopt, &a_goal));
+    }
+    if (a_goal) {
+      return finish_via(a_lines, static_cast<int>(a_lines.size()) - 1, *a_goal);
+    }
+  }
+  // Target-side lines only exist for fixed terminal destinations; join
+  // searches run single-sided.
+  if (prob.target) {
+    const geom::Dir entry = prob.target->facing ? *prob.target->facing
+                                                : geom::Dir::Right;
+    b_lines.push_back(
+        trace_line(mz, prob.target->p, geom::is_horizontal(entry), -1, 0,
+                   prob.target->facing, nullptr));
+  }
+
+  auto intersection = [&](const Line& x, const Line& y) -> std::optional<geom::Point> {
+    const Line& hl = x.horizontal ? x : y;
+    const Line& vl = x.horizontal ? y : x;
+    if (x.horizontal == y.horizontal) return std::nullopt;
+    if (vl.index < hl.lo || vl.index > hl.hi) return std::nullopt;
+    if (hl.index < vl.lo || hl.index > vl.hi) return std::nullopt;
+    const geom::Point p{vl.index, hl.index};
+    // Both nets bend at p (unless p is an endpoint of the whole search).
+    if (!grid.can_turn(p, prob.net) && !grid.occupied_by(p, prob.net) &&
+        !(prob.target && p == prob.target->p)) {
+      return std::nullopt;
+    }
+    return p;
+  };
+
+  auto check_cross_intersections =
+      [&](bool new_is_a, int new_idx) -> std::optional<SearchResult> {
+    const Line& nl = (new_is_a ? a_lines : b_lines)[new_idx];
+    const auto& others = new_is_a ? b_lines : a_lines;
+    for (int j = 0; j < static_cast<int>(others.size()); ++j) {
+      if (auto p = intersection(nl, others[j])) {
+        const int a_idx = new_is_a ? new_idx : j;
+        const int b_idx = new_is_a ? j : new_idx;
+        auto a_part = traceback(a_lines, a_idx, *p);
+        std::reverse(a_part.begin(), a_part.end());
+        auto b_part = traceback(b_lines, b_idx, *p);
+        // b_part starts at *p and walks to the target; drop its first point.
+        a_part.insert(a_part.end(), b_part.begin() + 1, b_part.end());
+        SearchResult r;
+        r.cost.bends = count_bends(a_part);
+        r.cost.length = path_length(a_part);
+        r.expansions = expansions;
+        r.path = std::move(a_part);
+        return r;
+      }
+    }
+    return std::nullopt;
+  };
+
+  // Seed intersections (straight or one-bend connections).
+  for (int i = 0; i < static_cast<int>(a_lines.size()); ++i) {
+    if (auto r = check_cross_intersections(true, i)) return r;
+  }
+
+  size_t a_next = 0;
+  size_t b_next = 0;
+  for (int depth = 1; depth <= kMaxDepth; ++depth) {
+    bool progressed = false;
+    for (bool side_a : {true, false}) {
+      auto& lines = side_a ? a_lines : b_lines;
+      size_t& next = side_a ? a_next : b_next;
+      const size_t end = lines.size();
+      for (size_t i = next; i < end; ++i) {
+        const Line l = lines[i];
+        ++expansions;
+        // Escape points: the origin projection and both line ends (nearest-
+        // to-origin first, per Hightower's tie rule).
+        int candidates[3] = {l.horizontal ? l.origin.x : l.origin.y, l.lo, l.hi};
+        for (int coord : candidates) {
+          if (coord < l.lo || coord > l.hi) continue;
+          const geom::Point ep = line_point(l, coord);
+          if (!grid.can_turn(ep, prob.net)) continue;
+          std::optional<geom::Point> goal;
+          Line nl = trace_line(mz, ep, !l.horizontal, static_cast<int>(i),
+                               depth, std::nullopt, side_a ? &goal : nullptr);
+          if (nl.lo == nl.hi && nl.origin == ep && !goal) continue;  // no escape
+          lines.push_back(nl);
+          progressed = true;
+          if (static_cast<int>(lines.size()) > kMaxLines) return std::nullopt;
+          if (side_a && goal) {
+            return finish_via(a_lines, static_cast<int>(a_lines.size()) - 1, *goal);
+          }
+          if (auto r = check_cross_intersections(side_a,
+                                                 static_cast<int>(lines.size()) - 1)) {
+            return r;
+          }
+        }
+      }
+      next = end;
+    }
+    if (!progressed) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace na

@@ -1,0 +1,18 @@
+// Lee maze router baseline (paper section 5.2.2, Lee [9]).
+//
+// Wave propagation from the start points; guarantees a minimum-*length*
+// connection whenever one exists, regardless of maze complexity.  It shares
+// the wavefront core with the line-expansion router but orders the open set
+// purely by path length, which is exactly the cost function of the simple
+// Lee algorithm the paper sketches.  Serves as the completeness oracle in
+// the test suite: line expansion must succeed whenever Lee does.
+#include "route/dijkstra.hpp"
+
+namespace na {
+
+std::optional<SearchResult> lee_search(const RoutingGrid& grid,
+                                       const SearchProblem& prob) {
+  return detail::grid_search(grid, prob, detail::CostMode::LengthOnly);
+}
+
+}  // namespace na

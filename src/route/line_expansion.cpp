@@ -1,0 +1,229 @@
+// The line-expansion router (paper chapter 5) and its shared search core.
+//
+// The search explores states (grid point, heading).  A straight step costs
+// one length unit (plus one crossing when it passes over a foreign
+// perpendicular net); a turn in place costs one bend and requires the whole
+// grid point to be free (a bend occupies both orientations).  With costs
+// ordered lexicographically (bends, crossings, length) the first goal state
+// popped is exactly the path section 5.4 asks for: minimum bends, then
+// minimum crossovers, then minimum wire length.  The `-s` option of
+// Appendix F swaps the last two keys.
+#include "route/dijkstra.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace na {
+namespace detail {
+namespace {
+
+constexpr std::uint64_t kUnvisited = std::numeric_limits<std::uint64_t>::max();
+
+struct Costs {
+  int bends = 0;
+  int crossings = 0;
+  int length = 0;
+};
+
+/// Packs the cost triple into one comparable 64-bit key.  Field widths:
+/// 20 bits per component (grids here are far smaller than 2^20 tracks).
+std::uint64_t pack(const Costs& c, CostMode mode) {
+  auto clamp20 = [](int v) {
+    return static_cast<std::uint64_t>(v) & ((1u << 20) - 1);
+  };
+  switch (mode) {
+    case CostMode::BendsCrossingsLength:
+      return (clamp20(c.bends) << 40) | (clamp20(c.crossings) << 20) |
+             clamp20(c.length);
+    case CostMode::BendsLengthCrossings:
+      return (clamp20(c.bends) << 40) | (clamp20(c.length) << 20) |
+             clamp20(c.crossings);
+    case CostMode::LengthOnly:
+      return clamp20(c.length);
+  }
+  return 0;
+}
+
+struct QueueEntry {
+  std::uint64_t key;
+  int state;
+  Costs costs;
+  bool operator>(const QueueEntry& o) const { return key > o.key; }
+};
+
+}  // namespace
+
+std::optional<SearchResult> grid_search(const RoutingGrid& grid,
+                                        const SearchProblem& prob, CostMode mode) {
+  if (prob.starts.empty()) return std::nullopt;
+  if (!prob.target && !prob.join_own_net) {
+    throw std::invalid_argument("search problem without destination");
+  }
+  const geom::Rect area = grid.area();
+  const int w = area.width() + 1;
+  const int h = area.height() + 1;
+  const int ncells = w * h;
+  const int nstates = ncells * 4;
+  const int goal_state = nstates;  // virtual goal
+
+  auto cell_index = [&](geom::Point p) {
+    return (p.y - area.lo.y) * w + (p.x - area.lo.x);
+  };
+  auto state_of = [&](geom::Point p, geom::Dir d) {
+    return cell_index(p) * 4 + static_cast<int>(d);
+  };
+  auto point_of = [&](int state) {
+    const int cell = state / 4;
+    return geom::Point{area.lo.x + cell % w, area.lo.y + cell / w};
+  };
+  auto dir_of = [&](int state) { return static_cast<geom::Dir>(state % 4); };
+
+  std::vector<std::uint64_t> best(nstates + 1, kUnvisited);
+  std::vector<int> parent(nstates + 1, -1);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> open;
+
+  auto relax = [&](int state, int from, const Costs& c) {
+    const std::uint64_t key = pack(c, mode);
+    if (key < best[state]) {
+      best[state] = key;
+      parent[state] = from;
+      open.push({key, state, c});
+    }
+  };
+
+  for (const SearchStart& s : prob.starts) {
+    // The start point becomes a node of this net as well.
+    if (!grid.in_bounds(s.p) || !grid.node_free(s.p, prob.net)) continue;
+    if (s.dir) {
+      relax(state_of(s.p, *s.dir), -1, {});
+    } else {
+      for (geom::Dir d : geom::kAllDirs) relax(state_of(s.p, d), -1, {});
+    }
+  }
+
+  long expansions = 0;
+  Costs goal_costs{};
+  while (!open.empty()) {
+    const QueueEntry e = open.top();
+    open.pop();
+    if (e.key != best[e.state]) continue;  // stale
+    if (e.state == goal_state) {
+      goal_costs = e.costs;
+      break;
+    }
+    if (++expansions > prob.max_expansions) return std::nullopt;
+
+    const geom::Point p = point_of(e.state);
+    const geom::Dir d = dir_of(e.state);
+    const NetId net = prob.net;
+
+    // Straight step: extend the escape line one track.
+    {
+      const geom::Point q = p + geom::delta(d);
+      const bool horiz = geom::is_horizontal(d);
+      Costs c = e.costs;
+      c.length += 1;
+      // Destination tests come first: a terminal cell is enterable only by
+      // its own net and join cells are occupied, so `passable` would veto
+      // them.
+      // Arrival makes q a node of this net, so no foreign net may touch q.
+      const bool arrivable = grid.enterable(q, net) && grid.node_free(q, net);
+      const bool is_target = prob.target && q == prob.target->p &&
+                             (!prob.target->facing ||
+                              d == geom::opposite(*prob.target->facing)) &&
+                             arrivable;
+      const bool is_join = prob.join_own_net && arrivable && grid.occupied_by(q, net);
+      if (is_target || is_join) {
+        relax(goal_state, e.state, c);
+      } else if (grid.passable(q, net, horiz) && !grid.occupied_by(q, net)) {
+        c.crossings += grid.crosses_at(q, net, horiz) ? 1 : 0;
+        relax(state_of(q, d), e.state, c);
+      }
+    }
+    // Turns: start a perpendicular expansion wave (one bend deeper).  The
+    // bend occupies the whole point, so both orientations must be free.
+    if (grid.can_turn(p, prob.net)) {
+      for (geom::Dir nd : geom::kAllDirs) {
+        if (geom::is_horizontal(nd) == geom::is_horizontal(d)) continue;
+        Costs c = e.costs;
+        c.bends += 1;
+        relax(state_of(p, nd), e.state, c);
+      }
+    }
+  }
+
+  if (best[goal_state] == kUnvisited) return std::nullopt;
+
+  // Trace back the state chain and compress it into polyline corners.
+  std::vector<geom::Point> chain;
+  for (int s = parent[goal_state]; s != -1; s = parent[s]) {
+    chain.push_back(point_of(s));
+  }
+  std::reverse(chain.begin(), chain.end());
+  chain.push_back(prob.target ? prob.target->p
+                              : point_of(parent[goal_state]) +
+                                    geom::delta(dir_of(parent[goal_state])));
+  std::vector<geom::Point> path;
+  for (const geom::Point& p : chain) {
+    if (!path.empty() && path.back() == p) continue;  // turn-in-place states
+    if (path.size() >= 2) {
+      const geom::Point& a = path[path.size() - 2];
+      const geom::Point& b = path.back();
+      const bool collinear = (a.x == b.x && b.x == p.x) || (a.y == b.y && b.y == p.y);
+      if (collinear) {
+        path.back() = p;
+        continue;
+      }
+    }
+    path.push_back(p);
+  }
+
+  SearchResult result;
+  result.path = std::move(path);
+  result.cost = {goal_costs.bends, goal_costs.crossings, goal_costs.length};
+  result.expansions = expansions;
+  return result;
+}
+
+}  // namespace detail
+
+std::optional<SearchResult> line_expansion_search(const RoutingGrid& grid,
+                                                  const SearchProblem& prob) {
+  const auto mode = prob.order == CostOrder::BendsLengthCrossings
+                        ? detail::CostMode::BendsLengthCrossings
+                        : detail::CostMode::BendsCrossingsLength;
+  return detail::grid_search(grid, prob, mode);
+}
+
+std::optional<SearchResult> straight_line(const RoutingGrid& grid, NetId net,
+                                          const SearchStart& a, const SearchTarget& b) {
+  const geom::Point pa = a.p;
+  const geom::Point pb = b.p;
+  if (pa.x != pb.x && pa.y != pb.y) return std::nullopt;
+  if (pa == pb) return std::nullopt;
+  const geom::Dir d = pa.x == pb.x ? (pb.y > pa.y ? geom::Dir::Up : geom::Dir::Down)
+                                   : (pb.x > pa.x ? geom::Dir::Right : geom::Dir::Left);
+  // Side compatibility (paper STRAIGHT_LINE): the start must exit toward the
+  // destination and the destination must accept entry from that direction.
+  if (a.dir && *a.dir != d) return std::nullopt;
+  // `facing` is the destination's outward side; entry runs against it.
+  if (b.facing && *b.facing != geom::opposite(d)) return std::nullopt;
+  const bool horiz = geom::is_horizontal(d);
+  int crossings = 0;
+  for (geom::Point p = pa + geom::delta(d); p != pb; p += geom::delta(d)) {
+    if (!grid.passable(p, net, horiz) || grid.occupied_by(p, net)) {
+      return std::nullopt;
+    }
+    crossings += grid.crosses_at(p, net, horiz) ? 1 : 0;
+  }
+  if (!grid.enterable(pb, net) || !grid.node_free(pb, net)) return std::nullopt;
+  SearchResult r;
+  r.path = {pa, pb};
+  r.cost = {0, crossings, manhattan(pa, pb)};
+  r.expansions = 0;
+  return r;
+}
+
+}  // namespace na

@@ -1,0 +1,47 @@
+#include "route/net_order.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace na {
+namespace {
+
+/// Half perimeter of the net's terminal bounding box: a routing-effort
+/// estimate available before any routing.
+int span_estimate(const Diagram& dia, NetId n) {
+  geom::Rect box;
+  for (TermId t : dia.network().net(n).terms) box = box.hull(dia.term_pos(t));
+  return box.empty() ? 0 : box.width() + box.height();
+}
+
+}  // namespace
+
+std::vector<NetId> order_nets(const Diagram& dia, NetOrderCriterion criterion) {
+  std::vector<NetId> order(dia.network().net_count());
+  std::iota(order.begin(), order.end(), 0);
+  auto stable_by = [&](auto key) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](NetId a, NetId b) { return key(a) < key(b); });
+  };
+  switch (criterion) {
+    case NetOrderCriterion::AsGiven:
+      break;
+    case NetOrderCriterion::ShortestFirst:
+      stable_by([&](NetId n) { return span_estimate(dia, n); });
+      break;
+    case NetOrderCriterion::LongestFirst:
+      stable_by([&](NetId n) { return -span_estimate(dia, n); });
+      break;
+    case NetOrderCriterion::FewestTermsFirst:
+      stable_by([&](NetId n) { return dia.network().net(n).terms.size(); });
+      break;
+    case NetOrderCriterion::MostTermsFirst:
+      stable_by([&](NetId n) {
+        return -static_cast<int>(dia.network().net(n).terms.size());
+      });
+      break;
+  }
+  return order;
+}
+
+}  // namespace na

@@ -1,0 +1,28 @@
+// Net-ordering criteria for the routing driver.
+//
+// Paper section 7 ("recommendations for further research"): "Routing of the
+// nets is done successively.  It is probably better to construct a certain
+// criterion for selecting the next net to be routed."  This module provides
+// the orderings the ablation bench compares.
+#pragma once
+
+#include <vector>
+
+#include "schematic/diagram.hpp"
+
+namespace na {
+
+enum class NetOrderCriterion {
+  AsGiven = 0,        ///< net-list order (the historical behaviour)
+  ShortestFirst = 1,  ///< ascending estimated span (terminal bounding box)
+  LongestFirst = 2,   ///< descending estimated span
+  FewestTermsFirst = 3,  ///< two-point nets before multi-point nets
+  MostTermsFirst = 4,
+};
+
+/// Returns the net ids to route, ordered by the criterion.  Nets without
+/// terminals (or already fully prerouted) are included; the driver skips
+/// what it must.
+std::vector<NetId> order_nets(const Diagram& dia, NetOrderCriterion criterion);
+
+}  // namespace na

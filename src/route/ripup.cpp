@@ -1,0 +1,61 @@
+#include "route/ripup.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace na {
+
+void rip_up(Diagram& dia, NetId n) { dia.route(n) = {}; }
+
+RouteReport reroute(Diagram& dia, std::span<const NetId> nets,
+                    const RouterOptions& opt) {
+  for (NetId n : nets) rip_up(dia, n);
+  return route_all(dia, opt);
+}
+
+RouteReport repair_failed(Diagram& dia, const RouterOptions& opt, int max_rounds,
+                          int victims_per_fail) {
+  RouteReport report = route_all(dia, opt);
+  for (int round = 0; round < max_rounds && report.nets_failed > 0; ++round) {
+    const Network& net = dia.network();
+    const RoutingGrid grid = build_grid(dia, opt.margin);
+    // Victims: routed nets occupying tracks near a failed net's terminals —
+    // the nets a human would shift aside.  The search window grows with
+    // each round.
+    const int radius = 2 + 2 * round;
+    std::unordered_set<NetId> to_rip(report.failed_nets.begin(),
+                                     report.failed_nets.end());
+    for (NetId failed : report.failed_nets) {
+      std::vector<NetId> victims;
+      for (TermId t : net.net(failed).terms) {
+        const Terminal& term = net.term(t);
+        const bool placeable = term.is_system() ? dia.system_term_placed(t)
+                                                : dia.module_placed(term.module);
+        if (!placeable) continue;
+        const geom::Point p = dia.term_pos(t);
+        for (int dx = -radius; dx <= radius; ++dx) {
+          for (int dy = -radius; dy <= radius; ++dy) {
+            const geom::Point q = p + geom::Point{dx, dy};
+            for (NetId occ : {grid.h_net(q), grid.v_net(q)}) {
+              if (occ != kNone && occ != failed && !dia.route(occ).prerouted &&
+                  std::find(victims.begin(), victims.end(), occ) == victims.end()) {
+                victims.push_back(occ);
+              }
+            }
+          }
+        }
+      }
+      for (int i = 0; i < victims_per_fail && i < static_cast<int>(victims.size());
+           ++i) {
+        to_rip.insert(victims[i]);
+      }
+    }
+    const std::vector<NetId> rip_list(to_rip.begin(), to_rip.end());
+    RouterOptions round_opt = opt;
+    round_opt.route_first = report.failed_nets;  // freed tracks go to them first
+    report = reroute(dia, rip_list, round_opt);
+  }
+  return report;
+}
+
+}  // namespace na

@@ -1,0 +1,29 @@
+// Rip-up and reroute — the paper's interactive repair workflow (section 6):
+// "After adjusting some nets by hand, the routing program was started again
+// to complete the diagram" / "A net in the network has been shifted by hand
+// and the diagram has been rerouted."
+#pragma once
+
+#include <span>
+
+#include "route/router.hpp"
+
+namespace na {
+
+/// Deletes a net's drawn geometry (keeps everything else).
+void rip_up(Diagram& dia, NetId n);
+
+/// Rips up the listed nets and routes everything still unconnected (the
+/// listed nets plus any net that had failed before).  Other nets' geometry
+/// stays as obstacles, exactly as in the historical rerun-after-fix flow.
+RouteReport reroute(Diagram& dia, std::span<const NetId> nets,
+                    const RouterOptions& opt = {});
+
+/// The full repair loop: while unrouted nets remain, rip up the `k` most
+/// recently routed neighbours crossing near each failed net's terminals and
+/// reroute; gives the router the slack a human edit used to provide.
+/// Returns the final report.  `max_rounds` bounds the loop.
+RouteReport repair_failed(Diagram& dia, const RouterOptions& opt = {},
+                          int max_rounds = 3, int victims_per_fail = 2);
+
+}  // namespace na

@@ -1,0 +1,16 @@
+// Terminal (text) rendering of a schematic diagram, mainly for tests,
+// examples and quick inspection: one character cell per grid track.
+#pragma once
+
+#include <string>
+
+#include "schematic/diagram.hpp"
+
+namespace na {
+
+/// Renders the diagram as ASCII art.  Module outlines use '+', '-', '|';
+/// nets use '-', '|', '+', with '#' marking crossings of two nets; module
+/// interiors show the first letters of the instance name; terminals 'o'.
+std::string to_ascii(const Diagram& dia);
+
+}  // namespace na

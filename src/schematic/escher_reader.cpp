@@ -1,0 +1,148 @@
+#include "schematic/escher_reader.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace na {
+namespace {
+
+struct NodeRec {
+  geom::Point pos;
+  int up = 0, down = 0, left = 0, right = 0;
+  std::string net_name;
+};
+
+[[noreturn]] void fail(int line_no, const std::string& why) {
+  throw std::runtime_error("escher diagram line " + std::to_string(line_no) +
+                           ": " + why);
+}
+
+std::vector<std::string> fields_of(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream iss(line);
+  std::string f;
+  while (iss >> f) out.push_back(f);
+  return out;
+}
+
+int to_int(const std::string& s, int line_no) {
+  try {
+    return std::stoi(s);
+  } catch (const std::exception&) {
+    fail(line_no, "expected integer, got '" + s + "'");
+  }
+}
+
+}  // namespace
+
+Diagram parse_escher_diagram(const Network& net, std::string_view text) {
+  Diagram dia(net);
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  bool have_header = false;
+
+  auto next_line = [&]() -> bool {
+    if (!std::getline(in, line)) return false;
+    ++line_no;
+    return true;
+  };
+  auto expect_tag = [&](const char* tag) -> std::string {
+    if (!next_line()) fail(line_no, std::string("expected ") + tag);
+    const auto f = fields_of(line);
+    if (f.size() < 2 || f[0] != tag) {
+      fail(line_no, std::string("expected ") + tag + " record");
+    }
+    return f[1];
+  };
+
+  std::vector<NodeRec> nodes;
+  std::optional<geom::Point> pending_contact;
+
+  while (next_line()) {
+    const auto f = fields_of(line);
+    if (f.empty()) continue;
+    const std::string& tag = f[0];
+    if (tag == "#TUE-ES-871") {
+      have_header = true;
+    } else if (tag == "temp:" || tag == "tname:" || tag == "lname:" ||
+               tag == "repr:" || tag == "contents:" || tag == "symbol:" ||
+               tag == "formal:") {
+      // structural records without per-element payload we need
+    } else if (tag == "contact:") {
+      // contact: b0 b1 t1 lb hb x y n t2 a  -> position at tokens 6,7
+      if (f.size() < 9) fail(line_no, "short contact record");
+      pending_contact = geom::Point{to_int(f[6], line_no), to_int(f[7], line_no)};
+    } else if (tag == "cname:" && pending_contact) {
+      const auto st = net.term_by_name(kNone, f.size() > 1 ? f[1] : "");
+      if (!st) fail(line_no, "unknown system terminal '" + (f.size() > 1 ? f[1] : "") + "'");
+      dia.place_system_term(*st, *pending_contact);
+      pending_contact.reset();
+    } else if (tag == "subsys:") {
+      // subsys: b0..b4 x y x1 y1 x2 y2 o t  -> lower-left at fields 7,8
+      if (f.size() < 14) fail(line_no, "short subsys record");
+      const geom::Point lower_left{to_int(f[8], line_no), to_int(f[9], line_no)};
+      const int rot = to_int(f[12], line_no);
+      if (rot < 0 || rot > 3) fail(line_no, "bad orientation");
+      const std::string inst = expect_tag("instname:");
+      expect_tag("tempname:");
+      expect_tag("libname:");
+      const auto m = net.module_by_name(inst);
+      if (!m) fail(line_no, "unknown instance '" + inst + "'");
+      dia.place_module(*m, lower_left, static_cast<geom::Rot>(rot),
+                       /*fixed=*/true);
+    } else if (tag == "node:") {
+      if (f.size() < 29) fail(line_no, "short node record");
+      NodeRec rec;
+      rec.pos = {to_int(f[6], line_no), to_int(f[7], line_no)};
+      rec.up = to_int(f[11], line_no);
+      rec.down = to_int(f[15], line_no);
+      rec.left = to_int(f[19], line_no);
+      rec.right = to_int(f[23], line_no);
+      rec.net_name = expect_tag("oname:");
+      expect_tag("cname:");
+      nodes.push_back(std::move(rec));
+    } else if (tag == "cname:" || tag == "oname:" || tag == "instname:" ||
+               tag == "tempname:" || tag == "libname:") {
+      fail(line_no, "stray " + tag + " record");
+    } else {
+      fail(line_no, "unknown record '" + tag + "'");
+    }
+  }
+  if (!have_header) throw std::runtime_error("escher diagram: missing #TUE-ES-871");
+
+  // Reassemble polylines: consecutive node records of one net continue the
+  // current polyline while the step to the next vertex matches the current
+  // vertex's outgoing segment length.
+  auto continues = [](const NodeRec& a, const NodeRec& b) {
+    const geom::Point d = b.pos - a.pos;
+    if (d.x != 0 && d.y != 0) return false;
+    if (d == geom::Point{0, 0}) return false;
+    if (d.x > 0) return a.right == d.x;
+    if (d.x < 0) return a.left == -d.x;
+    if (d.y > 0) return a.up == d.y;
+    return a.down == -d.y;
+  };
+  size_t i = 0;
+  while (i < nodes.size()) {
+    const auto n = net.net_by_name(nodes[i].net_name);
+    if (!n) {
+      throw std::runtime_error("escher diagram: unknown net '" + nodes[i].net_name +
+                               "'");
+    }
+    std::vector<geom::Point> pl{nodes[i].pos};
+    size_t j = i;
+    while (j + 1 < nodes.size() && nodes[j + 1].net_name == nodes[i].net_name &&
+           continues(nodes[j], nodes[j + 1])) {
+      pl.push_back(nodes[j + 1].pos);
+      ++j;
+    }
+    dia.add_polyline(*n, std::move(pl));
+    dia.route(*n).prerouted = true;
+    i = j + 1;
+  }
+  return dia;
+}
+
+}  // namespace na

@@ -1,0 +1,24 @@
+// ESCHER-style diagram reader (Appendix D subset) — the inverse of
+// to_escher_diagram, which is what the historical PABLO -g option consumed:
+// "The program will ask for the directory-name ... specifying the schematic
+// diagram of the preplaced part."
+//
+// The reader restores module positions/rotations, system terminal
+// positions, and net geometry (as polylines reassembled from the node
+// records) into a Diagram over the *same* network the file was written
+// from; instances/nets are matched by name.
+#pragma once
+
+#include <string_view>
+
+#include "schematic/diagram.hpp"
+
+namespace na {
+
+/// Parses a diagram file produced by to_escher_diagram.  Throws
+/// std::runtime_error with a line number on malformed input or on names
+/// that do not exist in `net`.  Net polylines are reassembled from
+/// consecutive node records; geometry is preserved segment-for-segment.
+Diagram parse_escher_diagram(const Network& net, std::string_view text);
+
+}  // namespace na

@@ -1,0 +1,28 @@
+// ESCHER-style file output (Appendix C/D subset).
+//
+// The historical generator emitted diagrams in the format of the ESCHER
+// schematic editor (header "#TUE-ES-871", template/representation records,
+// `subsys:` records per placed instance, `node:` records per net point).
+// ESCHER itself is not available; this writer reproduces the record
+// structure of Appendix C (module representations) and Appendix D (diagram
+// files) closely enough for archival and for byte-level round-trip tests,
+// serving as the interchange format of this library.
+#pragma once
+
+#include <string>
+
+#include "netlist/module_library.hpp"
+#include "schematic/diagram.hpp"
+
+namespace na {
+
+/// Appendix C: the representation file of one module template.
+std::string to_escher_template(const ModuleTemplate& t, long creation_time = 0);
+
+/// Appendix D: a full diagram file: header, representation bounding box,
+/// one `subsys:` record per placed module, one `node:` record per net
+/// polyline corner, plus system-terminal nodes.
+std::string to_escher_diagram(const Diagram& dia, const std::string& template_name,
+                              long creation_time = 0);
+
+}  // namespace na

@@ -1,0 +1,174 @@
+#include "schematic/grid.hpp"
+
+#include <stdexcept>
+
+namespace na {
+
+RoutingGrid::RoutingGrid(geom::Rect area) : area_(area) {
+  if (area.empty()) throw std::invalid_argument("routing area is empty");
+  width_ = area.width() + 1;
+  cells_.resize(static_cast<size_t>(width_) * (area.height() + 1));
+}
+
+RoutingGrid::Cell& RoutingGrid::at(geom::Point p) {
+  return cells_[static_cast<size_t>(p.y - area_.lo.y) * width_ + (p.x - area_.lo.x)];
+}
+
+const RoutingGrid::Cell& RoutingGrid::at(geom::Point p) const {
+  return cells_[static_cast<size_t>(p.y - area_.lo.y) * width_ + (p.x - area_.lo.x)];
+}
+
+void RoutingGrid::block(geom::Point p) {
+  if (in_bounds(p)) at(p).blocked = true;
+}
+
+void RoutingGrid::block_rect(geom::Rect r) {
+  const geom::Rect clipped = {{std::max(r.lo.x, area_.lo.x), std::max(r.lo.y, area_.lo.y)},
+                              {std::min(r.hi.x, area_.hi.x), std::min(r.hi.y, area_.hi.y)}};
+  for (int y = clipped.lo.y; y <= clipped.hi.y; ++y) {
+    for (int x = clipped.lo.x; x <= clipped.hi.x; ++x) {
+      at({x, y}).blocked = true;
+    }
+  }
+}
+
+void RoutingGrid::set_terminal(geom::Point p, NetId n) {
+  if (!in_bounds(p)) throw std::invalid_argument("terminal outside routing area");
+  Cell& c = at(p);
+  c.blocked = true;
+  c.owner = n;
+}
+
+void RoutingGrid::set_claim(geom::Point p, NetId n) {
+  if (in_bounds(p)) at(p).claim = n;
+}
+
+void RoutingGrid::clear_claim(geom::Point p) {
+  if (in_bounds(p)) at(p).claim = kNone;
+}
+
+bool RoutingGrid::blocked(geom::Point p) const {
+  return !in_bounds(p) || at(p).blocked;
+}
+
+NetId RoutingGrid::terminal_owner(geom::Point p) const {
+  return in_bounds(p) ? at(p).owner : kNone;
+}
+
+NetId RoutingGrid::claim_owner(geom::Point p) const {
+  return in_bounds(p) ? at(p).claim : kNone;
+}
+
+NetId RoutingGrid::h_net(geom::Point p) const { return in_bounds(p) ? at(p).h : kNone; }
+NetId RoutingGrid::v_net(geom::Point p) const { return in_bounds(p) ? at(p).v : kNone; }
+
+bool RoutingGrid::enterable(geom::Point p, NetId n) const {
+  if (!in_bounds(p)) return false;
+  const Cell& c = at(p);
+  if (c.blocked && c.owner != n) return false;
+  if (c.claim != kNone && c.claim != n) return false;
+  return true;
+}
+
+bool RoutingGrid::passable(geom::Point p, NetId n, bool horizontal) const {
+  if (!enterable(p, n)) return false;
+  const Cell& c = at(p);
+  return (horizontal ? c.h : c.v) == kNone;
+}
+
+bool RoutingGrid::can_turn(geom::Point p, NetId n) const {
+  if (!enterable(p, n)) return false;
+  const Cell& c = at(p);
+  return c.h == kNone && c.v == kNone;
+}
+
+bool RoutingGrid::crosses_at(geom::Point p, NetId n, bool horizontal) const {
+  if (!in_bounds(p)) return false;
+  const Cell& c = at(p);
+  const NetId other = horizontal ? c.v : c.h;
+  return other != kNone && other != n;
+}
+
+bool RoutingGrid::occupied_by(geom::Point p, NetId n) const {
+  if (!in_bounds(p)) return false;
+  const Cell& c = at(p);
+  return c.h == n || c.v == n;
+}
+
+bool RoutingGrid::node_free(geom::Point p, NetId n) const {
+  if (!in_bounds(p)) return false;
+  const Cell& c = at(p);
+  return (c.h == kNone || c.h == n) && (c.v == kNone || c.v == n);
+}
+
+void RoutingGrid::occupy_polyline(NetId n, std::span<const geom::Point> pts) {
+  auto take = [&](geom::Point p, bool horizontal) {
+    Cell& c = at(p);
+    NetId& slot = horizontal ? c.h : c.v;
+    if (slot != kNone && slot != n) {
+      throw std::logic_error("net overlap at " + geom::to_string(p));
+    }
+    slot = n;
+  };
+  for (size_t i = 1; i < pts.size(); ++i) {
+    const geom::Point a = pts[i - 1];
+    const geom::Point b = pts[i];
+    if (a.x != b.x && a.y != b.y) {
+      throw std::invalid_argument("polyline segment not axis-parallel");
+    }
+    const bool horizontal = a.y == b.y;
+    const geom::Point step = {a.x == b.x ? 0 : (b.x > a.x ? 1 : -1),
+                              a.y == b.y ? 0 : (b.y > a.y ? 1 : -1)};
+    if (a == b) continue;
+    for (geom::Point p = a;; p += step) {
+      take(p, horizontal);
+      if (p == b) break;
+    }
+  }
+}
+
+int RoutingGrid::crossing_count() const {
+  int count = 0;
+  for (const Cell& c : cells_) {
+    if (c.h != kNone && c.v != kNone && c.h != c.v) ++count;
+  }
+  return count;
+}
+
+RoutingGrid build_grid(const Diagram& dia, int margin) {
+  const Network& net = dia.network();
+  geom::Rect bounds = dia.placement_bounds();
+  if (bounds.empty()) throw std::invalid_argument("diagram has no placed elements");
+  // Include prerouted geometry in the plane.
+  for (const NetRoute& r : dia.routes()) {
+    for (const auto& pl : r.polylines) {
+      for (geom::Point p : pl) bounds = bounds.hull(p);
+    }
+  }
+  RoutingGrid grid(bounds.expanded(margin));
+
+  for (int m = 0; m < net.module_count(); ++m) {
+    if (dia.module_placed(m)) grid.block_rect(dia.module_rect(m));
+  }
+  // Connected terminals are entry points of their net; unconnected subsystem
+  // terminals stay plain module boundary.  System terminals get "type
+  // module" (section 5.6.3 ADD_OBSTACLE_BOUNDINGS) — blocked for all nets
+  // but their own.
+  for (int t = 0; t < net.term_count(); ++t) {
+    const Terminal& term = net.term(t);
+    if (term.is_system()) {
+      if (!dia.system_term_placed(t)) continue;
+      grid.set_terminal(dia.term_pos(t), term.net);  // kNone => pure obstacle
+    } else if (term.net != kNone && dia.module_placed(term.module)) {
+      grid.set_terminal(dia.term_pos(t), term.net);
+    }
+  }
+  // Prerouted nets are obstacles from the start.
+  for (NetId n = 0; n < net.net_count(); ++n) {
+    const NetRoute& r = dia.route(n);
+    for (const auto& pl : r.polylines) grid.occupy_polyline(n, pl);
+  }
+  return grid;
+}
+
+}  // namespace na

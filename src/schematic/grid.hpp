@@ -1,0 +1,104 @@
+// The routing plane: a bounded grid of tracks with obstacle and net
+// occupancy bookkeeping.
+//
+// This realises the obstacle model of paper section 5.6.2: module boundings
+// and placed system terminals are obstacles; routed nets occupy tracks and
+// may be *crossed* perpendicularly by other nets but never overlapped; a
+// bend of a net occupies both orientations of its grid point, so no other
+// net may pass there (the paper's "bends in nets" obstacles).  The border
+// of the plane acts as a module bounding (out-of-bounds is blocked).
+//
+// Per grid point the grid tracks:
+//   * blocked      — part of a module symbol / system terminal / plane edge,
+//   * owner        — terminal cell: only the owning net may enter,
+//   * h / v        — net occupying the point horizontally / vertically,
+//   * claim        — claimpoint reservation (section 5.7).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "netlist/network.hpp"
+#include "schematic/diagram.hpp"
+
+namespace na {
+
+class RoutingGrid {
+ public:
+  explicit RoutingGrid(geom::Rect area);
+
+  const geom::Rect& area() const { return area_; }
+  bool in_bounds(geom::Point p) const { return area_.contains(p); }
+
+  // ----- obstacle construction ----------------------------------------------
+  void block(geom::Point p);
+  void block_rect(geom::Rect r);
+  /// Marks a terminal cell: blocked for everyone except net `n`.
+  void set_terminal(geom::Point p, NetId n);
+  /// Claims `p` for net `n` (a temporary obstacle for all other nets).
+  void set_claim(geom::Point p, NetId n);
+  void clear_claim(geom::Point p);
+
+  // ----- state queries -------------------------------------------------------
+  bool blocked(geom::Point p) const;
+  NetId terminal_owner(geom::Point p) const;
+  NetId claim_owner(geom::Point p) const;
+  NetId h_net(geom::Point p) const;
+  NetId v_net(geom::Point p) const;
+
+  /// May net `n` be present at `p` at all (bounds, modules, claims,
+  /// foreign terminal cells)?
+  bool enterable(geom::Point p, NetId n) const;
+  /// May net `n` run through `p` in the given orientation?  Own occupancy
+  /// also blocks (re-using a track would overlap the net with itself; the
+  /// router treats own-net cells as join targets instead).
+  bool passable(geom::Point p, NetId n, bool horizontal) const;
+  /// May net `n` place a corner (or branch) at `p`?  Requires both
+  /// orientations free: a bend obstructs the whole point.
+  bool can_turn(geom::Point p, NetId n) const;
+  /// Does a move through `p` in the given orientation cross a foreign net?
+  bool crosses_at(geom::Point p, NetId n, bool horizontal) const;
+  /// Is `p` occupied by net `n` itself (either orientation)?
+  bool occupied_by(geom::Point p, NetId n) const;
+  /// May net `n` place a *node* (endpoint, corner, branch) at `p`?  Both
+  /// orientations must be free or already net `n`'s own: a node of one net
+  /// may not be touched by any other net.
+  bool node_free(geom::Point p, NetId n) const;
+
+  // ----- net commitment ------------------------------------------------------
+  /// Registers a routed polyline: every unit step of the chain occupies its
+  /// orientation at both endpoints of the step.  Re-occupation by the same
+  /// net is idempotent; occupation over a foreign net throws (internal
+  /// invariant violation — the router must never produce it).
+  void occupy_polyline(NetId n, std::span<const geom::Point> pts);
+
+  /// Statistics helper: number of grid points where two different nets
+  /// cross (one horizontal, one vertical).
+  int crossing_count() const;
+
+ private:
+  struct Cell {
+    NetId h = kNone;
+    NetId v = kNone;
+    NetId owner = kNone;
+    NetId claim = kNone;
+    bool blocked = false;
+  };
+
+  Cell& at(geom::Point p);
+  const Cell& at(geom::Point p) const;
+
+  geom::Rect area_;
+  int width_ = 0;  // number of columns
+  std::vector<Cell> cells_;
+};
+
+/// Builds the routing plane for a fully placed diagram: the placement
+/// bounding box expanded by `margin` empty tracks, with every module
+/// rectangle blocked, every connected terminal marked as its net's entry
+/// point, every system terminal blocked for foreign nets, and every
+/// prerouted polyline already occupied.
+RoutingGrid build_grid(const Diagram& dia, int margin = 4);
+
+}  // namespace na

@@ -1,0 +1,38 @@
+// Diagram quality metrics: the quantities the paper's rules 2-6 minimise
+// (wire length, bends, crossovers, branching nodes, left-to-right signal
+// flow) plus bookkeeping counters for the experiment harness.
+#pragma once
+
+#include <string>
+
+#include "schematic/diagram.hpp"
+
+namespace na {
+
+struct DiagramStats {
+  int modules = 0;
+  int nets = 0;
+  int routed = 0;
+  int unrouted = 0;
+  int wire_length = 0;    ///< total Manhattan length of all drawn nets
+  int bends = 0;          ///< corners over all polylines
+  int crossings = 0;      ///< grid points where two different nets cross
+  int branch_points = 0;  ///< grid points where one net has degree >= 3
+  int width = 0;          ///< placement bounding-box extent
+  int height = 0;
+  int flow_violations = 0;  ///< driver->sink terminal pairs running right-to-left
+
+  /// One-line summary for logs and benchmark output.
+  std::string summary() const;
+};
+
+/// Computes all metrics of a (partially) routed diagram.  Placement-only
+/// diagrams get zero routing counters but valid area / flow numbers.
+DiagramStats compute_stats(const Diagram& dia);
+
+/// Left-to-right flow violations of the placement alone: over all nets,
+/// ordered (out/inout, in) terminal pairs where the driver lies strictly
+/// right of the sink (rule 3 of section 3.2).
+int flow_violations(const Diagram& dia);
+
+}  // namespace na

@@ -1,0 +1,215 @@
+#include "schematic/validate.hpp"
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace na {
+namespace {
+
+std::uint64_t key_of(geom::Point p) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x)) << 32) |
+         static_cast<std::uint32_t>(p.y);
+}
+
+geom::Point point_of(std::uint64_t k) {
+  return {static_cast<std::int32_t>(k >> 32),
+          static_cast<std::int32_t>(k & 0xffffffffu)};
+}
+
+}  // namespace
+
+std::vector<std::string> validate_diagram(const Diagram& dia, bool require_all_routed) {
+  const Network& net = dia.network();
+  std::vector<std::string> problems;
+  auto report = [&](std::string msg) { problems.push_back(std::move(msg)); };
+
+  // --- placement: everything placed, no symbol overlap ----------------------
+  for (int m = 0; m < net.module_count(); ++m) {
+    if (!dia.module_placed(m)) report("module '" + net.module(m).name + "' unplaced");
+  }
+  for (TermId t : net.system_terms()) {
+    if (!dia.system_term_placed(t)) {
+      report("system terminal '" + net.term(t).name + "' unplaced");
+    }
+  }
+  for (int a = 0; a < net.module_count(); ++a) {
+    if (!dia.module_placed(a)) continue;
+    for (int b = a + 1; b < net.module_count(); ++b) {
+      if (!dia.module_placed(b)) continue;
+      if (dia.module_rect(a).overlaps(dia.module_rect(b))) {
+        report("modules '" + net.module(a).name + "' and '" + net.module(b).name +
+               "' overlap");
+      }
+    }
+  }
+  for (size_t i = 0; i < net.system_terms().size(); ++i) {
+    const TermId ti = net.system_terms()[i];
+    if (!dia.system_term_placed(ti)) continue;
+    const geom::Point pi = dia.term_pos(ti);
+    for (int m = 0; m < net.module_count(); ++m) {
+      if (dia.module_placed(m) && dia.module_rect(m).contains(pi)) {
+        report("system terminal '" + net.term(ti).name + "' overlaps module '" +
+               net.module(m).name + "'");
+      }
+    }
+    for (size_t j = i + 1; j < net.system_terms().size(); ++j) {
+      const TermId tj = net.system_terms()[j];
+      if (dia.system_term_placed(tj) && dia.term_pos(tj) == pi) {
+        report("system terminals '" + net.term(ti).name + "' and '" +
+               net.term(tj).name + "' coincide");
+      }
+    }
+  }
+  if (!problems.empty()) return problems;  // routing checks need full placement
+
+  // --- per-net terminal cells ------------------------------------------------
+  std::unordered_map<std::uint64_t, NetId> term_cell;  // point -> owning net
+  for (int t = 0; t < net.term_count(); ++t) {
+    const Terminal& term = net.term(t);
+    if (term.net == kNone) continue;
+    term_cell[key_of(dia.term_pos(t))] = term.net;
+  }
+
+  // --- routing geometry -------------------------------------------------------
+  std::unordered_map<std::uint64_t, NetId> h_occ;
+  std::unordered_map<std::uint64_t, NetId> v_occ;
+  // Points where a net has a corner, branch, or endpoint ("nodes"): no other
+  // net may touch these at all.
+  std::unordered_map<std::uint64_t, NetId> node_of;
+
+  for (NetId n = 0; n < net.net_count(); ++n) {
+    const NetRoute& r = dia.route(n);
+    if (require_all_routed && !r.routed && !net.net(n).terms.empty()) {
+      report("net '" + net.net(n).name + "' unrouted");
+    }
+    for (const auto& pl : r.polylines) {
+      if (pl.size() < 2) {
+        // A single point is only meaningful when joining at a terminal that
+        // already lies on the net; treat as node.
+        if (!pl.empty()) node_of[key_of(pl[0])] = n;
+        continue;
+      }
+      for (size_t i = 1; i < pl.size(); ++i) {
+        const geom::Point a = pl[i - 1];
+        const geom::Point b = pl[i];
+        if (a.x != b.x && a.y != b.y) {
+          report("net '" + net.net(n).name + "' has a non-orthogonal segment " +
+                 geom::to_string(a) + "-" + geom::to_string(b));
+          continue;
+        }
+        if (a == b) continue;
+        const bool horizontal = a.y == b.y;
+        const geom::Point step = {(b.x > a.x) - (b.x < a.x), (b.y > a.y) - (b.y < a.y)};
+        for (geom::Point p = a;; p += step) {
+          auto& occ = horizontal ? h_occ : v_occ;
+          auto [it, inserted] = occ.emplace(key_of(p), n);
+          if (!inserted && it->second != n) {
+            report("nets '" + net.net(n).name + "' and '" + net.net(it->second).name +
+                   "' overlap at " + geom::to_string(p));
+          }
+          if (p == b) break;
+        }
+      }
+      node_of[key_of(pl.front())] = n;
+      node_of[key_of(pl.back())] = n;
+      for (size_t i = 1; i + 1 < pl.size(); ++i) {
+        node_of[key_of(pl[i])] = n;  // corner
+      }
+    }
+  }
+
+  // --- nets vs module symbols and foreign terminals ---------------------------
+  auto check_point = [&](geom::Point p, NetId n) {
+    const auto tc = term_cell.find(key_of(p));
+    const bool own_terminal = tc != term_cell.end() && tc->second == n;
+    if (tc != term_cell.end() && tc->second != n) {
+      report("net '" + net.net(n).name + "' touches a foreign terminal at " +
+             geom::to_string(p));
+      return;
+    }
+    if (own_terminal) return;
+    for (int m = 0; m < net.module_count(); ++m) {
+      if (dia.module_rect(m).contains(p)) {
+        report("net '" + net.net(n).name + "' enters module '" + net.module(m).name +
+               "' at " + geom::to_string(p));
+        return;
+      }
+    }
+    for (TermId t : net.system_terms()) {
+      if (dia.term_pos(t) == p && net.term(t).net != n) {
+        report("net '" + net.net(n).name + "' covers system terminal '" +
+               net.term(t).name + "'");
+      }
+    }
+  };
+  for (const auto& [pt, n] : h_occ) check_point(point_of(pt), n);
+  for (const auto& [pt, n] : v_occ) {
+    if (auto it = h_occ.find(pt); it == h_occ.end() || it->second != n) {
+      check_point(point_of(pt), n);
+    }
+  }
+
+  // --- node contact rule: a corner/endpoint of net A may not be touched by
+  // any other net (crossing requires both straight through).
+  for (const auto& [pt, n] : node_of) {
+    for (const auto* occ : {&h_occ, &v_occ}) {
+      auto it = occ->find(pt);
+      if (it != occ->end() && it->second != n) {
+        report("net '" + net.net(it->second).name + "' touches a node of net '" +
+               net.net(n).name + "' at " + geom::to_string(point_of(pt)));
+      }
+    }
+  }
+
+  // --- connectivity: each routed net is one figure containing all terminals --
+  for (NetId n = 0; n < net.net_count(); ++n) {
+    const NetRoute& r = dia.route(n);
+    if (!r.routed) continue;
+    std::unordered_set<std::uint64_t> points;
+    for (const auto& pl : r.polylines) {
+      for (size_t i = 1; i < pl.size(); ++i) {
+        const geom::Point a = pl[i - 1];
+        const geom::Point b = pl[i];
+        if (a.x != b.x && a.y != b.y) continue;
+        const geom::Point step = {(b.x > a.x) - (b.x < a.x), (b.y > a.y) - (b.y < a.y)};
+        for (geom::Point p = a;; p += step) {
+          points.insert(key_of(p));
+          if (p == b) break;
+        }
+      }
+      if (!pl.empty()) points.insert(key_of(pl.front()));
+    }
+    if (points.empty()) {
+      report("net '" + net.net(n).name + "' marked routed but has no geometry");
+      continue;
+    }
+    // BFS over unit adjacency within the point set.
+    std::unordered_set<std::uint64_t> seen;
+    std::queue<std::uint64_t> frontier;
+    frontier.push(*points.begin());
+    seen.insert(*points.begin());
+    while (!frontier.empty()) {
+      const geom::Point p = point_of(frontier.front());
+      frontier.pop();
+      for (geom::Dir d : geom::kAllDirs) {
+        const std::uint64_t q = key_of(p + geom::delta(d));
+        if (points.contains(q) && seen.insert(q).second) frontier.push(q);
+      }
+    }
+    if (seen.size() != points.size()) {
+      report("net '" + net.net(n).name + "' geometry is disconnected");
+    }
+    for (TermId t : net.net(n).terms) {
+      if (!points.contains(key_of(dia.term_pos(t)))) {
+        report("net '" + net.net(n).name + "' does not reach terminal '" +
+               net.term(t).name + "'");
+      }
+    }
+  }
+
+  return problems;
+}
+
+}  // namespace na

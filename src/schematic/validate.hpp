@@ -1,0 +1,36 @@
+// Independent geometric validity checker for finished diagrams.
+//
+// This stands in for the paper's ESCHER simulation check (section 6: "to
+// check whether the routing has been done correctly, the schematic diagram
+// has been simulated") — instead of simulating, we verify the property the
+// simulation established: every routed net's drawn geometry actually
+// connects exactly its terminals, and no drawing rule is violated.
+//
+// Checked rules (paper sections 3.2 / 5.3 postconditions):
+//   * every module and system terminal is placed; no two symbols overlap;
+//   * net paths are orthogonal chains;
+//   * nets never enter a module symbol except at their own terminals, and
+//     never touch a foreign system terminal;
+//   * two different nets share a point only as a perpendicular crossing
+//     where both run straight through (no overlap, no corner contact);
+//   * every routed net's polylines form one connected figure containing
+//     all of the net's terminal positions.
+//
+// The checker is implemented independently of RoutingGrid (hash maps over
+// drawn geometry) so it can serve as an oracle for the router.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "schematic/diagram.hpp"
+
+namespace na {
+
+/// Returns human-readable violations; empty means the diagram is valid.
+/// Unrouted nets are not an error here (they are reported by metrics);
+/// pass `require_all_routed` to make them one.
+std::vector<std::string> validate_diagram(const Diagram& dia,
+                                          bool require_all_routed = false);
+
+}  // namespace na

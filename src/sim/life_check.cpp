@@ -1,0 +1,72 @@
+#include "sim/life_check.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace na::sim {
+
+std::array<bool, 9> life_reference_step(const std::array<bool, 9>& board) {
+  // On the 3x3 torus every cell sees every other cell exactly once.
+  int alive = 0;
+  for (bool b : board) alive += b ? 1 : 0;
+  std::array<bool, 9> next{};
+  for (int i = 0; i < 9; ++i) {
+    const int neighbours = alive - (board[i] ? 1 : 0);
+    next[i] = neighbours == 3 || (board[i] && neighbours == 2);
+  }
+  return next;
+}
+
+std::vector<std::string> verify_life(const Network& net,
+                                     const std::array<bool, 9>& initial,
+                                     int generations) {
+  std::vector<std::string> problems;
+  Simulator simulator(net);
+
+  std::array<ModuleId, 9> regs{};
+  for (int i = 0; i < 9; ++i) {
+    const std::string name =
+        "reg" + std::to_string(i / 3) + std::to_string(i % 3);
+    const auto m = net.module_by_name(name);
+    if (!m) {
+      problems.push_back("missing module '" + name + "'");
+      return problems;
+    }
+    regs[i] = *m;
+    simulator.set_state(*m, initial[i] ? 1 : 0);
+  }
+  for (TermId st : net.system_terms()) {
+    simulator.set_input(st, false);  // mode = 0 (run), rst = 0
+  }
+
+  std::array<bool, 9> expected = initial;
+  auto check_generation = [&](int gen) {
+    for (int i = 0; i < 9; ++i) {
+      const bool got = (simulator.state(regs[i]) & 1) != 0;
+      if (got != expected[i]) {
+        problems.push_back("generation " + std::to_string(gen) + ", cell " +
+                           std::to_string(i) + ": hardware says " +
+                           (got ? "alive" : "dead") + ", reference says " +
+                           (expected[i] ? "alive" : "dead"));
+      }
+    }
+    // The observation taps mirror the register states.
+    for (int i : {0, 4, 8}) {
+      const auto tap = net.net_by_name("alive" + std::to_string(i));
+      if (tap && simulator.value(*tap) != ((simulator.state(regs[i]) & 1) != 0)) {
+        problems.push_back("generation " + std::to_string(gen) + ": tap alive" +
+                           std::to_string(i) + " disagrees with its register");
+      }
+    }
+  };
+
+  simulator.settle();
+  check_generation(0);
+  for (int gen = 1; gen <= generations; ++gen) {
+    expected = life_reference_step(expected);
+    simulator.tick();
+    check_generation(gen);
+  }
+  return problems;
+}
+
+}  // namespace na::sim

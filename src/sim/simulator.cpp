@@ -1,0 +1,193 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace na::sim {
+namespace {
+
+/// Helper: behaviour from a plain combinational lambda over named terminals.
+Behavior comb(EvalFn fn) { return {std::move(fn), nullptr}; }
+
+bool in(Simulator& s, ModuleId m, const char* t) { return s.input(m, t); }
+
+}  // namespace
+
+std::unordered_map<std::string, Behavior> builtin_behaviors() {
+  std::unordered_map<std::string, Behavior> b;
+  b["buf"] = comb([](Simulator& s, ModuleId m) { s.output(m, "y", in(s, m, "a")); });
+  b["inv"] = comb([](Simulator& s, ModuleId m) { s.output(m, "y", !in(s, m, "a")); });
+  b["and2"] = comb([](Simulator& s, ModuleId m) {
+    s.output(m, "y", in(s, m, "a") && in(s, m, "b"));
+  });
+  b["or2"] = comb([](Simulator& s, ModuleId m) {
+    s.output(m, "y", in(s, m, "a") || in(s, m, "b"));
+  });
+  b["xor2"] = comb([](Simulator& s, ModuleId m) {
+    s.output(m, "y", in(s, m, "a") != in(s, m, "b"));
+  });
+  b["nand2"] = comb([](Simulator& s, ModuleId m) {
+    s.output(m, "y", !(in(s, m, "a") && in(s, m, "b")));
+  });
+  b["nor2"] = comb([](Simulator& s, ModuleId m) {
+    s.output(m, "y", !(in(s, m, "a") || in(s, m, "b")));
+  });
+  b["and3"] = comb([](Simulator& s, ModuleId m) {
+    s.output(m, "y", in(s, m, "a") && in(s, m, "b") && in(s, m, "c"));
+  });
+  b["mux2"] = comb([](Simulator& s, ModuleId m) {
+    s.output(m, "y", in(s, m, "s") ? in(s, m, "b") : in(s, m, "a"));
+  });
+  b["adder"] = comb([](Simulator& s, ModuleId m) {
+    const bool a = in(s, m, "a"), x = in(s, m, "b"), c = in(s, m, "cin");
+    s.output(m, "s", a != x != c);
+    s.output(m, "cout", (a && x) || (a && c) || (x && c));
+  });
+  b["alu"] = comb([](Simulator& s, ModuleId m) {
+    const bool y = in(s, m, "op") ? (in(s, m, "a") != in(s, m, "b"))
+                                  : (in(s, m, "a") && in(s, m, "b"));
+    s.output(m, "y", y);
+    s.output(m, "flags", !y);
+  });
+  b["ctrl"] = comb([](Simulator& s, ModuleId m) {
+    const bool i0 = in(s, m, "i0"), i1 = in(s, m, "i1");
+    s.output(m, "c0", i0);
+    s.output(m, "c1", i1);
+    s.output(m, "c2", i0 != i1);
+    s.output(m, "c3", i0 && i1);
+    s.output(m, "c4", i0 || i1);
+    s.output(m, "c5", !i0);
+    s.output(m, "c6", !i1);
+  });
+  b["dff"] = {[](Simulator& s, ModuleId m) {
+                const bool q = s.state(m) & 1;
+                s.output(m, "q", q);
+                s.output(m, "qn", !q);
+              },
+              [](Simulator& s, ModuleId m) -> std::uint64_t {
+                return in(s, m, "d") ? 1 : 0;
+              }};
+  b["reg"] = {[](Simulator& s, ModuleId m) { s.output(m, "q", s.state(m) & 1); },
+              [](Simulator& s, ModuleId m) -> std::uint64_t {
+                return in(s, m, "en") ? (in(s, m, "d") ? 1 : 0) : s.state(m);
+              }};
+
+  // ----- LIFE modules --------------------------------------------------------
+  b["life_sum"] = comb([](Simulator& s, ModuleId m) {
+    int count = 0;
+    for (int k = 0; k < 8; ++k) {
+      count += in(s, m, ("n" + std::to_string(k)).c_str()) ? 1 : 0;
+    }
+    for (int k = 0; k <= 8; ++k) {
+      s.output(m, ("c" + std::to_string(k)).c_str(), count == k);
+    }
+    for (int k = 0; k < 4; ++k) {
+      s.output(m, ("b" + std::to_string(k)).c_str(), ((count >> k) & 1) != 0);
+    }
+  });
+  b["life_rule"] = comb([](Simulator& s, ModuleId m) {
+    int count = 0;
+    for (int k = 0; k <= 8; ++k) {
+      if (in(s, m, ("c" + std::to_string(k)).c_str())) count = k;
+    }
+    const bool self = in(s, m, "self");
+    // Conway B3/S23; mode=1 freezes the board.
+    const bool next = in(s, m, "mode")
+                          ? self
+                          : (count == 3 || (self && count == 2));
+    s.output(m, "next", next);
+    s.output(m, "we", true);
+  });
+  b["life_reg"] = {[](Simulator& s, ModuleId m) {
+                     const bool q = s.state(m) & 1;
+                     for (int k = 0; k < 8; ++k) {
+                       s.output(m, ("q" + std::to_string(k)).c_str(), q);
+                     }
+                     s.output(m, "q_self", q);
+                     if (s.network().term_by_name(m, "q_tap")) {
+                       s.output(m, "q_tap", q);
+                     }
+                   },
+                   [](Simulator& s, ModuleId m) -> std::uint64_t {
+                     if (in(s, m, "rst")) return 0;
+                     if (in(s, m, "we")) return in(s, m, "d") ? 1 : 0;
+                     return s.state(m);
+                   }};
+  return b;
+}
+
+Simulator::Simulator(const Network& net)
+    : net_(&net),
+      values_(net.net_count(), false),
+      state_(net.module_count(), 0),
+      behaviors_(builtin_behaviors()) {}
+
+void Simulator::register_behavior(std::string template_name, Behavior b) {
+  behaviors_[std::move(template_name)] = std::move(b);
+}
+
+void Simulator::set_input(TermId system_term, bool v) {
+  const Terminal& t = net_->term(system_term);
+  if (!t.is_system()) throw std::invalid_argument("set_input: not a system terminal");
+  if (t.net == kNone) return;
+  values_.at(t.net) = v;
+}
+
+bool Simulator::value_at(TermId t) const {
+  const NetId n = net_->term(t).net;
+  return n == kNone ? false : values_.at(n);
+}
+
+void Simulator::drive(TermId t, bool v) {
+  const NetId n = net_->term(t).net;
+  if (n != kNone) values_.at(n) = v;
+}
+
+bool Simulator::input(ModuleId m, std::string_view term) const {
+  const auto t = net_->term_by_name(m, term);
+  if (!t) throw std::runtime_error("no terminal '" + std::string(term) + "' on '" +
+                                   net_->module(m).name + "'");
+  return value_at(*t);
+}
+
+void Simulator::output(ModuleId m, std::string_view term, bool v) {
+  const auto t = net_->term_by_name(m, term);
+  if (!t) throw std::runtime_error("no terminal '" + std::string(term) + "' on '" +
+                                   net_->module(m).name + "'");
+  drive(*t, v);
+}
+
+void Simulator::eval_all() {
+  for (ModuleId m = 0; m < net_->module_count(); ++m) {
+    const std::string& tmpl = net_->module(m).template_name;
+    const auto it = behaviors_.find(tmpl);
+    if (it == behaviors_.end()) {
+      throw std::runtime_error("no behaviour for template '" + tmpl + "' (module '" +
+                               net_->module(m).name + "')");
+    }
+    it->second.eval(*this, m);
+  }
+}
+
+void Simulator::settle(int max_passes) {
+  for (int pass = 0; pass < max_passes; ++pass) {
+    const std::vector<bool> before = values_;
+    eval_all();
+    if (values_ == before) return;
+  }
+  throw std::runtime_error("combinational logic did not settle (oscillation?)");
+}
+
+void Simulator::tick() {
+  settle();
+  std::vector<std::uint64_t> next = state_;
+  for (ModuleId m = 0; m < net_->module_count(); ++m) {
+    const auto it = behaviors_.find(net_->module(m).template_name);
+    if (it != behaviors_.end() && it->second.capture) {
+      next[m] = it->second.capture(*this, m);
+    }
+  }
+  state_ = std::move(next);
+  settle();
+}
+
+}  // namespace na::sim

@@ -1,0 +1,91 @@
+// Gate-level network simulator — the stand-in for the ESCHER simulator the
+// paper used to verify generated diagrams (section 6: "To check whether the
+// routing has been done correctly, the schematic diagram has been simulated
+// by the simulator in ESCHER+.  The results were positive.").
+//
+// Combined with validate_diagram (which proves the drawn geometry connects
+// exactly the net-list's terminals), simulating the net-list is equivalent
+// to simulating the artwork — which is precisely the check the paper ran.
+//
+// The model is synchronous two-valued logic:
+//   * combinational behaviours settle to a fixpoint each cycle
+//     (bounded iteration; non-converging feedback raises an error);
+//   * stateful behaviours (registers) capture their next state during
+//     tick() and publish it afterwards — standard two-phase semantics;
+//   * behaviours are looked up by module *template* name; the standard
+//     cell library and the LIFE modules are built in, custom templates can
+//     be registered.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace na::sim {
+
+class Simulator;
+
+/// Combinational evaluation: read input nets, write output nets.
+using EvalFn = std::function<void(Simulator&, ModuleId)>;
+/// State capture at the clock edge: compute the module's next state word.
+using CaptureFn = std::function<std::uint64_t(Simulator&, ModuleId)>;
+
+struct Behavior {
+  EvalFn eval;          ///< combinational outputs (may read state())
+  CaptureFn capture;    ///< empty for pure combinational modules
+};
+
+class Simulator {
+ public:
+  /// Builds a simulator with the built-in behaviours (standard cells +
+  /// LIFE modules).  Throws when the network contains a template without a
+  /// behaviour at settle() time, not before (so partial use works).
+  explicit Simulator(const Network& net);
+
+  /// Registers/overrides the behaviour of a template.
+  void register_behavior(std::string template_name, Behavior b);
+
+  // ----- value plane ----------------------------------------------------------
+  /// Drives a system input terminal.
+  void set_input(TermId system_term, bool v);
+  /// Value of a net (false when undriven).
+  bool value(NetId n) const { return values_.at(n); }
+  /// Value seen by any terminal (its net's value).
+  bool value_at(TermId t) const;
+  /// Writes an output terminal's net (used by behaviours).
+  void drive(TermId t, bool v);
+  /// Convenience: value of module terminal looked up by name.
+  bool input(ModuleId m, std::string_view term) const;
+  void output(ModuleId m, std::string_view term, bool v);
+
+  // ----- state plane ----------------------------------------------------------
+  std::uint64_t state(ModuleId m) const { return state_.at(m); }
+  void set_state(ModuleId m, std::uint64_t s) { state_.at(m) = s; }
+
+  // ----- execution -------------------------------------------------------------
+  /// Propagates combinational logic to a fixpoint.  Throws std::runtime_error
+  /// on oscillation (no fixpoint within max_passes) or a missing behaviour.
+  void settle(int max_passes = 64);
+  /// One synchronous clock edge: capture all register inputs, update state,
+  /// settle.
+  void tick();
+
+  const Network& network() const { return *net_; }
+
+ private:
+  void eval_all();
+
+  const Network* net_;
+  std::vector<bool> values_;        // per net
+  std::vector<std::uint64_t> state_;  // per module
+  std::unordered_map<std::string, Behavior> behaviors_;
+};
+
+/// The built-in behaviour table (standard cells and LIFE modules); exposed
+/// for tests.
+std::unordered_map<std::string, Behavior> builtin_behaviors();
+
+}  // namespace na::sim

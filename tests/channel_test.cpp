@@ -1,0 +1,134 @@
+// Unit tests for the left-edge channel router baseline (section 5.2.4).
+#include <gtest/gtest.h>
+
+#include "gen/channel_gen.hpp"
+#include "route/channel.hpp"
+
+namespace na {
+namespace {
+
+constexpr int X = ChannelTrunk::kNoNet;
+
+TEST(ChannelDensity, Simple) {
+  // Nets 0: cols 0-4, 1: cols 2-6, 2: cols 5-8 -> max overlap 2.
+  ChannelProblem p;
+  p.top = {0, X, 1, X, 0, 2, 1, X, X};
+  p.bottom = {X, X, X, X, X, X, X, X, 2};
+  EXPECT_EQ(channel_density(p), 2);
+}
+
+TEST(LeftEdge, SingleNet) {
+  ChannelProblem p;
+  p.top = {0, X, 0};
+  p.bottom = {X, X, X};
+  const ChannelResult r = left_edge_route(p);
+  ASSERT_EQ(r.trunks.size(), 1u);
+  EXPECT_EQ(r.trunks[0].lo, 0);
+  EXPECT_EQ(r.trunks[0].hi, 2);
+  EXPECT_EQ(r.trunks[0].track, 1);
+  EXPECT_EQ(r.tracks_used, 1);
+}
+
+TEST(LeftEdge, DisjointNetsShareATrack) {
+  ChannelProblem p;
+  p.top = {0, 0, X, 1, 1};
+  p.bottom = {};
+  const ChannelResult r = left_edge_route(p);
+  EXPECT_EQ(r.tracks_used, 1);
+  EXPECT_EQ(r.trunks[0].track, r.trunks[1].track);
+}
+
+TEST(LeftEdge, OverlappingNetsStack) {
+  ChannelProblem p;
+  p.top = {0, 1, X, 0, 1};
+  p.bottom = {};
+  const ChannelResult r = left_edge_route(p);
+  EXPECT_EQ(r.tracks_used, 2);
+  EXPECT_NE(r.trunks[0].track, r.trunks[1].track);
+}
+
+TEST(LeftEdge, MeetsDensityOnRandomChannels) {
+  // The classic left-edge optimality: tracks used == channel density
+  // (ignoring vertical constraints).
+  for (unsigned seed = 1; seed <= 10; ++seed) {
+    gen::ChannelGenOptions opt;
+    opt.columns = 24;
+    opt.nets = 10;
+    opt.seed = seed;
+    const ChannelProblem p = gen::random_channel(opt);
+    const ChannelResult r = left_edge_route(p);
+    EXPECT_EQ(r.tracks_used, channel_density(p)) << "seed " << seed;
+  }
+}
+
+TEST(LeftEdge, TrunksNeverOverlapOnATrack) {
+  for (unsigned seed = 1; seed <= 10; ++seed) {
+    gen::ChannelGenOptions opt;
+    opt.columns = 30;
+    opt.nets = 14;
+    opt.seed = seed;
+    const ChannelResult r = left_edge_route(gen::random_channel(opt));
+    for (size_t i = 0; i < r.trunks.size(); ++i) {
+      for (size_t j = i + 1; j < r.trunks.size(); ++j) {
+        if (r.trunks[i].track != r.trunks[j].track) continue;
+        const bool disjoint = r.trunks[i].hi < r.trunks[j].lo ||
+                              r.trunks[j].hi < r.trunks[i].lo;
+        EXPECT_TRUE(disjoint) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(LeftEdge, DetectsVerticalConstraintViolation) {
+  // Column 1: net 1 on top, net 0 on bottom.  Net 1's trunk must be above
+  // net 0's for the drops not to collide.  Interval structure forces the
+  // left-edge order to put net 0 first (lower track), so if net 0 is the
+  // *top* pin elsewhere this column flags.
+  ChannelProblem p;
+  p.top = {0, 1, X};
+  p.bottom = {X, 0, 1};
+  // Trunks: net 0 cols 0-1, net 1 cols 1-2 -> both overlap, two tracks;
+  // left-edge assigns net 0 track 1, net 1 track 2.  Column 1: top net 1
+  // (track 2) over bottom net 0 (track 1): fine.  Column 2: no top pin.
+  const ChannelResult ok = left_edge_route(p);
+  EXPECT_TRUE(ok.constraint_violations.empty());
+
+  ChannelProblem bad;
+  bad.top = {1, 0, X};
+  bad.bottom = {X, 1, 0};
+  // Net 1 cols 0-1 gets track 1; net 0 cols 1-2 track 2.  Column 1: top
+  // net 0 (track 2) must drop past net 1's trunk... top pin 0 on track 2 is
+  // above net 1 track 1: fine again.  Construct a real violation:
+  ChannelProblem worse;
+  worse.top = {0, 1};
+  worse.bottom = {1, 0};
+  // Trunks both span 0-1, two tracks; net 0 track 1 (left-edge order by
+  // net id at same interval), net 1 track 2.  Column 0: top 0 (track 1)
+  // with bottom 1 (track 2): t's track <= b's -> violation flagged.
+  const ChannelResult r = left_edge_route(worse);
+  EXPECT_FALSE(r.constraint_violations.empty());
+}
+
+TEST(LeftEdge, WireGeometry) {
+  ChannelProblem p;
+  p.top = {0, X, 0};
+  p.bottom = {X, 0, X};
+  const ChannelResult r = left_edge_route(p);
+  const auto wires = r.wires(p);
+  ASSERT_EQ(wires.size(), 1u);
+  // Trunk + two top drops + one bottom drop.
+  EXPECT_EQ(wires[0].size(), 4u);
+  // Every segment is axis-parallel.
+  for (const geom::Segment& s : wires[0]) {
+    EXPECT_TRUE(s.horizontal() || s.vertical());
+  }
+}
+
+TEST(LeftEdge, EmptyChannel) {
+  const ChannelResult r = left_edge_route({});
+  EXPECT_EQ(r.tracks_used, 0);
+  EXPECT_TRUE(r.trunks.empty());
+}
+
+}  // namespace
+}  // namespace na

@@ -1,0 +1,349 @@
+// Unit tests for the diagram model, the metrics, the validity checker and
+// the output writers.
+#include <gtest/gtest.h>
+
+#include "netlist/module_library.hpp"
+#include "schematic/ascii_writer.hpp"
+#include "schematic/escher_writer.hpp"
+#include "schematic/metrics.hpp"
+#include "schematic/svg_writer.hpp"
+#include "schematic/validate.hpp"
+
+namespace na {
+namespace {
+
+Network pair_net() {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  lib.instantiate(net, "buf", "b0");
+  lib.instantiate(net, "buf", "b1");
+  const NetId n = net.add_net("n0");
+  net.connect(n, *net.term_by_name(0, "y"));
+  net.connect(n, *net.term_by_name(1, "a"));
+  return net;
+}
+
+TEST(Diagram, PlacementState) {
+  const Network net = pair_net();
+  Diagram dia(net);
+  EXPECT_FALSE(dia.module_placed(0));
+  EXPECT_FALSE(dia.all_placed());
+  dia.place_module(0, {0, 0});
+  dia.place_module(1, {10, 0});
+  EXPECT_TRUE(dia.module_placed(0));
+  EXPECT_TRUE(dia.all_placed());  // no system terminals
+  EXPECT_EQ(dia.module_rect(1), (geom::Rect{{10, 0}, {14, 2}}));
+  EXPECT_EQ(dia.placement_bounds(), (geom::Rect{{0, 0}, {14, 2}}));
+}
+
+TEST(Diagram, RotatedTerminals) {
+  const Network net = pair_net();
+  Diagram dia(net);
+  // buf: a at (0,1), y at (4,1), size 4x2.
+  dia.place_module(0, {0, 0}, geom::Rot::R180);
+  EXPECT_EQ(dia.module_size(0), (geom::Point{4, 2}));
+  // After 180: y lands at (0,1) relative -> facing left.
+  EXPECT_EQ(dia.term_pos(*net.term_by_name(0, "y")), (geom::Point{0, 1}));
+  EXPECT_EQ(dia.term_facing(*net.term_by_name(0, "y")), geom::Side::Left);
+  dia.place_module(1, {10, 0}, geom::Rot::R90);
+  EXPECT_EQ(dia.module_size(1), (geom::Point{2, 4}));
+  // a at (0,1) -> R90 -> (size.y - 1, 0) = (1, 0), facing down.
+  EXPECT_EQ(dia.term_pos(*net.term_by_name(1, "a")), (geom::Point{11, 0}));
+  EXPECT_EQ(dia.term_facing(*net.term_by_name(1, "a")), geom::Side::Down);
+}
+
+TEST(Diagram, SystemTerminals) {
+  Network net;
+  const TermId st = net.add_system_terminal("x", TermType::In);
+  Diagram dia(net);
+  EXPECT_FALSE(dia.system_term_placed(st));
+  EXPECT_THROW(dia.term_pos(st), std::logic_error);
+  dia.place_system_term(st, {5, 5});
+  EXPECT_EQ(dia.term_pos(st), (geom::Point{5, 5}));
+  EXPECT_THROW(dia.term_facing(st), std::logic_error);
+}
+
+TEST(Diagram, TranslateAndNormalize) {
+  const Network net = pair_net();
+  Diagram dia(net);
+  dia.place_module(0, {5, 7});
+  dia.place_module(1, {15, 7});
+  dia.add_polyline(0, {{9, 8}, {15, 8}});
+  dia.translate({-5, -7});
+  EXPECT_EQ(dia.placed(0).pos, (geom::Point{0, 0}));
+  EXPECT_EQ(dia.route(0).polylines[0][0], (geom::Point{4, 1}));
+  dia.translate({3, 3});
+  dia.normalize();
+  EXPECT_EQ(dia.placement_bounds().lo, (geom::Point{0, 0}));
+}
+
+TEST(NetRoute, LengthAndBends) {
+  NetRoute r;
+  r.polylines.push_back({{0, 0}, {5, 0}, {5, 3}, {2, 3}});
+  EXPECT_EQ(r.total_length(), 11);
+  EXPECT_EQ(r.bend_count(), 2);
+  r.polylines.push_back({{3, 3}, {3, 6}});
+  EXPECT_EQ(r.total_length(), 14);
+  EXPECT_EQ(r.bend_count(), 2);
+}
+
+TEST(Metrics, CountsCrossingsAndBranches) {
+  const Network net = pair_net();
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  dia.place_module(1, {20, 0});
+  // Net 0 as an L; add an extra net crossing it (not electrically present —
+  // metrics work from geometry, so draw it on net 0's route list... use a
+  // second network instead).
+  Network net2;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  lib.instantiate(net2, "buf", "b0");
+  const NetId a = net2.add_net("a");
+  const NetId b = net2.add_net("b");
+  (void)a;
+  (void)b;
+  Diagram d2(net2);
+  d2.place_module(0, {0, 0});
+  d2.add_polyline(a, {{6, 0}, {12, 0}, {12, 6}});   // corner at (12,0)
+  d2.add_polyline(b, {{9, -3}, {9, 3}});            // crosses a's horizontal
+  const DiagramStats s = compute_stats(d2);
+  EXPECT_EQ(s.crossings, 1);
+  EXPECT_EQ(s.bends, 1);
+  EXPECT_EQ(s.wire_length, 18);
+  EXPECT_EQ(s.branch_points, 0);
+}
+
+TEST(Metrics, BranchPoints) {
+  Network net;
+  const NetId n = net.add_net("n");
+  (void)n;
+  net.add_module("m", "", {2, 2});
+  Diagram dia(net);
+  dia.place_module(0, {100, 100});  // far away
+  dia.add_polyline(0, {{0, 0}, {10, 0}});
+  dia.add_polyline(0, {{5, 5}, {5, 0}});  // T-junction at (5,0)
+  const DiagramStats s = compute_stats(dia);
+  EXPECT_EQ(s.branch_points, 1);
+  EXPECT_EQ(s.crossings, 0);  // same net: no crossing
+}
+
+TEST(Metrics, FlowViolations) {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  lib.instantiate(net, "buf", "b0");
+  lib.instantiate(net, "buf", "b1");
+  const NetId n = net.add_net("n0");
+  net.connect(n, *net.term_by_name(0, "y"));
+  net.connect(n, *net.term_by_name(1, "a"));
+  Diagram dia(net);
+  // Driver right of sink: one violation.
+  dia.place_module(0, {20, 0});
+  dia.place_module(1, {0, 0});
+  EXPECT_EQ(flow_violations(dia), 1);
+  // Flip: none.
+  Diagram dia2(net);
+  dia2.place_module(0, {0, 0});
+  dia2.place_module(1, {20, 0});
+  EXPECT_EQ(flow_violations(dia2), 0);
+}
+
+// --- validator ----------------------------------------------------------------
+
+Diagram routed_pair(const Network& net) {
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  dia.place_module(1, {10, 0});
+  dia.add_polyline(0, {{4, 1}, {10, 1}});
+  dia.route(0).routed = true;
+  return dia;
+}
+
+TEST(Validate, AcceptsGoodDiagram) {
+  const Network net = pair_net();
+  const Diagram dia = routed_pair(net);
+  EXPECT_TRUE(validate_diagram(dia, true).empty());
+}
+
+TEST(Validate, DetectsUnplaced) {
+  const Network net = pair_net();
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  EXPECT_FALSE(validate_diagram(dia).empty());
+}
+
+TEST(Validate, DetectsModuleOverlap) {
+  const Network net = pair_net();
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  dia.place_module(1, {3, 1});
+  const auto problems = validate_diagram(dia);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("overlap"), std::string::npos);
+}
+
+TEST(Validate, DetectsNetThroughModule) {
+  const Network net = pair_net();
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  dia.place_module(1, {10, 0});
+  dia.add_polyline(0, {{4, 1}, {12, 1}});  // ends inside module b1
+  dia.route(0).routed = true;
+  const auto problems = validate_diagram(dia);
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(Validate, DetectsNetOverlap) {
+  Network net;
+  net.add_module("m", "", {2, 2});
+  net.add_net("a");
+  net.add_net("b");
+  Diagram dia(net);
+  dia.place_module(0, {50, 50});
+  dia.add_polyline(0, {{0, 0}, {10, 0}});
+  dia.add_polyline(1, {{5, 0}, {8, 0}});
+  const auto problems = validate_diagram(dia);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("overlap"), std::string::npos);
+}
+
+TEST(Validate, AllowsPerpendicularCrossing) {
+  Network net;
+  net.add_module("m", "", {2, 2});
+  net.add_net("a");
+  net.add_net("b");
+  Diagram dia(net);
+  dia.place_module(0, {50, 50});
+  dia.add_polyline(0, {{0, 5}, {10, 5}});
+  dia.add_polyline(1, {{5, 0}, {5, 10}});
+  EXPECT_TRUE(validate_diagram(dia).empty());
+}
+
+TEST(Validate, RejectsCrossingAtCorner) {
+  Network net;
+  net.add_module("m", "", {2, 2});
+  net.add_net("a");
+  net.add_net("b");
+  Diagram dia(net);
+  dia.place_module(0, {50, 50});
+  dia.add_polyline(0, {{0, 5}, {5, 5}, {5, 10}});  // corner at (5,5)
+  dia.add_polyline(1, {{5, 0}, {5, 5}});           // endpoint touches the corner
+  EXPECT_FALSE(validate_diagram(dia).empty());
+}
+
+TEST(Validate, DetectsDisconnectedNet) {
+  const Network net = pair_net();
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  dia.place_module(1, {10, 0});
+  dia.add_polyline(0, {{4, 1}, {6, 1}});
+  dia.add_polyline(0, {{8, 1}, {10, 1}});  // gap between 6 and 8
+  dia.route(0).routed = true;
+  const auto problems = validate_diagram(dia);
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(Validate, DetectsMissedTerminal) {
+  const Network net = pair_net();
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  dia.place_module(1, {10, 0});
+  dia.add_polyline(0, {{4, 1}, {9, 1}});  // stops short of b1.a
+  dia.route(0).routed = true;
+  const auto problems = validate_diagram(dia, true);
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(Validate, RequireAllRoutedFlag) {
+  const Network net = pair_net();
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  dia.place_module(1, {10, 0});
+  EXPECT_TRUE(validate_diagram(dia, false).empty());
+  EXPECT_FALSE(validate_diagram(dia, true).empty());
+}
+
+// --- writers --------------------------------------------------------------------
+
+TEST(Writers, Svg) {
+  const Network net = pair_net();
+  const Diagram dia = routed_pair(net);
+  const std::string svg = to_svg(dia);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("b0"), std::string::npos);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+  EXPECT_NE(svg.find("n0"), std::string::npos);
+}
+
+TEST(Writers, Ascii) {
+  const Network net = pair_net();
+  const Diagram dia = routed_pair(net);
+  const std::string art = to_ascii(dia);
+  EXPECT_NE(art.find('+'), std::string::npos);   // module corners
+  EXPECT_NE(art.find('-'), std::string::npos);   // wire or edge
+  EXPECT_NE(art.find('o'), std::string::npos);   // terminals
+  EXPECT_NE(art.find("b0"), std::string::npos);  // instance name
+  EXPECT_EQ(to_ascii(Diagram(net)), "(empty diagram)\n");
+}
+
+TEST(Writers, AsciiMarksCrossings) {
+  Network net;
+  net.add_module("m", "", {2, 2});
+  net.add_net("a");
+  net.add_net("b");
+  Diagram dia(net);
+  dia.place_module(0, {50, 50});
+  dia.add_polyline(0, {{0, 5}, {10, 5}});
+  dia.add_polyline(1, {{5, 0}, {5, 10}});
+  EXPECT_NE(to_ascii(dia).find('#'), std::string::npos);
+}
+
+TEST(Writers, EscherTemplate) {
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  const std::string es = to_escher_template(*lib.find("and2"));
+  EXPECT_EQ(es.find("#TUE-ES-871"), 0u);
+  EXPECT_NE(es.find("tname: and2"), std::string::npos);
+  EXPECT_NE(es.find("cname: a"), std::string::npos);
+  EXPECT_NE(es.find("contents: 0 0"), std::string::npos);
+}
+
+TEST(Writers, EscherDiagram) {
+  const Network net = pair_net();
+  const Diagram dia = routed_pair(net);
+  const std::string es = to_escher_diagram(dia, "top");
+  EXPECT_EQ(es.find("#TUE-ES-871"), 0u);
+  EXPECT_NE(es.find("instname: b0"), std::string::npos);
+  EXPECT_NE(es.find("tempname: buf"), std::string::npos);
+  EXPECT_NE(es.find("node:"), std::string::npos);
+  EXPECT_NE(es.find("oname: n0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace na
+
+#include "schematic/eps_writer.hpp"
+
+namespace na {
+namespace {
+
+TEST(Writers, Eps) {
+  const Network net = pair_net();
+  const Diagram dia = routed_pair(net);
+  const std::string eps = to_eps(dia);
+  EXPECT_EQ(eps.find("%!PS-Adobe-3.0 EPSF-3.0"), 0u);
+  EXPECT_NE(eps.find("%%BoundingBox:"), std::string::npos);
+  EXPECT_NE(eps.find("(b0)"), std::string::npos);  // module label
+  EXPECT_NE(eps.find("closepath s"), std::string::npos);
+  EXPECT_NE(eps.find("%%EOF"), std::string::npos);
+}
+
+TEST(Writers, EpsEmptyDiagramStillWellFormed) {
+  Network net;
+  Diagram dia(net);
+  const std::string eps = to_eps(dia);
+  EXPECT_EQ(eps.find("%!PS"), 0u);
+  EXPECT_NE(eps.find("%%EOF"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace na

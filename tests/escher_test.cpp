@@ -1,0 +1,83 @@
+// Round-trip tests for the ESCHER-style diagram format: writer -> reader
+// preserves placement and net geometry, enabling the historical -g
+// (preplaced part from file) workflow.
+#include <gtest/gtest.h>
+
+#include "core/generator.hpp"
+#include "gen/chain.hpp"
+#include "gen/controller.hpp"
+#include "schematic/escher_reader.hpp"
+#include "schematic/escher_writer.hpp"
+#include "schematic/validate.hpp"
+
+namespace na {
+namespace {
+
+TEST(EscherRoundTrip, PlacementOnly) {
+  const Network net = gen::controller_network();
+  Diagram dia(net);
+  PlacerOptions opt;
+  opt.max_part_size = 5;
+  place(dia, opt);
+  const std::string text = to_escher_diagram(dia, "ctrl16");
+  const Diagram back = parse_escher_diagram(net, text);
+  for (int m = 0; m < net.module_count(); ++m) {
+    EXPECT_EQ(back.placed(m).pos, dia.placed(m).pos) << net.module(m).name;
+    EXPECT_EQ(back.placed(m).rot, dia.placed(m).rot) << net.module(m).name;
+  }
+  for (TermId st : net.system_terms()) {
+    EXPECT_EQ(back.term_pos(st), dia.term_pos(st));
+  }
+}
+
+TEST(EscherRoundTrip, RoutedGeometryPreserved) {
+  const Network net = gen::chain_network({});
+  GeneratorOptions opt;
+  opt.placer.max_part_size = 7;
+  opt.placer.max_box_size = 7;
+  GeneratorResult result;
+  const Diagram dia = generate_diagram(net, opt, &result);
+  ASSERT_EQ(result.route.nets_failed, 0);
+
+  const Diagram back = parse_escher_diagram(net, to_escher_diagram(dia, "chain"));
+  for (NetId n = 0; n < net.net_count(); ++n) {
+    EXPECT_EQ(back.route(n).polylines, dia.route(n).polylines)
+        << net.net(n).name;
+    EXPECT_TRUE(back.route(n).prerouted);
+  }
+  // The restored diagram is still geometrically valid.
+  EXPECT_TRUE(validate_diagram(back).empty());
+}
+
+TEST(EscherRoundTrip, RestoredDiagramActsAsPreroute) {
+  // Restore a routed diagram from file, then run the generator: nothing to
+  // do, everything already connected.
+  const Network net = gen::chain_network({});
+  GeneratorOptions opt;
+  opt.placer.max_part_size = 7;
+  opt.placer.max_box_size = 7;
+  const Diagram dia = generate_diagram(net, opt);
+  Diagram back = parse_escher_diagram(net, to_escher_diagram(dia, "chain"));
+  const RouteReport report = route_all(back, opt.router);
+  EXPECT_EQ(report.connections_made, 0);
+  EXPECT_EQ(report.nets_failed, 0);
+  EXPECT_EQ(report.nets_routed, net.net_count());
+}
+
+TEST(EscherReader, Errors) {
+  const Network net = gen::chain_network({});
+  EXPECT_THROW(parse_escher_diagram(net, "no header\n"), std::runtime_error);
+  EXPECT_THROW(parse_escher_diagram(net, "#TUE-ES-871\nbogus: 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_escher_diagram(net,
+                                    "#TUE-ES-871\n"
+                                    "subsys: 1 1 1 1 0 0 0 0 0 4 2 0 0\n"
+                                    "instname: nosuch\n"
+                                    "tempname: buf\nlibname: l\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_escher_diagram(net, "#TUE-ES-871\nsubsys: 1 1\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace na

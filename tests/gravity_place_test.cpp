@@ -1,0 +1,226 @@
+// Unit tests for the gravity placement engine (box/partition placement,
+// sections 4.6.5/4.6.6) and the system terminal placement (4.6.7).
+#include <gtest/gtest.h>
+
+#include "gen/controller.hpp"
+#include "netlist/module_library.hpp"
+#include "place/box_place.hpp"
+#include "place/gravity.hpp"
+#include "place/partition_place.hpp"
+#include "place/terminal_place.hpp"
+
+namespace na {
+namespace {
+
+TEST(NearestFreePosition, IdealWhenFree) {
+  EXPECT_EQ(nearest_free_position({5, 5}, {2, 2}, {}, 0), (geom::Point{5, 5}));
+}
+
+TEST(NearestFreePosition, DodgesOverlap) {
+  const std::vector<geom::Rect> placed{geom::Rect::from_size({0, 0}, {10, 10})};
+  const geom::Point p = nearest_free_position({4, 4}, {2, 2}, placed, 0);
+  EXPECT_FALSE(geom::Rect::from_size(p, {2, 2}).overlaps(placed[0]));
+  // Nearest free spot: just outside one face of the block.
+  const std::int64_t d2 = geom::dist2(p, {4, 4});
+  EXPECT_LE(d2, 49);  // within reach of the block faces
+}
+
+TEST(NearestFreePosition, RespectsSpacing) {
+  const std::vector<geom::Rect> placed{geom::Rect::from_size({0, 0}, {4, 4})};
+  const geom::Point p = nearest_free_position({0, 0}, {2, 2}, placed, 3);
+  EXPECT_FALSE(
+      geom::Rect::from_size(p, {2, 2}).expanded(3).overlaps(placed[0]));
+}
+
+TEST(NearestFreePosition, ExactNearest) {
+  // With a wall on the left, the nearest free x must be just right of it.
+  std::vector<geom::Rect> placed{geom::Rect::from_size({0, 0}, {10, 100})};
+  const geom::Point p = nearest_free_position({5, 50}, {2, 2}, placed, 0);
+  EXPECT_EQ(p, (geom::Point{11, 50}));
+}
+
+GravityItem item(geom::Point size, int weight,
+                 std::vector<std::pair<NetId, geom::Point>> terms) {
+  GravityItem it;
+  it.size = size;
+  it.weight = weight;
+  it.terms = std::move(terms);
+  return it;
+}
+
+TEST(GravityPlace, HeaviestFirstAtOrigin) {
+  const std::vector<GravityItem> items{
+      item({4, 4}, 1, {{0, {4, 2}}}),
+      item({6, 6}, 5, {{0, {0, 3}}}),
+  };
+  const auto pos = gravity_place(items, 0);
+  EXPECT_EQ(pos[1], (geom::Point{0, 0}));
+}
+
+TEST(GravityPlace, NoOverlaps) {
+  std::vector<GravityItem> items;
+  for (int i = 0; i < 8; ++i) {
+    items.push_back(item({5, 3 + i % 3}, i,
+                         {{i % 3, {0, 1}}, {(i + 1) % 3, {5, 1}}}));
+  }
+  const auto pos = gravity_place(items, 1);
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (size_t j = i + 1; j < items.size(); ++j) {
+      EXPECT_FALSE(geom::Rect::from_size(pos[i], items[i].size)
+                       .overlaps(geom::Rect::from_size(pos[j], items[j].size)))
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(GravityPlace, ConnectedItemsLandClose) {
+  // Three items: 0 and 1 share a net, 2 is unrelated.  1 must end up
+  // nearer to 0 than 2's distance-by-default.
+  const std::vector<GravityItem> items{
+      item({4, 4}, 3, {{0, {4, 2}}}),
+      item({4, 4}, 1, {{0, {0, 2}}}),
+      item({4, 4}, 2, {}),
+  };
+  const auto pos = gravity_place(items, 0);
+  const auto d01 = geom::dist2(pos[0], pos[1]);
+  const auto d02 = geom::dist2(pos[0], pos[2]);
+  EXPECT_LT(d01, d02);
+}
+
+TEST(GravityPlace, FixedItemsStay) {
+  std::vector<GravityItem> items{
+      item({4, 4}, 1, {{0, {4, 2}}}),
+      item({4, 4}, 9, {{0, {0, 2}}}),
+  };
+  items[0].fixed_pos = geom::Point{100, 100};
+  const auto pos = gravity_place(items, 0);
+  EXPECT_EQ(pos[0], (geom::Point{100, 100}));
+  // The second is pulled toward the fixed one.
+  EXPECT_LT(geom::dist2(pos[1], {100, 100}), 2000);
+}
+
+// --- box / partition placement over real layouts --------------------------------
+
+TEST(PlaceBoxes, PartitionHullStartsAtOrigin) {
+  const Network net = gen::controller_network();
+  std::vector<BoxLayout> boxes;
+  for (ModuleId m = 0; m < 4; ++m) {
+    boxes.push_back(place_box_modules(net, {m}, 0));
+  }
+  const PartitionLayout part = place_boxes(net, std::move(boxes), 0);
+  geom::Rect hull;
+  for (size_t b = 0; b < part.boxes.size(); ++b) {
+    hull = hull.hull(geom::Rect::from_size(part.box_pos[b], part.boxes[b].size));
+  }
+  EXPECT_EQ(hull.lo, (geom::Point{0, 0}));
+  EXPECT_EQ(hull.width(), part.size.x);
+  EXPECT_EQ(hull.height(), part.size.y);
+}
+
+TEST(PlaceBoxes, NoBoxOverlap) {
+  const Network net = gen::controller_network();
+  std::vector<BoxLayout> boxes;
+  for (ModuleId m = 0; m < net.module_count(); ++m) {
+    boxes.push_back(place_box_modules(net, {m}, 0));
+  }
+  const PartitionLayout part = place_boxes(net, std::move(boxes), 0);
+  for (size_t a = 0; a < part.boxes.size(); ++a) {
+    for (size_t b = a + 1; b < part.boxes.size(); ++b) {
+      EXPECT_FALSE(
+          geom::Rect::from_size(part.box_pos[a], part.boxes[a].size)
+              .overlaps(geom::Rect::from_size(part.box_pos[b], part.boxes[b].size)));
+    }
+  }
+}
+
+TEST(PlacePartitions, NoPartitionOverlapAndTermLookup) {
+  const Network net = gen::controller_network();
+  std::vector<PartitionLayout> parts;
+  for (int half = 0; half < 2; ++half) {
+    std::vector<BoxLayout> boxes;
+    for (ModuleId m = half * 8; m < (half + 1) * 8; ++m) {
+      boxes.push_back(place_box_modules(net, {m}, 0));
+    }
+    parts.push_back(place_boxes(net, std::move(boxes), 0));
+  }
+  const FullLayout full = place_partitions(net, std::move(parts), 2);
+  ASSERT_EQ(full.partition_pos.size(), 2u);
+  EXPECT_FALSE(
+      geom::Rect::from_size(full.partition_pos[0], full.partitions[0].size)
+          .overlaps(
+              geom::Rect::from_size(full.partition_pos[1], full.partitions[1].size)));
+  // Terminal lookup resolves through the hierarchy.
+  const TermId t = *net.term_by_name(0, "i0");
+  EXPECT_NO_THROW(full.term_pos(net, t));
+}
+
+// --- terminal placement -----------------------------------------------------------
+
+Network two_port() {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  const ModuleId b = lib.instantiate(net, "buf", "b0");
+  const TermId in = net.add_system_terminal("x", TermType::In);
+  const TermId out = net.add_system_terminal("y", TermType::Out);
+  const NetId n0 = net.add_net("n0");
+  net.connect(n0, in);
+  net.connect(n0, *net.term_by_name(b, "a"));
+  const NetId n1 = net.add_net("n1");
+  net.connect(n1, *net.term_by_name(b, "y"));
+  net.connect(n1, out);
+  return net;
+}
+
+TEST(TerminalPlace, OnRingAroundPlacement) {
+  const Network net = two_port();
+  Diagram dia(net);
+  dia.place_module(0, {10, 10});
+  place_system_terminals(dia);
+  const geom::Rect ring = geom::Rect::from_size({10, 10}, {4, 2}).expanded(1);
+  for (TermId st : net.system_terms()) {
+    ASSERT_TRUE(dia.system_term_placed(st));
+    EXPECT_TRUE(ring.on_boundary(dia.term_pos(st)))
+        << geom::to_string(dia.term_pos(st));
+  }
+}
+
+TEST(TerminalPlace, InputLeftOutputRight) {
+  const Network net = two_port();
+  Diagram dia(net);
+  dia.place_module(0, {10, 10});
+  place_system_terminals(dia);
+  const geom::Point in_pos = dia.term_pos(net.system_terms()[0]);
+  const geom::Point out_pos = dia.term_pos(net.system_terms()[1]);
+  EXPECT_LT(in_pos.x, out_pos.x);  // rule 4: inputs left, outputs right
+}
+
+TEST(TerminalPlace, NoCoincidentTerminals) {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  lib.instantiate(net, "buf", "b0");
+  // Many unconnected inputs all gravitating to the same fallback spot.
+  for (int i = 0; i < 6; ++i) {
+    net.add_system_terminal("t" + std::to_string(i), TermType::In);
+  }
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  place_system_terminals(dia);
+  for (size_t i = 0; i < net.system_terms().size(); ++i) {
+    for (size_t j = i + 1; j < net.system_terms().size(); ++j) {
+      EXPECT_NE(dia.term_pos(net.system_terms()[i]),
+                dia.term_pos(net.system_terms()[j]));
+    }
+  }
+}
+
+TEST(TerminalPlace, KeepsPreplaced) {
+  const Network net = two_port();
+  Diagram dia(net);
+  dia.place_module(0, {10, 10});
+  dia.place_system_term(net.system_terms()[0], {0, 0});
+  place_system_terminals(dia);
+  EXPECT_EQ(dia.term_pos(net.system_terms()[0]), (geom::Point{0, 0}));
+}
+
+}  // namespace
+}  // namespace na

@@ -1,0 +1,191 @@
+// Unit tests for the routing grid: obstacle bookkeeping, passability,
+// crossing/turn rules, claimpoints and grid construction from diagrams.
+#include <gtest/gtest.h>
+
+#include "netlist/module_library.hpp"
+#include "schematic/grid.hpp"
+
+namespace na {
+namespace {
+
+TEST(RoutingGrid, Bounds) {
+  RoutingGrid g({{0, 0}, {9, 9}});
+  EXPECT_TRUE(g.in_bounds({0, 0}));
+  EXPECT_TRUE(g.in_bounds({9, 9}));
+  EXPECT_FALSE(g.in_bounds({10, 0}));
+  EXPECT_FALSE(g.in_bounds({-1, 5}));
+  // Out of bounds is blocked (the border of the plane is an obstacle).
+  EXPECT_TRUE(g.blocked({-1, 0}));
+  EXPECT_FALSE(g.blocked({5, 5}));
+  EXPECT_THROW(RoutingGrid(geom::Rect{}), std::invalid_argument);
+}
+
+TEST(RoutingGrid, BlockRect) {
+  RoutingGrid g({{0, 0}, {9, 9}});
+  g.block_rect({{2, 2}, {4, 4}});
+  EXPECT_TRUE(g.blocked({2, 2}));
+  EXPECT_TRUE(g.blocked({4, 4}));
+  EXPECT_TRUE(g.blocked({3, 3}));
+  EXPECT_FALSE(g.blocked({5, 4}));
+  // Clipping against the plane is silent.
+  g.block_rect({{8, 8}, {20, 20}});
+  EXPECT_TRUE(g.blocked({9, 9}));
+}
+
+TEST(RoutingGrid, TerminalOwnership) {
+  RoutingGrid g({{0, 0}, {9, 9}});
+  g.set_terminal({3, 3}, 7);
+  EXPECT_TRUE(g.blocked({3, 3}));
+  EXPECT_EQ(g.terminal_owner({3, 3}), 7);
+  EXPECT_TRUE(g.enterable({3, 3}, 7));
+  EXPECT_FALSE(g.enterable({3, 3}, 8));
+  EXPECT_THROW(g.set_terminal({99, 0}, 1), std::invalid_argument);
+}
+
+TEST(RoutingGrid, Claims) {
+  RoutingGrid g({{0, 0}, {9, 9}});
+  g.set_claim({4, 4}, 2);
+  EXPECT_EQ(g.claim_owner({4, 4}), 2);
+  EXPECT_TRUE(g.enterable({4, 4}, 2));
+  EXPECT_FALSE(g.enterable({4, 4}, 3));
+  EXPECT_FALSE(g.passable({4, 4}, 3, true));
+  g.clear_claim({4, 4});
+  EXPECT_EQ(g.claim_owner({4, 4}), kNone);
+  EXPECT_TRUE(g.enterable({4, 4}, 3));
+}
+
+TEST(RoutingGrid, OccupancyRules) {
+  RoutingGrid g({{0, 0}, {9, 9}});
+  const geom::Point pts[] = {{1, 5}, {8, 5}};  // horizontal run of net 0
+  g.occupy_polyline(0, pts);
+  EXPECT_EQ(g.h_net({4, 5}), 0);
+  EXPECT_EQ(g.v_net({4, 5}), kNone);
+  // Another net cannot run horizontally over it...
+  EXPECT_FALSE(g.passable({4, 5}, 1, true));
+  // ...but may cross vertically.
+  EXPECT_TRUE(g.passable({4, 5}, 1, false));
+  EXPECT_TRUE(g.crosses_at({4, 5}, 1, false));
+  EXPECT_FALSE(g.crosses_at({4, 5}, 0, false));  // own net: no crossing
+  // Nobody can put a corner on it, not even net 0 itself.
+  EXPECT_FALSE(g.can_turn({4, 5}, 1));
+  EXPECT_FALSE(g.can_turn({4, 5}, 0));
+  EXPECT_TRUE(g.can_turn({4, 6}, 1));
+  EXPECT_TRUE(g.occupied_by({4, 5}, 0));
+  EXPECT_FALSE(g.occupied_by({4, 5}, 1));
+}
+
+TEST(RoutingGrid, CornerOccupiesBothOrientations) {
+  RoutingGrid g({{0, 0}, {9, 9}});
+  const geom::Point pts[] = {{1, 1}, {5, 1}, {5, 5}};  // L with corner at (5,1)
+  g.occupy_polyline(0, pts);
+  EXPECT_EQ(g.h_net({5, 1}), 0);
+  EXPECT_EQ(g.v_net({5, 1}), 0);
+  EXPECT_FALSE(g.passable({5, 1}, 1, true));
+  EXPECT_FALSE(g.passable({5, 1}, 1, false));
+}
+
+TEST(RoutingGrid, OverlapThrows) {
+  RoutingGrid g({{0, 0}, {9, 9}});
+  const geom::Point a[] = {{1, 5}, {8, 5}};
+  g.occupy_polyline(0, a);
+  const geom::Point b[] = {{3, 5}, {6, 5}};
+  EXPECT_THROW(g.occupy_polyline(1, b), std::logic_error);
+  // Same net re-occupying is fine.
+  g.occupy_polyline(0, b);
+  // Crossing is fine.
+  const geom::Point c[] = {{4, 2}, {4, 8}};
+  g.occupy_polyline(1, c);
+  EXPECT_EQ(g.crossing_count(), 1);
+}
+
+TEST(RoutingGrid, NonOrthogonalPolylineThrows) {
+  RoutingGrid g({{0, 0}, {9, 9}});
+  const geom::Point bad[] = {{0, 0}, {3, 3}};
+  EXPECT_THROW(g.occupy_polyline(0, bad), std::invalid_argument);
+}
+
+TEST(RoutingGrid, CrossingCount) {
+  RoutingGrid g({{0, 0}, {9, 9}});
+  const geom::Point h[] = {{0, 4}, {9, 4}};
+  const geom::Point v1[] = {{2, 0}, {2, 9}};
+  const geom::Point v2[] = {{7, 0}, {7, 9}};
+  g.occupy_polyline(0, h);
+  g.occupy_polyline(1, v1);
+  g.occupy_polyline(2, v2);
+  EXPECT_EQ(g.crossing_count(), 2);
+}
+
+// --- grid construction from a placed diagram --------------------------------
+
+Network simple_net() {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  lib.instantiate(net, "buf", "b0");  // size 4x2, a at (0,1), y at (4,1)
+  lib.instantiate(net, "buf", "b1");
+  const NetId n = net.add_net("n0");
+  net.connect(n, *net.term_by_name(0, "y"));
+  net.connect(n, *net.term_by_name(1, "a"));
+  return net;
+}
+
+TEST(BuildGrid, BlocksModulesAndOpensTerminals) {
+  const Network net = simple_net();
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  dia.place_module(1, {10, 0});
+  const RoutingGrid g = build_grid(dia, 3);
+  EXPECT_EQ(g.area(), (geom::Rect{{-3, -3}, {17, 5}}));
+  EXPECT_TRUE(g.blocked({2, 1}));    // inside module b0
+  EXPECT_TRUE(g.blocked({0, 0}));    // boundary
+  EXPECT_FALSE(g.blocked({5, 1}));   // channel
+  // Terminal of net 0 at (4,1): blocked but owned.
+  EXPECT_EQ(g.terminal_owner({4, 1}), 0);
+  EXPECT_TRUE(g.enterable({4, 1}, 0));
+  EXPECT_FALSE(g.enterable({4, 1}, 1));
+}
+
+TEST(BuildGrid, UnconnectedTerminalIsPlainObstacle) {
+  Network net;
+  net.add_module("m", "", {4, 2});
+  net.add_terminal(0, "t", TermType::In, {0, 1});
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  const RoutingGrid g = build_grid(dia, 2);
+  EXPECT_TRUE(g.blocked({0, 1}));
+  EXPECT_EQ(g.terminal_owner({0, 1}), kNone);
+}
+
+TEST(BuildGrid, SystemTerminalIsOwnedObstacle) {
+  Network net;
+  net.add_module("m", "", {4, 2});
+  const TermId t = net.add_terminal(0, "y", TermType::Out, {4, 1});
+  const TermId st = net.add_system_terminal("o", TermType::Out);
+  const NetId n = net.add_net("n");
+  net.connect(n, t);
+  net.connect(n, st);
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  dia.place_system_term(st, {8, 1});
+  const RoutingGrid g = build_grid(dia, 2);
+  EXPECT_TRUE(g.blocked({8, 1}));
+  EXPECT_EQ(g.terminal_owner({8, 1}), n);
+}
+
+TEST(BuildGrid, PreroutedNetsOccupy) {
+  const Network net = simple_net();
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  dia.place_module(1, {10, 0});
+  dia.add_polyline(0, {{4, 1}, {10, 1}});
+  const RoutingGrid g = build_grid(dia, 2);
+  EXPECT_EQ(g.h_net({7, 1}), 0);
+}
+
+TEST(BuildGrid, RequiresPlacement) {
+  const Network net = simple_net();
+  Diagram dia(net);
+  EXPECT_THROW(build_grid(dia, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace na

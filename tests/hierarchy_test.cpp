@@ -1,0 +1,193 @@
+// Tests for the hierarchical design model and flattening (section 3.2's
+// "each module contains an internal description consisting of submodules
+// and interconnections").
+#include <gtest/gtest.h>
+
+#include "core/generator.hpp"
+#include "netlist/hierarchy.hpp"
+#include "schematic/validate.hpp"
+#include "sim/simulator.hpp"
+
+namespace na {
+namespace {
+
+/// A half adder template: two ports in, two ports out, xor + and inside.
+Network half_adder(const ModuleLibrary& lib) {
+  Network t;
+  const ModuleId x = lib.instantiate(t, "xor2", "x");
+  const ModuleId a = lib.instantiate(t, "and2", "a");
+  const TermId pa = t.add_system_terminal("a", TermType::In);
+  const TermId pb = t.add_system_terminal("b", TermType::In);
+  const TermId ps = t.add_system_terminal("s", TermType::Out);
+  const TermId pc = t.add_system_terminal("c", TermType::Out);
+  auto wire = [&](const char* name, std::initializer_list<TermId> terms) {
+    const NetId n = t.add_net(name);
+    for (TermId term : terms) t.connect(n, term);
+  };
+  wire("na", {pa, *t.term_by_name(x, "a"), *t.term_by_name(a, "a")});
+  wire("nb", {pb, *t.term_by_name(x, "b"), *t.term_by_name(a, "b")});
+  wire("ns", {*t.term_by_name(x, "y"), ps});
+  wire("nc", {*t.term_by_name(a, "y"), pc});
+  return t;
+}
+
+/// A full adder built from two half adders and an or gate — one level of
+/// hierarchy.  The ha "module" instances carry terminals matching the ha
+/// template's ports.
+Network full_adder(const ModuleLibrary& lib) {
+  Network t;
+  // Hierarchical instances are ad-hoc modules whose template name refers to
+  // the design template; terminal positions are only placeholders.
+  auto ha_instance = [&](const char* name) {
+    const ModuleId m = t.add_module(name, "ha", {6, 6});
+    t.add_terminal(m, "a", TermType::In, {0, 2});
+    t.add_terminal(m, "b", TermType::In, {0, 4});
+    t.add_terminal(m, "s", TermType::Out, {6, 2});
+    t.add_terminal(m, "c", TermType::Out, {6, 4});
+    return m;
+  };
+  const ModuleId ha0 = ha_instance("ha0");
+  const ModuleId ha1 = ha_instance("ha1");
+  const ModuleId orc = lib.instantiate(t, "or2", "orc");
+  const TermId pa = t.add_system_terminal("a", TermType::In);
+  const TermId pb = t.add_system_terminal("b", TermType::In);
+  const TermId pcin = t.add_system_terminal("cin", TermType::In);
+  const TermId ps = t.add_system_terminal("s", TermType::Out);
+  const TermId pcout = t.add_system_terminal("cout", TermType::Out);
+  auto wire = [&](const char* name, std::initializer_list<TermId> terms) {
+    const NetId n = t.add_net(name);
+    for (TermId term : terms) t.connect(n, term);
+  };
+  wire("wa", {pa, *t.term_by_name(ha0, "a")});
+  wire("wb", {pb, *t.term_by_name(ha0, "b")});
+  wire("ws0", {*t.term_by_name(ha0, "s"), *t.term_by_name(ha1, "a")});
+  wire("wcin", {pcin, *t.term_by_name(ha1, "b")});
+  wire("ws", {*t.term_by_name(ha1, "s"), ps});
+  wire("wc0", {*t.term_by_name(ha0, "c"), *t.term_by_name(orc, "a")});
+  wire("wc1", {*t.term_by_name(ha1, "c"), *t.term_by_name(orc, "b")});
+  wire("wcout", {*t.term_by_name(orc, "y"), pcout});
+  return t;
+}
+
+Design adder_design() {
+  ModuleLibrary lib = ModuleLibrary::standard_cells();
+  Design d(lib);
+  d.add_template("ha", half_adder(lib));
+  d.add_template("fa", full_adder(lib));
+  return d;
+}
+
+TEST(Design, TemplateRegistry) {
+  const Design d = adder_design();
+  EXPECT_TRUE(d.has_template("ha"));
+  EXPECT_TRUE(d.has_template("fa"));
+  EXPECT_FALSE(d.has_template("zz"));
+  EXPECT_THROW(d.template_net("zz"), std::runtime_error);
+  EXPECT_EQ(d.template_net("ha").module_count(), 2);
+}
+
+TEST(Design, LeafCount) {
+  const Design d = adder_design();
+  EXPECT_EQ(d.leaf_count("ha"), 2);
+  EXPECT_EQ(d.leaf_count("fa"), 5);  // 2 ha x 2 gates + or
+}
+
+TEST(Design, FlattenStructure) {
+  const Design d = adder_design();
+  const Network flat = d.flatten("fa");
+  EXPECT_EQ(flat.module_count(), 5);
+  EXPECT_EQ(flat.system_terms().size(), 5u);
+  EXPECT_TRUE(flat.validate().empty());
+  // Path naming.
+  EXPECT_TRUE(flat.module_by_name("ha0/x").has_value());
+  EXPECT_TRUE(flat.module_by_name("ha1/a").has_value());
+  EXPECT_TRUE(flat.module_by_name("orc").has_value());
+  // Boundary nets are merged: ha0's internal output net and the parent's
+  // ws0 wire are one net, reaching ha1/x.
+  const auto x0y = *flat.term_by_name(*flat.module_by_name("ha0/x"), "y");
+  const auto x1a = *flat.term_by_name(*flat.module_by_name("ha1/x"), "a");
+  EXPECT_EQ(flat.term(x0y).net, flat.term(x1a).net);
+}
+
+TEST(Design, FlattenedFullAdderComputes) {
+  // The flat network must behave as a full adder for all 8 input patterns.
+  const Design d = adder_design();
+  const Network flat = d.flatten("fa");
+  sim::Simulator s(flat);
+  const TermId pa = *flat.term_by_name(kNone, "a");
+  const TermId pb = *flat.term_by_name(kNone, "b");
+  const TermId pcin = *flat.term_by_name(kNone, "cin");
+  const TermId ps = *flat.term_by_name(kNone, "s");
+  const TermId pcout = *flat.term_by_name(kNone, "cout");
+  for (int v = 0; v < 8; ++v) {
+    const bool a = v & 1, b = v & 2, cin = v & 4;
+    s.set_input(pa, a);
+    s.set_input(pb, b);
+    s.set_input(pcin, cin);
+    s.settle();
+    const int sum = (a ? 1 : 0) + (b ? 1 : 0) + (cin ? 1 : 0);
+    EXPECT_EQ(s.value_at(ps), (sum & 1) != 0) << "v=" << v;
+    EXPECT_EQ(s.value_at(pcout), sum >= 2) << "v=" << v;
+  }
+}
+
+TEST(Design, FlattenedNetworkGenerates) {
+  // The flat network runs through the whole diagram generator cleanly.
+  const Design d = adder_design();
+  const Network flat = d.flatten("fa");
+  GeneratorOptions opt;
+  opt.placer.max_part_size = 5;
+  opt.placer.max_box_size = 3;
+  opt.router.margin = 6;
+  GeneratorResult result;
+  const Diagram dia = generate_diagram(flat, opt, &result);
+  EXPECT_EQ(result.route.nets_failed, 0);
+  EXPECT_TRUE(validate_diagram(dia, true).empty());
+}
+
+TEST(Design, EveryTemplateGetsItsOwnDiagram) {
+  // One schematic page per hierarchy level, like the ESCHER library.
+  const Design d = adder_design();
+  for (const auto& [name, tnet] : d.templates()) {
+    GeneratorOptions opt;
+    opt.placer.max_part_size = 4;
+    opt.placer.max_box_size = 3;
+    opt.router.margin = 6;
+    GeneratorResult result;
+    const Diagram dia = generate_diagram(tnet, opt, &result);
+    EXPECT_EQ(result.route.nets_failed, 0) << name;
+    EXPECT_TRUE(validate_diagram(dia, true).empty()) << name;
+  }
+}
+
+TEST(Design, RecursionDetected) {
+  ModuleLibrary lib = ModuleLibrary::standard_cells();
+  Design d(lib);
+  Network t;
+  const ModuleId self = t.add_module("inner", "loop", {4, 4});
+  (void)self;
+  d.add_template("loop", std::move(t));
+  EXPECT_THROW(d.flatten("loop"), std::runtime_error);
+}
+
+TEST(Design, UnconnectedChildPortStaysLocal) {
+  ModuleLibrary lib = ModuleLibrary::standard_cells();
+  Design d(lib);
+  d.add_template("ha", half_adder(lib));
+  Network t;
+  const ModuleId m = t.add_module("u", "ha", {6, 6});
+  t.add_terminal(m, "a", TermType::In, {0, 2});
+  // b, s, c left unconnected at the instance.
+  const TermId pa = t.add_system_terminal("x", TermType::In);
+  const NetId n = t.add_net("w");
+  t.connect(n, pa);
+  t.connect(n, *t.term_by_name(m, "a"));
+  d.add_template("top", std::move(t));
+  const Network flat = d.flatten("top");
+  EXPECT_EQ(flat.module_count(), 2);  // the ha's two gates
+  // The child's internal nets still exist under the instance path.
+  EXPECT_TRUE(flat.net_by_name("u/ns").has_value());
+}
+
+}  // namespace
+}  // namespace na

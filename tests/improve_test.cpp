@@ -1,0 +1,106 @@
+// Tests for the pairwise-exchange placement improver (paper 4.2.1) and the
+// wire-length estimator.
+#include <gtest/gtest.h>
+
+#include "gen/controller.hpp"
+#include "gen/random_net.hpp"
+#include "netlist/module_library.hpp"
+#include "place/improve.hpp"
+#include "place/placer.hpp"
+#include "schematic/validate.hpp"
+
+namespace na {
+namespace {
+
+TEST(EstimateWireLength, HalfPerimeter) {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  lib.instantiate(net, "buf", "b0");
+  lib.instantiate(net, "buf", "b1");
+  const NetId n = net.add_net("n0");
+  net.connect(n, *net.term_by_name(0, "y"));   // at (4,1) rel
+  net.connect(n, *net.term_by_name(1, "a"));   // at (0,1) rel
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  dia.place_module(1, {10, 4});
+  // Terminals at (4,1) and (10,5): hpwl = 6 + 4.
+  EXPECT_EQ(estimate_wire_length(dia), 10);
+}
+
+TEST(EstimateWireLength, IgnoresUnplaced) {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  lib.instantiate(net, "buf", "b0");
+  lib.instantiate(net, "buf", "b1");
+  const NetId n = net.add_net("n0");
+  net.connect(n, *net.term_by_name(0, "y"));
+  net.connect(n, *net.term_by_name(1, "a"));
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  EXPECT_EQ(estimate_wire_length(dia), 0);  // single point box
+}
+
+TEST(Improve, SwapsObviouslyBadPair) {
+  // Two equal-size modules placed so that swapping them shortens the net.
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  lib.instantiate(net, "buf", "src");   // drives far module
+  lib.instantiate(net, "buf", "far");
+  lib.instantiate(net, "buf", "near");  // unconnected
+  const NetId n = net.add_net("n0");
+  net.connect(n, *net.term_by_name(0, "y"));
+  net.connect(n, *net.term_by_name(1, "a"));
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  dia.place_module(1, {40, 0});  // connected but far
+  dia.place_module(2, {8, 0});   // unconnected but near
+  const ImproveReport r = improve_by_exchange(dia);
+  EXPECT_GE(r.swaps, 1);
+  EXPECT_LT(r.final_length, r.initial_length);
+  // far and near traded places.
+  EXPECT_EQ(dia.placed(1).pos, (geom::Point{8, 0}));
+  EXPECT_EQ(dia.placed(2).pos, (geom::Point{40, 0}));
+}
+
+TEST(Improve, NeverWorsensAndStaysValid) {
+  for (unsigned seed : {5u, 6u, 7u}) {
+    gen::RandomNetOptions gopt;
+    gopt.modules = 12;
+    gopt.seed = seed;
+    const Network net = gen::random_network(gopt);
+    Diagram dia(net);
+    PlacerOptions popt;
+    popt.max_part_size = 3;
+    place(dia, popt);
+    const long before = estimate_wire_length(dia);
+    const ImproveReport r = improve_by_exchange(dia);
+    EXPECT_LE(r.final_length, before);
+    EXPECT_EQ(r.initial_length, before);
+    EXPECT_TRUE(validate_diagram(dia).empty()) << "seed " << seed;
+  }
+}
+
+TEST(Improve, RespectsFixedModules) {
+  const Network net = gen::controller_network();
+  Diagram dia(net);
+  place(dia, {});
+  const ModuleId ctrl = *net.module_by_name("ctrl");
+  const geom::Point pinned = dia.placed(ctrl).pos;
+  // Re-mark as fixed, then improve.
+  dia.place_module(ctrl, pinned, dia.placed(ctrl).rot, /*fixed=*/true);
+  improve_by_exchange(dia);
+  EXPECT_EQ(dia.placed(ctrl).pos, pinned);
+}
+
+TEST(Improve, TrialBudget) {
+  const Network net = gen::controller_network();
+  Diagram dia(net);
+  place(dia, {});
+  ImproveOptions opt;
+  opt.max_trials = 5;
+  const ImproveReport r = improve_by_exchange(dia, opt);
+  EXPECT_LE(r.trials, 6);
+}
+
+}  // namespace
+}  // namespace na

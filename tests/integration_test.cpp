@@ -1,0 +1,214 @@
+// Integration tests: the complete net-list -> placement -> routing ->
+// artwork pipeline on the paper's example networks, incremental re-entry
+// (preplaced / prerouted), option parsing, and the writers on real output.
+#include <gtest/gtest.h>
+
+#include "core/generator.hpp"
+#include "core/options.hpp"
+#include "gen/chain.hpp"
+#include "gen/controller.hpp"
+#include "gen/life.hpp"
+#include "netlist/netlist_io.hpp"
+#include "route/net_order.hpp"
+#include "schematic/ascii_writer.hpp"
+#include "schematic/escher_writer.hpp"
+#include "schematic/svg_writer.hpp"
+#include "schematic/validate.hpp"
+
+namespace na {
+namespace {
+
+TEST(Pipeline, ChainFullyRoutedZeroBends) {
+  // Figure 6.1: a single string; with the level assignment fixed, the
+  // chain nets are drawn with the minimum number of bends (the lemma) —
+  // for the buf-style opposed terminals that means few bends overall.
+  const Network net = gen::chain_network({});
+  GeneratorOptions opt;
+  opt.placer.max_part_size = 7;
+  opt.placer.max_box_size = 7;
+  GeneratorResult result;
+  const Diagram dia = generate_diagram(net, opt, &result);
+  EXPECT_EQ(result.route.nets_failed, 0);
+  EXPECT_TRUE(validate_diagram(dia, true).empty());
+  // Chain nets between opposed terminals route straight.
+  for (NetId n = 0; n < net.net_count(); ++n) {
+    if (net.net(n).name.starts_with("chain")) {
+      EXPECT_LE(dia.route(n).bend_count(), 2) << net.net(n).name;
+    }
+  }
+}
+
+TEST(Pipeline, ControllerAllConfigs) {
+  const Network net = gen::controller_network();
+  struct Cfg {
+    int p, b;
+  };
+  for (const Cfg cfg : {Cfg{1, 1}, Cfg{5, 1}, Cfg{7, 5}}) {
+    GeneratorOptions opt;
+    opt.placer.max_part_size = cfg.p;
+    opt.placer.max_box_size = cfg.b;
+    opt.placer.max_connections = cfg.p > 1 ? 8 : 1 << 20;
+    opt.router.margin = 6;
+    GeneratorResult result;
+    const Diagram dia = generate_diagram(net, opt, &result);
+    EXPECT_EQ(result.route.nets_failed, 0)
+        << "-p " << cfg.p << " -b " << cfg.b;
+    EXPECT_TRUE(validate_diagram(dia, true).empty());
+  }
+}
+
+TEST(Pipeline, LifeHandPlacementRoutesCompletely) {
+  // Figure 6.6 equivalent (paper: 220/222 first pass).  With long nets
+  // first, the reconstruction routes everything.
+  const Network net = gen::life_network();
+  Diagram dia(net);
+  gen::life_hand_placement(dia);
+  GeneratorOptions opt;
+  opt.router.margin = 12;
+  opt.router.order_criterion = static_cast<int>(NetOrderCriterion::LongestFirst);
+  const GeneratorResult result = generate(dia, opt);
+  EXPECT_EQ(result.route.nets_failed, 0);
+  EXPECT_TRUE(validate_diagram(dia).empty());
+}
+
+TEST(Pipeline, LifeAutomaticNearlyComplete) {
+  // Figure 6.7 equivalent (paper: 221/222): the automatic placement routes
+  // all but a couple of nets.
+  const Network net = gen::life_network();
+  Diagram dia(net);
+  GeneratorOptions opt;
+  opt.placer.max_part_size = 3;
+  opt.placer.max_box_size = 3;
+  opt.placer.module_spacing = 1;
+  opt.placer.partition_spacing = 2;
+  opt.router.margin = 12;
+  opt.router.order_criterion = static_cast<int>(NetOrderCriterion::LongestFirst);
+  const GeneratorResult result = generate(dia, opt);
+  EXPECT_LE(result.route.nets_failed, 4);
+  EXPECT_GE(result.route.nets_routed, 218);
+  EXPECT_TRUE(validate_diagram(dia).empty());
+}
+
+TEST(Pipeline, IncrementalMoveAndReroute) {
+  // The figure 6.5 workflow: take a generated placement, move one module
+  // by hand, reroute from scratch.
+  const Network net = gen::controller_network();
+  GeneratorOptions opt;
+  opt.placer.max_part_size = 1;
+  opt.router.margin = 6;
+  GeneratorResult r1;
+  Diagram dia = generate_diagram(net, opt, &r1);
+  ASSERT_EQ(r1.route.nets_failed, 0);
+
+  // Move the controller well away, clear nets, reroute.
+  const ModuleId ctrl = *net.module_by_name("ctrl");
+  const geom::Rect bounds = dia.placement_bounds();
+  dia.clear_routes();
+  dia.place_module(ctrl, {bounds.lo.x - 20, bounds.hi.y + 10});
+  const RouteReport r2 = route_all(dia, opt.router);
+  EXPECT_EQ(r2.nets_failed, 0);
+  EXPECT_TRUE(validate_diagram(dia, true).empty());
+}
+
+TEST(Pipeline, PreroutedNetsSurviveGeneration) {
+  const Network net = gen::chain_network({});
+  // First generate to learn terminal positions, then replay one net as a
+  // user preroute and regenerate the rest.
+  GeneratorOptions opt;
+  opt.placer.max_part_size = 7;
+  opt.placer.max_box_size = 7;
+  Diagram first = generate_diagram(net, opt);
+  const NetId n0 = *net.net_by_name("chain0");
+  const auto kept = first.route(n0).polylines;
+  ASSERT_FALSE(kept.empty());
+
+  Diagram dia(net);
+  // Replay the placement.
+  for (int m = 0; m < net.module_count(); ++m) {
+    dia.place_module(m, first.placed(m).pos, first.placed(m).rot);
+  }
+  for (TermId st : net.system_terms()) {
+    dia.place_system_term(st, first.term_pos(st));
+  }
+  for (const auto& pl : kept) dia.add_polyline(n0, pl);
+  dia.route(n0).prerouted = true;
+  const GeneratorResult result = generate(dia, opt);
+  EXPECT_EQ(result.route.nets_failed, 0);
+  EXPECT_EQ(dia.route(n0).polylines, kept);
+  EXPECT_TRUE(validate_diagram(dia, true).empty());
+}
+
+TEST(Pipeline, FileFormatsEndToEnd) {
+  // Network -> Appendix-A files -> parse -> generate -> all writers.
+  const Network original = gen::controller_network();
+  const NetlistFiles files = write_network(original);
+  ModuleLibrary lib = ModuleLibrary::standard_cells();
+  const Network net = parse_network(lib, files.call_file, files.io_file,
+                                    files.netlist_file);
+  GeneratorOptions opt;
+  opt.placer.max_part_size = 5;
+  opt.placer.max_connections = 8;
+  opt.router.margin = 6;
+  GeneratorResult result;
+  const Diagram dia = generate_diagram(net, opt, &result);
+  EXPECT_EQ(result.route.nets_failed, 0);
+  EXPECT_GT(to_svg(dia).size(), 1000u);
+  EXPECT_GT(to_ascii(dia).size(), 200u);
+  EXPECT_GT(to_escher_diagram(dia, "ctrl16").size(), 1000u);
+}
+
+TEST(Options, PabloFlags) {
+  GeneratorOptions opt;
+  const auto rest = parse_generator_args(
+      {"-p", "5", "-b", "3", "-c", "8", "-e", "2", "-i", "1", "-s", "2", "x.net"},
+      opt);
+  EXPECT_EQ(opt.placer.max_part_size, 5);
+  EXPECT_EQ(opt.placer.max_box_size, 3);
+  EXPECT_EQ(opt.placer.max_connections, 8);
+  EXPECT_EQ(opt.placer.partition_spacing, 2);
+  EXPECT_EQ(opt.placer.box_spacing, 1);
+  EXPECT_EQ(opt.placer.module_spacing, 2);
+  EXPECT_EQ(rest, std::vector<std::string>{"x.net"});
+}
+
+TEST(Options, EurekaFlags) {
+  GeneratorOptions opt;
+  parse_generator_args({"-s", "-L", "-m", "8", "-u", "-d", "-l", "-r"}, opt);
+  EXPECT_EQ(opt.router.order, CostOrder::BendsLengthCrossings);
+  EXPECT_EQ(opt.router.engine, Engine::Lee);
+  EXPECT_EQ(opt.router.margin, 8);
+  GeneratorOptions opt2;
+  parse_generator_args({"-H", "-noclaim", "-noretry"}, opt2);
+  EXPECT_EQ(opt2.router.engine, Engine::Hightower);
+  EXPECT_FALSE(opt2.router.use_claimpoints);
+  EXPECT_FALSE(opt2.router.retry_failed);
+}
+
+TEST(Options, Errors) {
+  GeneratorOptions opt;
+  EXPECT_THROW(parse_generator_args({"-p"}, opt), std::runtime_error);
+  EXPECT_THROW(parse_generator_args({"-zz"}, opt), std::runtime_error);
+}
+
+TEST(Generator, TimingsPopulated) {
+  const Network net = gen::chain_network({});
+  GeneratorResult result;
+  generate_diagram(net, {}, &result);
+  EXPECT_GE(result.place_seconds, 0.0);
+  EXPECT_GE(result.route_seconds, 0.0);
+  EXPECT_EQ(result.stats.modules, 6);
+}
+
+TEST(Generator, SkipsPlacementWhenFullyPlaced) {
+  const Network net = gen::life_network();
+  Diagram dia(net);
+  gen::life_hand_placement(dia);
+  GeneratorOptions opt;
+  opt.router.margin = 12;
+  const GeneratorResult result = generate(dia, opt);
+  EXPECT_EQ(result.place_seconds, 0.0);
+  EXPECT_TRUE(result.placement.partitions.empty());
+}
+
+}  // namespace
+}  // namespace na

@@ -1,0 +1,159 @@
+// Unit tests for module placement inside boxes (paper section 4.6.4),
+// including the minimum-bend lemma on chain nets.
+#include <gtest/gtest.h>
+
+#include "gen/chain.hpp"
+#include "netlist/module_library.hpp"
+#include "place/module_place.hpp"
+
+namespace na {
+namespace {
+
+TEST(Whitespace, Function) {
+  // f(k) = k + 1 + extra (Appendix E: "the number of tracks added ...
+  // equals the number of connected terminals on that side plus one").
+  EXPECT_EQ(whitespace(0, 0), 1);
+  EXPECT_EQ(whitespace(3, 0), 4);
+  EXPECT_EQ(whitespace(3, 2), 6);
+}
+
+Network buf_chain(int n) {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  for (int i = 0; i < n; ++i) {
+    lib.instantiate(net, "buf", "b" + std::to_string(i));
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    const NetId nn = net.add_net("n" + std::to_string(i));
+    net.connect(nn, *net.term_by_name(i, "y"));
+    net.connect(nn, *net.term_by_name(i + 1, "a"));
+  }
+  return net;
+}
+
+TEST(PlaceBoxModules, SingleModule) {
+  const Network net = buf_chain(1);
+  const BoxLayout l = place_box_modules(net, {0}, 0);
+  ASSERT_EQ(l.pos.size(), 1u);
+  EXPECT_EQ(l.rot[0], geom::Rot::R0);
+  // buf is 4x2 with no connected terminals: f = 1 on every side.
+  EXPECT_EQ(l.pos[0], (geom::Point{1, 1}));
+  EXPECT_EQ(l.size, (geom::Point{6, 4}));
+}
+
+TEST(PlaceBoxModules, ChainRunsLeftToRight) {
+  const Network net = buf_chain(4);
+  const Box box{0, 1, 2, 3};
+  const BoxLayout l = place_box_modules(net, box, 0);
+  for (size_t i = 1; i < box.size(); ++i) {
+    // Strictly increasing, non-overlapping x ranges.
+    EXPECT_GT(l.pos[i].x, l.pos[i - 1].x + 4);
+  }
+}
+
+TEST(PlaceBoxModules, ChainTerminalsLevel) {
+  // The minimum-bend lemma: when successive sides oppose (out right, in
+  // left, the buf default), the connecting terminals end up on one track —
+  // zero bends.
+  const Network net = buf_chain(3);
+  const BoxLayout l = place_box_modules(net, {0, 1, 2}, 0);
+  const geom::Point y0 = l.term_pos(net, *net.term_by_name(0, "y"));
+  const geom::Point a1 = l.term_pos(net, *net.term_by_name(1, "a"));
+  const geom::Point y1 = l.term_pos(net, *net.term_by_name(1, "y"));
+  const geom::Point a2 = l.term_pos(net, *net.term_by_name(2, "a"));
+  EXPECT_EQ(y0.y, a1.y);
+  EXPECT_EQ(y1.y, a2.y);
+  EXPECT_LT(y0.x, a1.x);
+}
+
+TEST(PlaceBoxModules, NoOverlapMixedShapes) {
+  const Network net = gen::chain_network({6, false, true});
+  Box box(6);
+  for (int i = 0; i < 6; ++i) box[i] = i;
+  const BoxLayout l = place_box_modules(net, box, 0);
+  for (size_t i = 0; i < box.size(); ++i) {
+    const geom::Rect ri = geom::Rect::from_size(
+        l.pos[i], geom::rotate_size(net.module(box[i]).size, l.rot[i]));
+    EXPECT_GE(ri.lo.x, 0);
+    EXPECT_GE(ri.lo.y, 0);
+    EXPECT_LE(ri.hi.x, l.size.x);
+    EXPECT_LE(ri.hi.y, l.size.y);
+    for (size_t j = i + 1; j < box.size(); ++j) {
+      const geom::Rect rj = geom::Rect::from_size(
+          l.pos[j], geom::rotate_size(net.module(box[j]).size, l.rot[j]));
+      EXPECT_FALSE(ri.overlaps(rj)) << "modules " << i << " and " << j;
+    }
+  }
+}
+
+TEST(PlaceBoxModules, RotatesInputToTheLeft) {
+  // A module whose input sits on the right side must be rotated 180 so the
+  // input faces its predecessor.
+  Network net;
+  const ModuleId a = net.add_module("a", "", {4, 2});
+  net.add_terminal(a, "y", TermType::Out, {4, 1});
+  const ModuleId b = net.add_module("b", "", {4, 2});
+  net.add_terminal(b, "in", TermType::In, {4, 1});  // input on the right!
+  const NetId n = net.add_net("n");
+  net.connect(n, *net.term_by_name(a, "y"));
+  net.connect(n, *net.term_by_name(b, "in"));
+  const BoxLayout l = place_box_modules(net, {a, b}, 0);
+  EXPECT_EQ(l.rot[1], geom::Rot::R180);
+  // And the chain terminals still level out.
+  EXPECT_EQ(l.term_pos(net, *net.term_by_name(a, "y")).y,
+            l.term_pos(net, *net.term_by_name(b, "in")).y);
+}
+
+TEST(PlaceBoxModules, RotatesBottomInputUpright) {
+  Network net;
+  const ModuleId a = net.add_module("a", "", {4, 2});
+  net.add_terminal(a, "y", TermType::Out, {4, 1});
+  const ModuleId b = net.add_module("b", "", {4, 2});
+  net.add_terminal(b, "in", TermType::In, {2, 0});  // input on the bottom
+  const NetId n = net.add_net("n");
+  net.connect(n, *net.term_by_name(a, "y"));
+  net.connect(n, *net.term_by_name(b, "in"));
+  const BoxLayout l = place_box_modules(net, {a, b}, 0);
+  // Bottom -> left takes one clockwise step = R270 counter-clockwise...
+  // rotate_side(Down, R90) == Right, rotate_side(Down, R270) == Left.
+  EXPECT_EQ(l.rot[1], geom::Rot::R270);
+}
+
+TEST(PlaceBoxModules, WhitespaceScalesWithTerminals) {
+  // dff (2 left terminals) must get more left whitespace than buf (1).
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  const ModuleId d = lib.instantiate(net, "dff", "ff");
+  const NetId n0 = net.add_net("n0");
+  net.connect(n0, *net.term_by_name(d, "d"));
+  const NetId n1 = net.add_net("n1");
+  net.connect(n1, *net.term_by_name(d, "ck"));
+  const NetId n2 = net.add_net("n2");
+  net.connect(n2, *net.term_by_name(d, "q"));
+  const BoxLayout l = place_box_modules(net, {d}, 0);
+  // Left side carries d and ck (2 connected) -> x = f(2) = 3.
+  EXPECT_EQ(l.pos[0].x, 3);
+  // Bottom has nothing connected -> y = f(0) = 1.
+  EXPECT_EQ(l.pos[0].y, 1);
+  // Right side carries q and qn(unconnected->ignored): f(1) = 2.
+  EXPECT_EQ(l.size.x, 3 + 6 + 2);
+}
+
+TEST(PlaceBoxModules, ExtraSpacingApplies) {
+  const Network net = buf_chain(2);
+  const BoxLayout tight = place_box_modules(net, {0, 1}, 0);
+  const BoxLayout wide = place_box_modules(net, {0, 1}, 3);
+  EXPECT_GT(wide.size.x, tight.size.x);
+  EXPECT_GT(wide.pos[1].x - wide.pos[0].x, tight.pos[1].x - tight.pos[0].x);
+}
+
+TEST(BoxLayout, IndexOf) {
+  const Network net = buf_chain(3);
+  const BoxLayout l = place_box_modules(net, {2, 0}, 0);
+  EXPECT_EQ(l.index_of(2), 0);
+  EXPECT_EQ(l.index_of(0), 1);
+  EXPECT_EQ(l.index_of(1), -1);
+}
+
+}  // namespace
+}  // namespace na

@@ -1,0 +1,271 @@
+// Unit tests for the network model, the module library and the Appendix-A
+// net-list file formats.
+#include <gtest/gtest.h>
+
+#include "netlist/module_library.hpp"
+#include "netlist/netlist_io.hpp"
+#include "netlist/network.hpp"
+
+namespace na {
+namespace {
+
+Network two_gate_network() {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  lib.instantiate(net, "and2", "a0");
+  lib.instantiate(net, "or2", "o0");
+  const NetId n = net.add_net("n0");
+  net.connect(n, *net.term_by_name(0, "y"));
+  net.connect(n, *net.term_by_name(1, "a"));
+  return net;
+}
+
+TEST(TermType, Parse) {
+  EXPECT_EQ(parse_term_type("in"), TermType::In);
+  EXPECT_EQ(parse_term_type("out"), TermType::Out);
+  EXPECT_EQ(parse_term_type("inout"), TermType::InOut);
+  EXPECT_FALSE(parse_term_type("input").has_value());
+  EXPECT_EQ(to_string(TermType::InOut), "inout");
+}
+
+TEST(TermType, Drives) {
+  EXPECT_TRUE(drives(TermType::Out, TermType::In));
+  EXPECT_TRUE(drives(TermType::Out, TermType::InOut));
+  EXPECT_TRUE(drives(TermType::InOut, TermType::In));
+  EXPECT_TRUE(drives(TermType::InOut, TermType::InOut));
+  EXPECT_FALSE(drives(TermType::In, TermType::Out));
+  EXPECT_FALSE(drives(TermType::Out, TermType::Out));
+  EXPECT_FALSE(drives(TermType::In, TermType::In));
+}
+
+TEST(Network, Build) {
+  Network net;
+  const ModuleId m = net.add_module("m", "tpl", {4, 2});
+  EXPECT_EQ(net.module_count(), 1);
+  EXPECT_EQ(net.module(m).name, "m");
+  EXPECT_EQ(net.module(m).size, (geom::Point{4, 2}));
+  const TermId t = net.add_terminal(m, "a", TermType::In, {0, 1});
+  EXPECT_EQ(net.term(t).module, m);
+  EXPECT_EQ(net.term(t).net, kNone);
+  EXPECT_FALSE(net.term(t).is_system());
+  const TermId st = net.add_system_terminal("x", TermType::In);
+  EXPECT_TRUE(net.term(st).is_system());
+  EXPECT_EQ(net.system_terms().size(), 1u);
+}
+
+TEST(Network, RejectsBadInput) {
+  Network net;
+  EXPECT_THROW(net.add_module("bad", "", {0, 2}), std::invalid_argument);
+  const ModuleId m = net.add_module("m", "", {4, 2});
+  // Terminal strictly inside the outline.
+  EXPECT_THROW(net.add_terminal(m, "t", TermType::In, {2, 1}), std::invalid_argument);
+  EXPECT_THROW(net.add_terminal(m, "t", TermType::In, {9, 0}), std::invalid_argument);
+  // Double connection.
+  const TermId t = net.add_terminal(m, "a", TermType::In, {0, 1});
+  const NetId n0 = net.add_net("n0");
+  const NetId n1 = net.add_net("n1");
+  net.connect(n0, t);
+  net.connect(n0, t);  // idempotent
+  EXPECT_THROW(net.connect(n1, t), std::invalid_argument);
+}
+
+TEST(Network, Lookups) {
+  const Network net = two_gate_network();
+  EXPECT_EQ(net.module_by_name("a0"), 0);
+  EXPECT_EQ(net.module_by_name("o0"), 1);
+  EXPECT_FALSE(net.module_by_name("zz").has_value());
+  EXPECT_TRUE(net.net_by_name("n0").has_value());
+  EXPECT_FALSE(net.net_by_name("n9").has_value());
+  EXPECT_TRUE(net.term_by_name(0, "a").has_value());
+  EXPECT_FALSE(net.term_by_name(0, "q").has_value());
+}
+
+TEST(Network, GetOrAddNet) {
+  Network net;
+  const NetId a = net.get_or_add_net("x");
+  const NetId b = net.get_or_add_net("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(net.net_count(), 1);
+  EXPECT_NE(net.get_or_add_net("y"), a);
+}
+
+TEST(Network, TermSide) {
+  const Network net = two_gate_network();
+  // and2: a at (0,1) left, y at (4,2) right.
+  EXPECT_EQ(net.term_side(*net.term_by_name(0, "a")), geom::Side::Left);
+  EXPECT_EQ(net.term_side(*net.term_by_name(0, "y")), geom::Side::Right);
+}
+
+TEST(Network, Connectivity) {
+  const Network net = two_gate_network();
+  EXPECT_TRUE(net.connected_by(0, 1, 0));
+  EXPECT_EQ(net.connections(0, 1), 1);
+  EXPECT_EQ(net.connections(1, 0), 1);
+  EXPECT_EQ(net.connections(0, 0), 0);
+  EXPECT_EQ(net.neighbors(0), std::vector<ModuleId>{1});
+  EXPECT_EQ(net.nets_of(0), std::vector<NetId>{0});
+}
+
+TEST(Network, ConnectionsCountNetsNotTerminals) {
+  // Two modules joined by one multi-terminal net must count as 1 connection.
+  Network net;
+  const ModuleId a = net.add_module("a", "", {4, 4});
+  const ModuleId b = net.add_module("b", "", {4, 4});
+  const TermId a0 = net.add_terminal(a, "p", TermType::Out, {4, 1});
+  const TermId a1 = net.add_terminal(a, "q", TermType::Out, {4, 3});
+  const TermId b0 = net.add_terminal(b, "p", TermType::In, {0, 1});
+  const NetId n = net.add_net("n");
+  net.connect(n, a0);
+  net.connect(n, a1);
+  net.connect(n, b0);
+  EXPECT_EQ(net.connections(a, b), 1);
+}
+
+TEST(Network, ExternalConnections) {
+  const Network net = two_gate_network();
+  std::vector<bool> only_a{true, false};
+  EXPECT_EQ(net.external_connections(only_a), 1);
+  std::vector<bool> both{true, true};
+  EXPECT_EQ(net.external_connections(both), 0);
+}
+
+TEST(Network, Validate) {
+  Network net = two_gate_network();
+  EXPECT_TRUE(net.validate().empty());
+  net.add_net("dangling");  // < 2 terminals
+  EXPECT_EQ(net.validate().size(), 1u);
+}
+
+TEST(ModuleLibrary, StandardCells) {
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  EXPECT_TRUE(lib.contains("and2"));
+  EXPECT_TRUE(lib.contains("dff"));
+  EXPECT_TRUE(lib.contains("ctrl"));
+  EXPECT_FALSE(lib.contains("nope"));
+  EXPECT_GE(lib.size(), 10);
+  // Every template's terminals are on its perimeter with unique names.
+  for (const std::string& name : lib.names()) {
+    const ModuleTemplate* t = lib.find(name);
+    ASSERT_NE(t, nullptr);
+    for (const TemplateTerm& term : t->terms) {
+      EXPECT_TRUE(geom::on_perimeter(term.pos, t->size))
+          << name << "." << term.name;
+    }
+  }
+}
+
+TEST(ModuleLibrary, Instantiate) {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  const ModuleId m = lib.instantiate(net, "dff", "ff0");
+  EXPECT_EQ(net.module(m).template_name, "dff");
+  EXPECT_EQ(net.module(m).terms.size(), 4u);
+  EXPECT_THROW(lib.instantiate(net, "nope", "x"), std::runtime_error);
+}
+
+TEST(ModuleDescription, ParseAndFormat) {
+  const char* text =
+      "module half_adder 6 4\n"
+      "in a 0 1\n"
+      "in b 0 3\n"
+      "out s 6 2\n"
+      "out c 3 4\n";
+  const ModuleTemplate t = parse_module_description(text);
+  EXPECT_EQ(t.name, "half_adder");
+  EXPECT_EQ(t.size, (geom::Point{6, 4}));
+  ASSERT_EQ(t.terms.size(), 4u);
+  EXPECT_EQ(t.terms[2].name, "s");
+  EXPECT_EQ(t.terms[2].type, TermType::Out);
+  EXPECT_EQ(t.terms[2].pos, (geom::Point{6, 2}));
+  // Round trip.
+  EXPECT_EQ(format_module_description(t), text);
+}
+
+TEST(ModuleDescription, PitchDivision) {
+  // Appendix B: historical files use coordinates divisible by 10.
+  const ModuleTemplate t =
+      parse_module_description("module m 40 20\nin a 0 10\n", 10);
+  EXPECT_EQ(t.size, (geom::Point{4, 2}));
+  EXPECT_EQ(t.terms[0].pos, (geom::Point{0, 1}));
+  EXPECT_THROW(parse_module_description("module m 45 20\n", 10), std::runtime_error);
+}
+
+TEST(ModuleDescription, Errors) {
+  EXPECT_THROW(parse_module_description(""), std::runtime_error);
+  EXPECT_THROW(parse_module_description("modul m 4 2\n"), std::runtime_error);
+  EXPECT_THROW(parse_module_description("module m 4\n"), std::runtime_error);
+  EXPECT_THROW(parse_module_description("module m 0 2\n"), std::runtime_error);
+  EXPECT_THROW(parse_module_description("module m 4 2\nin a 2 1\n"),
+               std::runtime_error);  // off perimeter
+  EXPECT_THROW(parse_module_description("module m 4 2\nzz a 0 1\n"),
+               std::runtime_error);  // bad type
+  EXPECT_THROW(parse_module_description("module m 4 2\nin a x 1\n"),
+               std::runtime_error);  // non-integer
+}
+
+TEST(NetlistIo, ParseSimple) {
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  const Network net = parse_network(lib,
+                                    "a0 and2\n"
+                                    "o0 or2\n",
+                                    "x in\n"
+                                    "y out\n",
+                                    "n0 a0 y\n"
+                                    "n0 o0 a\n"
+                                    "pi root x\n"
+                                    "pi a0 a\n"
+                                    "po o0 y\n"
+                                    "po root y\n");
+  EXPECT_EQ(net.module_count(), 2);
+  EXPECT_EQ(net.net_count(), 3);
+  EXPECT_EQ(net.system_terms().size(), 2u);
+  EXPECT_TRUE(net.validate().empty());
+  EXPECT_EQ(net.connections(0, 1), 1);
+}
+
+TEST(NetlistIo, CommentsAndBlankLines) {
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  const Network net = parse_network(lib,
+                                    "# instances\n\na0 and2\n", "",
+                                    "n0 a0 y   # net record\nn0 a0 a\n");
+  EXPECT_EQ(net.module_count(), 1);
+  EXPECT_EQ(net.net_count(), 1);
+}
+
+TEST(NetlistIo, Errors) {
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  EXPECT_THROW(parse_network(lib, "a0 nosuch\n", "", ""), std::runtime_error);
+  EXPECT_THROW(parse_network(lib, "a0 and2\na0 or2\n", "", ""), std::runtime_error);
+  EXPECT_THROW(parse_network(lib, "root and2\n", "", ""), std::runtime_error);
+  EXPECT_THROW(parse_network(lib, "a0 and2\n", "x zz\n", ""), std::runtime_error);
+  EXPECT_THROW(parse_network(lib, "a0 and2\n", "", "n0 b0 a\n"), std::runtime_error);
+  EXPECT_THROW(parse_network(lib, "a0 and2\n", "", "n0 a0 zz\n"), std::runtime_error);
+  EXPECT_THROW(parse_network(lib, "a0 and2\n", "", "n0 root zz\n"), std::runtime_error);
+  EXPECT_THROW(parse_network(lib, "a0\n", "", ""), std::runtime_error);
+}
+
+TEST(NetlistIo, RoundTrip) {
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  const Network original = parse_network(lib,
+                                         "a0 and2\no0 or2\nf0 dff\n",
+                                         "x in\nq out\n",
+                                         "n0 a0 y\nn0 o0 a\nn1 o0 y\nn1 f0 d\n"
+                                         "pi root x\npi a0 a\n"
+                                         "po f0 q\npo root q\n");
+  const NetlistFiles files = write_network(original);
+  const Network reparsed = parse_network(lib, files.call_file, files.io_file,
+                                         files.netlist_file);
+  EXPECT_EQ(reparsed.module_count(), original.module_count());
+  EXPECT_EQ(reparsed.net_count(), original.net_count());
+  EXPECT_EQ(reparsed.term_count(), original.term_count());
+  for (int m = 0; m < original.module_count(); ++m) {
+    EXPECT_EQ(reparsed.module(m).name, original.module(m).name);
+    EXPECT_EQ(reparsed.module(m).size, original.module(m).size);
+  }
+  for (int n = 0; n < original.net_count(); ++n) {
+    EXPECT_EQ(reparsed.net(n).terms.size(), original.net(n).terms.size());
+  }
+}
+
+}  // namespace
+}  // namespace na

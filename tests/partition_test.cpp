@@ -1,0 +1,193 @@
+// Unit tests for the partitioning step (TAKE_A_SEED / FORM_PARTITION /
+// PARTITIONING, paper section 4.6.3).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/controller.hpp"
+#include "gen/random_net.hpp"
+#include "netlist/module_library.hpp"
+#include "place/partition.hpp"
+
+namespace na {
+namespace {
+
+/// A dumbbell: cluster {0,1,2} tightly connected, cluster {3,4,5} tightly
+/// connected, one bridge net between them.
+Network dumbbell() {
+  Network net;
+  for (int i = 0; i < 6; ++i) {
+    const ModuleId m = net.add_module("m" + std::to_string(i), "", {4, 4});
+    net.add_terminal(m, "a", TermType::In, {0, 1});
+    net.add_terminal(m, "b", TermType::In, {0, 3});
+    net.add_terminal(m, "y", TermType::Out, {4, 1});
+    net.add_terminal(m, "z", TermType::Out, {4, 3});
+  }
+  auto t = [&](ModuleId m, const char* n) { return *net.term_by_name(m, n); };
+  auto wire = [&](const char* name, TermId a, TermId b) {
+    const NetId n = net.add_net(name);
+    net.connect(n, a);
+    net.connect(n, b);
+  };
+  // Cluster 0-1-2: triangle (two nets per pair would exceed terminals; one each).
+  wire("c01", t(0, "y"), t(1, "a"));
+  wire("c12", t(1, "y"), t(2, "a"));
+  wire("c20", t(2, "y"), t(0, "a"));
+  // Cluster 3-4-5.
+  wire("c34", t(3, "y"), t(4, "a"));
+  wire("c45", t(4, "y"), t(5, "a"));
+  wire("c53", t(5, "y"), t(3, "a"));
+  // Bridge.
+  wire("bridge", t(0, "z"), t(3, "b"));
+  return net;
+}
+
+TEST(TakeASeed, PicksMostConnectedFreeModule) {
+  Network net;
+  // Star: m0 connects to m1..m3; m1..m3 mutually unconnected.
+  for (int i = 0; i < 4; ++i) {
+    const ModuleId m = net.add_module("m" + std::to_string(i), "", {4, 4});
+    net.add_terminal(m, "a", TermType::In, {0, 1});
+    net.add_terminal(m, "y", TermType::Out, {4, 1});
+    net.add_terminal(m, "y2", TermType::Out, {4, 3});
+    net.add_terminal(m, "a2", TermType::In, {0, 3});
+  }
+  auto wire = [&](const char* name, TermId a, TermId b) {
+    const NetId n = net.add_net(name);
+    net.connect(n, a);
+    net.connect(n, b);
+  };
+  wire("n1", *net.term_by_name(0, "y"), *net.term_by_name(1, "a"));
+  wire("n2", *net.term_by_name(0, "y2"), *net.term_by_name(2, "a"));
+  wire("n3", *net.term_by_name(0, "a"), *net.term_by_name(3, "y"));
+  const std::vector<bool> all(4, true);
+  EXPECT_EQ(take_a_seed(net, all), 0);
+}
+
+TEST(TakeASeed, TieBreaksOnPlacedConnections) {
+  const Network net = dumbbell();
+  // m0 and m3 both have 3 connections among free modules when everything
+  // is free... actually every module has 2 intra + m0/m3 have the bridge.
+  std::vector<bool> free_mask(6, true);
+  const ModuleId seed = take_a_seed(net, free_mask);
+  EXPECT_TRUE(seed == 0 || seed == 3);
+  // Make cluster {0,1,2} placed: among free {3,4,5} all have 2 free
+  // connections, but m3 also touches the placed side (the bridge + nothing)
+  // -> tie break prefers FEWEST placed connections: m4 or m5.
+  free_mask = {false, false, false, true, true, true};
+  const ModuleId seed2 = take_a_seed(net, free_mask);
+  EXPECT_TRUE(seed2 == 4 || seed2 == 5);
+}
+
+TEST(TakeASeed, ThrowsWithoutFreeModules) {
+  const Network net = dumbbell();
+  EXPECT_THROW(take_a_seed(net, std::vector<bool>(6, false)), std::logic_error);
+}
+
+TEST(FormPartition, RespectsSizeLimit) {
+  const Network net = dumbbell();
+  std::vector<bool> free_mask(6, true);
+  const auto part = form_partition(net, free_mask, 0, {3, 1000});
+  EXPECT_EQ(part.size(), 3u);
+  // The grown cluster is the tightly connected one.
+  auto sorted = part;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<ModuleId>{0, 1, 2}));
+  // free_mask updated.
+  EXPECT_FALSE(free_mask[0]);
+  EXPECT_TRUE(free_mask[3]);
+}
+
+TEST(FormPartition, RespectsConnectionLimit) {
+  const Network net = dumbbell();
+  std::vector<bool> free_mask(6, true);
+  // With the external-connection limit at 1, growth stops as soon as the
+  // partition's external net count reaches it.
+  const auto part = form_partition(net, free_mask, 1, {100, 1});
+  EXPECT_LT(part.size(), 6u);
+}
+
+TEST(FormPartition, StopsAtDisconnectedModules) {
+  Network net;
+  for (int i = 0; i < 3; ++i) {
+    net.add_module("m" + std::to_string(i), "", {2, 2});
+  }
+  // No nets at all: a partition around seed 0 contains only module 0 even
+  // with a large size limit.
+  std::vector<bool> free_mask(3, true);
+  const auto part = form_partition(net, free_mask, 0, {100, 1000});
+  EXPECT_EQ(part, std::vector<ModuleId>{0});
+}
+
+TEST(Partitioning, CoversAllModulesDisjointly) {
+  for (unsigned seed : {1u, 7u, 42u}) {
+    gen::RandomNetOptions opt;
+    opt.modules = 17;
+    opt.seed = seed;
+    const Network net = gen::random_network(opt);
+    for (int max_size : {1, 3, 6, 100}) {
+      const auto parts = partition_network(net, {max_size, 1000000});
+      std::vector<int> seen(net.module_count(), 0);
+      for (const auto& p : parts) {
+        EXPECT_FALSE(p.empty());
+        EXPECT_LE(static_cast<int>(p.size()), max_size);
+        for (ModuleId m : p) seen[m]++;
+      }
+      for (int m = 0; m < net.module_count(); ++m) {
+        EXPECT_EQ(seen[m], 1) << "module " << m << " covered " << seen[m]
+                              << " times (max_size " << max_size << ")";
+      }
+    }
+  }
+}
+
+TEST(Partitioning, SizeOneYieldsSingletons) {
+  const Network net = gen::controller_network();
+  const auto parts = partition_network(net, {1, 1000000});
+  EXPECT_EQ(parts.size(), 16u);
+  for (const auto& p : parts) EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Partitioning, ControllerClusters) {
+  // The figure 6.3 experiment: partition size 5 groups each functional
+  // cluster.  The external-connection limit (-c) keeps the controller —
+  // whose 9 nets fan out everywhere — in a partition of its own, which is
+  // what makes the clusters come out as clean functional parts.
+  const Network net = gen::controller_network();
+  const auto parts = partition_network(net, {5, 8});
+  // 16 modules in partitions of at most 5 -> at least 4 partitions.
+  EXPECT_GE(parts.size(), 4u);
+  // Each 5-module loop must land in one partition: check that each "u<i>_"
+  // family is not split.
+  for (int c = 0; c < 3; ++c) {
+    const std::string prefix = "u" + std::to_string(c) + "_";
+    int home = -1;
+    for (size_t p = 0; p < parts.size(); ++p) {
+      for (ModuleId m : parts[p]) {
+        if (net.module(m).name.starts_with(prefix)) {
+          if (home == -1) home = static_cast<int>(p);
+          EXPECT_EQ(home, static_cast<int>(p))
+              << "cluster " << prefix << " split across partitions";
+        }
+      }
+    }
+  }
+}
+
+TEST(Partitioning, IncludeMaskRestricts) {
+  const Network net = dumbbell();
+  std::vector<bool> include(6, false);
+  include[3] = include[4] = include[5] = true;
+  const auto parts = partition_network(net, {10, 1000000}, include);
+  int total = 0;
+  for (const auto& p : parts) {
+    for (ModuleId m : p) {
+      EXPECT_GE(m, 3);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 3);
+}
+
+}  // namespace
+}  // namespace na

@@ -1,0 +1,210 @@
+// Property-based parameterised sweeps over random networks and option
+// grids: every generated diagram must be geometrically valid, the router
+// must be complete relative to the Lee oracle, and the objective ordering
+// must hold on every routed net.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/generator.hpp"
+#include "gen/random_net.hpp"
+#include "place/columnar.hpp"
+#include "place/epitaxial.hpp"
+#include "place/mincut.hpp"
+#include "route/net_order.hpp"
+#include "schematic/metrics.hpp"
+#include "schematic/validate.hpp"
+
+namespace na {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sweep 1: full pipeline over (seed, partition size, box size).
+// ---------------------------------------------------------------------------
+
+using PipelineParams = std::tuple<unsigned /*seed*/, int /*part*/, int /*box*/>;
+
+class PipelineSweep : public ::testing::TestWithParam<PipelineParams> {};
+
+TEST_P(PipelineSweep, GeneratesValidDiagram) {
+  const auto [seed, part, box] = GetParam();
+  gen::RandomNetOptions gopt;
+  gopt.modules = 10;
+  gopt.extra_nets = 6;
+  gopt.seed = seed;
+  const Network net = gen::random_network(gopt);
+
+  GeneratorOptions opt;
+  opt.placer.max_part_size = part;
+  opt.placer.max_box_size = box;
+  opt.router.margin = 6;
+  GeneratorResult result;
+  const Diagram dia = generate_diagram(net, opt, &result);
+
+  const auto problems = validate_diagram(dia);
+  for (const auto& p : problems) ADD_FAILURE() << p;
+  // Small random networks with generous margins route completely.
+  EXPECT_EQ(result.route.nets_failed, 0);
+  // Stats are consistent with the report.
+  const DiagramStats stats = compute_stats(dia);
+  EXPECT_EQ(stats.unrouted, result.route.nets_failed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PipelineSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                       ::testing::Values(1, 4),
+                       ::testing::Values(1, 3)),
+    [](const auto& info) {
+      return "s" + std::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param)) + "_b" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 2: router completeness & objective ordering vs the Lee oracle.
+// ---------------------------------------------------------------------------
+
+class RouterOracleSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RouterOracleSweep, LineExpansionMatchesLeeExistence) {
+  const unsigned seed = GetParam();
+  gen::RandomNetOptions gopt;
+  gopt.modules = 8;
+  gopt.extra_nets = 5;
+  gopt.seed = seed;
+  const Network net = gen::random_network(gopt);
+  GeneratorOptions opt;
+  opt.placer.max_part_size = 4;
+  opt.placer.max_box_size = 2;
+  Diagram dia(net);
+  place(dia, opt.placer);
+
+  // Route the same placement with both engines; since both are complete,
+  // neither may fail where the other succeeds *in the first pass on an
+  // empty plane per net* — we compare single-connection feasibility on the
+  // fresh grid (no nets committed) for every 2-terminal net.
+  const RoutingGrid grid = build_grid(dia, 6);
+  for (NetId n = 0; n < net.net_count(); ++n) {
+    const Net& nn = net.net(n);
+    if (nn.terms.size() != 2) continue;
+    SearchProblem prob;
+    prob.net = n;
+    const Terminal& t0 = net.term(nn.terms[0]);
+    prob.starts = {{dia.term_pos(nn.terms[0]),
+                    t0.is_system() ? std::optional<geom::Dir>{}
+                                   : std::optional<geom::Dir>{
+                                         dia.term_facing(nn.terms[0])}}};
+    const Terminal& t1 = net.term(nn.terms[1]);
+    prob.target = SearchTarget{
+        dia.term_pos(nn.terms[1]),
+        t1.is_system() ? std::optional<geom::Dir>{}
+                       : std::optional<geom::Dir>{dia.term_facing(nn.terms[1])}};
+    const auto lx = line_expansion_search(grid, prob);
+    const auto lee = lee_search(grid, prob);
+    EXPECT_EQ(lx.has_value(), lee.has_value()) << "net " << nn.name;
+    if (lx && lee) {
+      // Lee minimises length; line expansion minimises bends first.
+      EXPECT_GE(lx->cost.length, lee->cost.length) << "net " << nn.name;
+      // A min-bend path can never have more bends than the Lee path.
+      const int lee_bends =
+          static_cast<int>(lee->path.size()) - 2;  // corners of the polyline
+      EXPECT_LE(lx->cost.bends, std::max(lee_bends, 0)) << "net " << nn.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterOracleSweep,
+                         ::testing::Range(1u, 13u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Sweep 3: baseline placers stay valid and routable across seeds.
+// ---------------------------------------------------------------------------
+
+enum class PlacerKind { Pipeline, Mincut, Epitaxial, Columnar };
+
+using BaselineParams = std::tuple<unsigned, PlacerKind>;
+
+class BaselineSweep : public ::testing::TestWithParam<BaselineParams> {};
+
+TEST_P(BaselineSweep, PlacesValidlyAndRoutes) {
+  const auto [seed, kind] = GetParam();
+  gen::RandomNetOptions gopt;
+  gopt.modules = 9;
+  gopt.extra_nets = 4;
+  gopt.seed = seed;
+  const Network net = gen::random_network(gopt);
+  Diagram dia(net);
+  switch (kind) {
+    case PlacerKind::Pipeline: {
+      PlacerOptions opt;
+      opt.max_part_size = 4;
+      opt.max_box_size = 3;
+      place(dia, opt);
+      break;
+    }
+    case PlacerKind::Mincut:
+      mincut_place(dia);
+      break;
+    case PlacerKind::Epitaxial:
+      epitaxial_place(dia);
+      break;
+    case PlacerKind::Columnar:
+      columnar_place(dia);
+      break;
+  }
+  const auto placement_problems = validate_diagram(dia);
+  for (const auto& p : placement_problems) ADD_FAILURE() << p;
+
+  RouterOptions ropt;
+  ropt.margin = 6;
+  const RouteReport report = route_all(dia, ropt);
+  EXPECT_EQ(report.nets_failed, 0) << "placer " << static_cast<int>(kind);
+  const auto problems = validate_diagram(dia, true);
+  for (const auto& p : problems) ADD_FAILURE() << p;
+}
+
+constexpr const char* kPlacerNames[] = {"pipeline", "mincut", "epitaxial",
+                                        "columnar"};
+
+INSTANTIATE_TEST_SUITE_P(
+    Placers, BaselineSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(PlacerKind::Pipeline, PlacerKind::Mincut,
+                                         PlacerKind::Epitaxial,
+                                         PlacerKind::Columnar)),
+    [](const auto& info) {
+      return "s" + std::to_string(std::get<0>(info.param)) +
+             kPlacerNames[static_cast<int>(std::get<1>(info.param))];
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 4: net-order criteria all keep the diagram valid.
+// ---------------------------------------------------------------------------
+
+class OrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrderSweep, AllCriteriaValid) {
+  gen::RandomNetOptions gopt;
+  gopt.modules = 10;
+  gopt.seed = 7;
+  const Network net = gen::random_network(gopt);
+  GeneratorOptions opt;
+  opt.placer.max_part_size = 3;
+  opt.placer.max_box_size = 2;
+  opt.router.margin = 6;
+  opt.router.order_criterion = GetParam();
+  GeneratorResult result;
+  const Diagram dia = generate_diagram(net, opt, &result);
+  EXPECT_EQ(result.route.nets_failed, 0);
+  const auto problems = validate_diagram(dia, true);
+  for (const auto& p : problems) ADD_FAILURE() << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Criteria, OrderSweep, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace na

@@ -1,0 +1,110 @@
+// Tests for rip-up / reroute / repair — the interactive fix workflow of
+// section 6 — and for the facing-pairs claimpoint workload generator.
+#include <gtest/gtest.h>
+
+#include "gen/facing.hpp"
+#include "gen/life.hpp"
+#include "netlist/module_library.hpp"
+#include "route/net_order.hpp"
+#include "route/ripup.hpp"
+#include "schematic/validate.hpp"
+
+namespace na {
+namespace {
+
+TEST(RipUp, RemovesGeometry) {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  lib.instantiate(net, "buf", "b0");
+  lib.instantiate(net, "buf", "b1");
+  const NetId n = net.add_net("n0");
+  net.connect(n, *net.term_by_name(0, "y"));
+  net.connect(n, *net.term_by_name(1, "a"));
+  Diagram dia(net);
+  dia.place_module(0, {0, 0});
+  dia.place_module(1, {10, 0});
+  route_all(dia);
+  ASSERT_TRUE(dia.route(n).routed);
+  rip_up(dia, n);
+  EXPECT_FALSE(dia.route(n).routed);
+  EXPECT_TRUE(dia.route(n).polylines.empty());
+}
+
+TEST(Reroute, ReconnectsRippedNets) {
+  const gen::FacingOptions fopt{/*pairs=*/2, /*terms=*/4, /*channel=*/6, 1};
+  const Network net = gen::facing_pairs(fopt);
+  Diagram dia(net);
+  gen::facing_placement(dia, fopt);
+  RouterOptions opt;
+  opt.margin = 6;
+  ASSERT_EQ(route_all(dia, opt).nets_failed, 0);
+  const std::vector<NetId> victims{0, 1, 2};
+  const RouteReport r = reroute(dia, victims, opt);
+  EXPECT_EQ(r.nets_failed, 0);
+  EXPECT_TRUE(validate_diagram(dia, true).empty());
+}
+
+TEST(Repair, FixesBlockedChannels) {
+  // A crowded facing channel routed without claims leaves failures; the
+  // repair loop (rip nearby victims, reroute) recovers most or all of them,
+  // like the paper's human-adjust-then-rerun story.
+  int failed_before = 0;
+  int failed_after = 0;
+  for (unsigned seed = 1; seed <= 4; ++seed) {
+    gen::FacingOptions fopt;
+    fopt.channel = 4;
+    fopt.seed = seed;
+    const Network net = gen::facing_pairs(fopt);
+    RouterOptions opt;
+    opt.use_claimpoints = false;  // provoke failures
+    opt.retry_failed = false;
+    opt.margin = 4;
+    Diagram plain(net);
+    gen::facing_placement(plain, fopt);
+    failed_before += route_all(plain, opt).nets_failed;
+
+    Diagram repaired(net);
+    gen::facing_placement(repaired, fopt);
+    const RouteReport r = repair_failed(repaired, opt, /*max_rounds=*/4);
+    failed_after += r.nets_failed;
+    EXPECT_TRUE(validate_diagram(repaired).empty());
+  }
+  EXPECT_GT(failed_before, 0);  // the scenario is actually hard
+  EXPECT_LT(failed_after, failed_before);
+}
+
+TEST(Repair, NoopWhenEverythingRoutes) {
+  const gen::FacingOptions fopt{2, 4, 8, 1};
+  const Network net = gen::facing_pairs(fopt);
+  Diagram dia(net);
+  gen::facing_placement(dia, fopt);
+  const RouteReport r = repair_failed(dia);
+  EXPECT_EQ(r.nets_failed, 0);
+  EXPECT_TRUE(validate_diagram(dia, true).empty());
+}
+
+TEST(FacingGen, Structure) {
+  const gen::FacingOptions fopt{3, 6, 4, 2};
+  const Network net = gen::facing_pairs(fopt);
+  EXPECT_EQ(net.module_count(), 6);
+  EXPECT_EQ(net.net_count(), 18);
+  EXPECT_TRUE(net.validate().empty());
+  Diagram dia(net);
+  gen::facing_placement(dia, fopt);
+  EXPECT_TRUE(validate_diagram(dia).empty());
+  // The channel between facing modules is exactly `channel` tracks wide.
+  EXPECT_EQ(dia.module_rect(1).lo.x - dia.module_rect(0).hi.x - 1, fopt.channel);
+}
+
+TEST(FacingGen, SeedsPermuteDifferently) {
+  const Network a = gen::facing_pairs({1, 6, 4, 1});
+  const Network b = gen::facing_pairs({1, 6, 4, 2});
+  bool differ = false;
+  for (int n = 0; n < a.net_count() && !differ; ++n) {
+    differ = a.net(n).terms != b.net(n).terms;
+  }
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace na

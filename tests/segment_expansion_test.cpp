@@ -1,0 +1,136 @@
+// Cross-validation of the two line-expansion formulations: the unit-step
+// lexicographic search (line_expansion_search) and the segment/wavefront
+// form of paper sections 5.5/5.6 (segment_expansion_search) must agree on
+// reachability and on the minimum bend count everywhere, and the segment
+// form's paths must be geometrically committable.
+#include <gtest/gtest.h>
+
+#include "gen/facing.hpp"
+#include "gen/life.hpp"
+#include "route/router.hpp"
+#include "schematic/validate.hpp"
+
+namespace na {
+namespace {
+
+SearchProblem p2p(NetId net, geom::Point from, std::optional<geom::Dir> from_dir,
+                  geom::Point to, std::optional<geom::Dir> to_facing) {
+  SearchProblem p;
+  p.net = net;
+  p.starts = {{from, from_dir}};
+  p.target = SearchTarget{to, to_facing};
+  return p;
+}
+
+TEST(SegmentExpansion, StraightAndOneBend) {
+  RoutingGrid g({{0, 0}, {20, 20}});
+  auto r = segment_expansion_search(
+      g, p2p(0, {2, 5}, geom::Dir::Right, {15, 5}, geom::Dir::Left));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->cost.bends, 0);
+  EXPECT_EQ(r->cost.length, 13);
+  EXPECT_EQ(r->path, (std::vector<geom::Point>{{2, 5}, {15, 5}}));
+
+  r = segment_expansion_search(
+      g, p2p(0, {2, 2}, geom::Dir::Right, {10, 10}, geom::Dir::Down));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->cost.bends, 1);
+  EXPECT_EQ(r->cost.length, 16);
+}
+
+TEST(SegmentExpansion, DetourBends) {
+  RoutingGrid g({{0, 0}, {20, 20}});
+  g.block_rect({{8, 0}, {10, 12}});
+  const auto r = segment_expansion_search(
+      g, p2p(0, {2, 5}, geom::Dir::Right, {16, 5}, geom::Dir::Left));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->cost.bends, 4);  // same as the unit-step engine's result
+}
+
+TEST(SegmentExpansion, NoPath) {
+  RoutingGrid g({{0, 0}, {10, 10}});
+  g.block_rect({{5, 0}, {5, 10}});
+  EXPECT_FALSE(segment_expansion_search(
+                   g, p2p(0, {2, 5}, std::nullopt, {8, 5}, std::nullopt))
+                   .has_value());
+}
+
+TEST(SegmentExpansion, JoinOwnNet) {
+  RoutingGrid g({{0, 0}, {10, 10}});
+  const geom::Point own[] = {{2, 8}, {8, 8}};
+  g.occupy_polyline(0, own);
+  SearchProblem p;
+  p.net = 0;
+  p.starts = {{{5, 2}, geom::Dir::Up}};
+  p.join_own_net = true;
+  const auto r = segment_expansion_search(g, p);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->cost.bends, 0);
+  EXPECT_EQ(r->path.back(), (geom::Point{5, 8}));
+}
+
+class SegmentEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SegmentEquivalence, AgreesWithUnitStepEngine) {
+  const unsigned seed = GetParam();
+  RoutingGrid g({{0, 0}, {18, 18}});
+  unsigned state = seed * 2654435761u + 3;
+  auto rnd = [&]() { return state = state * 1664525u + 1013904223u; };
+  for (int i = 0; i < 12; ++i) {
+    const int x = static_cast<int>(rnd() % 15) + 1;
+    const int y = static_cast<int>(rnd() % 15) + 1;
+    g.block_rect({{x, y},
+                  {x + static_cast<int>(rnd() % 3), y + static_cast<int>(rnd() % 3)}});
+  }
+  // A few foreign nets to exercise crossing/turn rules.
+  for (int i = 0; i < 3; ++i) {
+    const int c = static_cast<int>(rnd() % 17) + 1;
+    std::vector<geom::Point> pl{{c, 0}, {c, 17}};
+    bool free_track = true;
+    for (int y = 0; y <= 17; ++y) {
+      if (g.blocked({c, y}) || g.v_net({c, y}) != kNone) free_track = false;
+    }
+    if (free_track) g.occupy_polyline(100 + i, pl);
+  }
+  for (const auto& [from, to] :
+       std::vector<std::pair<geom::Point, geom::Point>>{
+           {{0, 0}, {18, 18}}, {{0, 18}, {18, 0}}, {{0, 9}, {18, 9}}}) {
+    if (!g.node_free(from, 0) || !g.node_free(to, 0)) continue;
+    const SearchProblem p = p2p(0, from, std::nullopt, to, std::nullopt);
+    const auto unit = line_expansion_search(g, p);
+    const auto segm = segment_expansion_search(g, p);
+    ASSERT_EQ(unit.has_value(), segm.has_value())
+        << "seed " << seed << " " << geom::to_string(from);
+    if (unit && segm) {
+      EXPECT_EQ(unit->cost.bends, segm->cost.bends)
+          << "seed " << seed << " " << geom::to_string(from) << "->"
+          << geom::to_string(to);
+      // The segment path must be committable over the same obstacles.
+      RoutingGrid g2 = g;
+      EXPECT_NO_THROW(g2.occupy_polyline(0, segm->path));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentEquivalence, ::testing::Range(1u, 16u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(SegmentExpansion, DrivesFullDiagramRouting) {
+  // The whole driver works with the segment engine and produces a valid,
+  // fully routed diagram on a real workload.
+  const gen::FacingOptions fopt{3, 6, 6, 5};
+  const Network net = gen::facing_pairs(fopt);
+  Diagram dia(net);
+  gen::facing_placement(dia, fopt);
+  RouterOptions opt;
+  opt.engine = Engine::SegmentExpansion;
+  opt.margin = 6;
+  const RouteReport r = route_all(dia, opt);
+  EXPECT_EQ(r.nets_failed, 0);
+  EXPECT_TRUE(validate_diagram(dia, true).empty());
+}
+
+}  // namespace
+}  // namespace na

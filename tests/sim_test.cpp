@@ -1,0 +1,239 @@
+// Tests for the gate-level simulator and the LIFE verification (the
+// paper's "simulated by the simulator in ESCHER+; results were positive").
+#include <gtest/gtest.h>
+
+#include "gen/life.hpp"
+#include "netlist/module_library.hpp"
+#include "sim/life_check.hpp"
+#include "sim/simulator.hpp"
+
+namespace na::sim {
+namespace {
+
+struct Harness {
+  Network net;
+  std::vector<TermId> ins;
+  TermId out = kNone;
+};
+
+/// in0,in1 -> gate -> out
+Harness gate_harness(const char* gate, int inputs) {
+  Harness h;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  const ModuleId m = lib.instantiate(h.net, gate, "g");
+  const char* names[] = {"a", "b", "c"};
+  for (int i = 0; i < inputs; ++i) {
+    const TermId st = h.net.add_system_terminal("i" + std::to_string(i), TermType::In);
+    const NetId n = h.net.add_net("n" + std::to_string(i));
+    h.net.connect(n, st);
+    h.net.connect(n, *h.net.term_by_name(m, names[i]));
+    h.ins.push_back(st);
+  }
+  h.out = h.net.add_system_terminal("o", TermType::Out);
+  const NetId n = h.net.add_net("no");
+  h.net.connect(n, *h.net.term_by_name(m, "y"));
+  h.net.connect(n, h.out);
+  return h;
+}
+
+TEST(Simulator, TruthTables) {
+  struct Case {
+    const char* gate;
+    bool table[4];  // f(00), f(01), f(10), f(11) with (a,b)
+  };
+  for (const Case& c : {Case{"and2", {false, false, false, true}},
+                        Case{"or2", {false, true, true, true}},
+                        Case{"xor2", {false, true, true, false}},
+                        Case{"nand2", {true, true, true, false}},
+                        Case{"nor2", {true, false, false, false}}}) {
+    Harness h = gate_harness(c.gate, 2);
+    Simulator s(h.net);
+    for (int v = 0; v < 4; ++v) {
+      s.set_input(h.ins[0], (v & 2) != 0);
+      s.set_input(h.ins[1], (v & 1) != 0);
+      s.settle();
+      EXPECT_EQ(s.value_at(h.out), c.table[v]) << c.gate << " input " << v;
+    }
+  }
+}
+
+TEST(Simulator, InverterChainSettles) {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  ModuleId prev = lib.instantiate(net, "inv", "i0");
+  const TermId in = net.add_system_terminal("x", TermType::In);
+  NetId n = net.add_net("n_in");
+  net.connect(n, in);
+  net.connect(n, *net.term_by_name(prev, "a"));
+  for (int i = 1; i < 5; ++i) {
+    const ModuleId cur = lib.instantiate(net, "inv", "i" + std::to_string(i));
+    n = net.add_net("n" + std::to_string(i));
+    net.connect(n, *net.term_by_name(prev, "y"));
+    net.connect(n, *net.term_by_name(cur, "a"));
+    prev = cur;
+  }
+  Simulator s(net);
+  s.set_input(in, true);
+  s.settle();
+  // Net n<k> carries the input inverted k times.
+  EXPECT_FALSE(s.value(*net.net_by_name("n1")));
+  EXPECT_TRUE(s.value(*net.net_by_name("n2")));
+  EXPECT_FALSE(s.value(*net.net_by_name("n3")));
+  EXPECT_TRUE(s.value(*net.net_by_name("n4")));
+  s.set_input(in, false);
+  s.settle();
+  EXPECT_TRUE(s.value(*net.net_by_name("n1")));
+  EXPECT_FALSE(s.value(*net.net_by_name("n4")));
+}
+
+TEST(Simulator, RingOscillatorThrows) {
+  // A single inverter feeding itself cannot settle.
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  const ModuleId m = lib.instantiate(net, "inv", "i");
+  const NetId n = net.add_net("loop");
+  net.connect(n, *net.term_by_name(m, "y"));
+  net.connect(n, *net.term_by_name(m, "a"));
+  Simulator s(net);
+  EXPECT_THROW(s.settle(), std::runtime_error);
+}
+
+TEST(Simulator, DffCapturesOnTick) {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  const ModuleId ff = lib.instantiate(net, "dff", "ff");
+  const TermId d = net.add_system_terminal("d", TermType::In);
+  const NetId nd = net.add_net("nd");
+  net.connect(nd, d);
+  net.connect(nd, *net.term_by_name(ff, "d"));
+  const NetId nq = net.add_net("nq");
+  net.connect(nq, *net.term_by_name(ff, "q"));
+  net.connect(nq, net.add_system_terminal("q", TermType::Out));
+  const NetId nqn = net.add_net("nqn");
+  net.connect(nqn, *net.term_by_name(ff, "qn"));
+  net.connect(nqn, net.add_system_terminal("qn", TermType::Out));
+  Simulator s(net);
+  s.set_input(d, true);
+  s.settle();
+  EXPECT_FALSE(s.value(nq));  // not clocked yet
+  s.tick();
+  EXPECT_TRUE(s.value(nq));
+  s.set_input(d, false);
+  s.tick();
+  EXPECT_FALSE(s.value(nq));
+  // qn is the complement.
+  EXPECT_TRUE(s.input(ff, "qn"));
+}
+
+TEST(Simulator, RegEnableGates) {
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  const ModuleId r = lib.instantiate(net, "reg", "r");
+  const TermId d = net.add_system_terminal("d", TermType::In);
+  const TermId en = net.add_system_terminal("en", TermType::In);
+  NetId n = net.add_net("nd");
+  net.connect(n, d);
+  net.connect(n, *net.term_by_name(r, "d"));
+  n = net.add_net("nen");
+  net.connect(n, en);
+  net.connect(n, *net.term_by_name(r, "en"));
+  Simulator s(net);
+  s.set_input(d, true);
+  s.set_input(en, false);
+  s.tick();
+  EXPECT_EQ(s.state(r), 0u);  // enable off: held
+  s.set_input(en, true);
+  s.tick();
+  EXPECT_EQ(s.state(r), 1u);
+}
+
+TEST(Simulator, MissingBehaviorThrows) {
+  Network net;
+  net.add_module("mystery", "no_such_template", {2, 2});
+  Simulator s(net);
+  EXPECT_THROW(s.settle(), std::runtime_error);
+}
+
+TEST(Simulator, CustomBehavior) {
+  Network net;
+  const ModuleId m = net.add_module("c", "const1", {2, 2});
+  net.add_terminal(m, "y", TermType::Out, {2, 1});
+  const NetId n = net.add_net("n");
+  net.connect(n, *net.term_by_name(m, "y"));
+  net.connect(n, net.add_system_terminal("o", TermType::Out));
+  Simulator s(net);
+  s.register_behavior("const1", {[](Simulator& sim, ModuleId mm) {
+                                   sim.output(mm, "y", true);
+                                 },
+                                 nullptr});
+  s.settle();
+  EXPECT_TRUE(s.value(n));
+}
+
+// --- LIFE ------------------------------------------------------------------------
+
+TEST(LifeReference, Rules) {
+  // All dead stays dead.
+  EXPECT_EQ(life_reference_step({}), (std::array<bool, 9>{}));
+  // Exactly three alive: every dead cell with 3 neighbours is born; the
+  // alive ones have 2 neighbours each and survive -> all alive.
+  std::array<bool, 9> three{};
+  three[0] = three[1] = three[2] = true;
+  const auto next = life_reference_step(three);
+  for (bool b : next) EXPECT_TRUE(b);
+  // Full board: everyone has 8 neighbours -> all die.
+  std::array<bool, 9> full;
+  full.fill(true);
+  for (bool b : life_reference_step(full)) EXPECT_FALSE(b);
+}
+
+TEST(LifeHardware, MatchesReference) {
+  const Network net = gen::life_network();
+  const std::array<bool, 9> seeds[] = {
+      {true, false, false, false, true, false, false, false, true},
+      {true, true, false, false, false, false, false, false, false},
+      {false, true, false, true, true, false, false, false, true},
+  };
+  for (const auto& seed : seeds) {
+    const auto problems = verify_life(net, seed, 6);
+    for (const auto& p : problems) ADD_FAILURE() << p;
+  }
+}
+
+TEST(LifeHardware, ModeFreezesBoard) {
+  const Network net = gen::life_network();
+  Simulator s(net);
+  std::array<ModuleId, 9> regs{};
+  std::array<bool, 9> board{true, false, true, false, true, false, true, false, true};
+  for (int i = 0; i < 9; ++i) {
+    regs[i] = *net.module_by_name("reg" + std::to_string(i / 3) +
+                                  std::to_string(i % 3));
+    s.set_state(regs[i], board[i] ? 1 : 0);
+  }
+  s.set_input(*net.term_by_name(kNone, "mode"), true);  // freeze
+  s.tick();
+  s.tick();
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ((s.state(regs[i]) & 1) != 0, board[i]) << "cell " << i;
+  }
+}
+
+TEST(LifeHardware, ResetClears) {
+  const Network net = gen::life_network();
+  Simulator s(net);
+  for (int i = 0; i < 9; ++i) {
+    s.set_state(*net.module_by_name("reg" + std::to_string(i / 3) +
+                                    std::to_string(i % 3)),
+                1);
+  }
+  s.set_input(*net.term_by_name(kNone, "rst"), true);
+  s.tick();
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(s.state(*net.module_by_name("reg" + std::to_string(i / 3) +
+                                          std::to_string(i % 3))),
+              0u);
+  }
+}
+
+}  // namespace
+}  // namespace na::sim
