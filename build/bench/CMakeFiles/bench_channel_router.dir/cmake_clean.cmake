@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_channel_router.dir/bench_channel_router.cpp.o"
+  "CMakeFiles/bench_channel_router.dir/bench_channel_router.cpp.o.d"
+  "bench_channel_router"
+  "bench_channel_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_channel_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claimpoints_ablation.dir/bench_claimpoints_ablation.cpp.o"
+  "CMakeFiles/bench_claimpoints_ablation.dir/bench_claimpoints_ablation.cpp.o.d"
+  "bench_claimpoints_ablation"
+  "bench_claimpoints_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claimpoints_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

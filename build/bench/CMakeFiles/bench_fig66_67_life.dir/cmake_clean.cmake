@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig66_67_life.dir/bench_fig66_67_life.cpp.o"
+  "CMakeFiles/bench_fig66_67_life.dir/bench_fig66_67_life.cpp.o.d"
+  "bench_fig66_67_life"
+  "bench_fig66_67_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig66_67_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig66_67_life.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_router_baselines.dir/bench_router_baselines.cpp.o"
+  "CMakeFiles/bench_router_baselines.dir/bench_router_baselines.cpp.o.d"
+  "bench_router_baselines"
+  "bench_router_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_router_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_router_objectives.dir/bench_router_objectives.cpp.o"
+  "CMakeFiles/bench_router_objectives.dir/bench_router_objectives.cpp.o.d"
+  "bench_router_objectives"
+  "bench_router_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_router_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

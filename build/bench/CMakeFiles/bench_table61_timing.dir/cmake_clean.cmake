@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table61_timing.dir/bench_table61_timing.cpp.o"
+  "CMakeFiles/bench_table61_timing.dir/bench_table61_timing.cpp.o.d"
+  "bench_table61_timing"
+  "bench_table61_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table61_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

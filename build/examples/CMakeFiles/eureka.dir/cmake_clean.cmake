@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eureka.dir/eureka.cpp.o"
+  "CMakeFiles/eureka.dir/eureka.cpp.o.d"
+  "eureka"
+  "eureka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eureka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

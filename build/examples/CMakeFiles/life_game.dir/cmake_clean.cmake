@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/life_game.dir/life_game.cpp.o"
+  "CMakeFiles/life_game.dir/life_game.cpp.o.d"
+  "life_game"
+  "life_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/life_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

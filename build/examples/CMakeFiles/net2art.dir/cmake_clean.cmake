@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net2art.dir/net2art.cpp.o"
+  "CMakeFiles/net2art.dir/net2art.cpp.o.d"
+  "net2art"
+  "net2art.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net2art.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

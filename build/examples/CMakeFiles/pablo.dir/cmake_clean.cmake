@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pablo.dir/pablo.cpp.o"
+  "CMakeFiles/pablo.dir/pablo.cpp.o.d"
+  "pablo"
+  "pablo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pablo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quinto.dir/quinto.cpp.o"
+  "CMakeFiles/quinto.dir/quinto.cpp.o.d"
+  "quinto"
+  "quinto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quinto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_core.dir/core/generator.cpp.o"
+  "CMakeFiles/na_core.dir/core/generator.cpp.o.d"
+  "CMakeFiles/na_core.dir/core/options.cpp.o"
+  "CMakeFiles/na_core.dir/core/options.cpp.o.d"
+  "libna_core.a"
+  "libna_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/chain.cpp" "src/CMakeFiles/na_gen.dir/gen/chain.cpp.o" "gcc" "src/CMakeFiles/na_gen.dir/gen/chain.cpp.o.d"
+  "/root/repo/src/gen/channel_gen.cpp" "src/CMakeFiles/na_gen.dir/gen/channel_gen.cpp.o" "gcc" "src/CMakeFiles/na_gen.dir/gen/channel_gen.cpp.o.d"
+  "/root/repo/src/gen/controller.cpp" "src/CMakeFiles/na_gen.dir/gen/controller.cpp.o" "gcc" "src/CMakeFiles/na_gen.dir/gen/controller.cpp.o.d"
+  "/root/repo/src/gen/datapath.cpp" "src/CMakeFiles/na_gen.dir/gen/datapath.cpp.o" "gcc" "src/CMakeFiles/na_gen.dir/gen/datapath.cpp.o.d"
+  "/root/repo/src/gen/facing.cpp" "src/CMakeFiles/na_gen.dir/gen/facing.cpp.o" "gcc" "src/CMakeFiles/na_gen.dir/gen/facing.cpp.o.d"
+  "/root/repo/src/gen/life.cpp" "src/CMakeFiles/na_gen.dir/gen/life.cpp.o" "gcc" "src/CMakeFiles/na_gen.dir/gen/life.cpp.o.d"
+  "/root/repo/src/gen/random_net.cpp" "src/CMakeFiles/na_gen.dir/gen/random_net.cpp.o" "gcc" "src/CMakeFiles/na_gen.dir/gen/random_net.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/na_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/na_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/na_schematic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/na_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/na_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_gen.dir/gen/chain.cpp.o"
+  "CMakeFiles/na_gen.dir/gen/chain.cpp.o.d"
+  "CMakeFiles/na_gen.dir/gen/channel_gen.cpp.o"
+  "CMakeFiles/na_gen.dir/gen/channel_gen.cpp.o.d"
+  "CMakeFiles/na_gen.dir/gen/controller.cpp.o"
+  "CMakeFiles/na_gen.dir/gen/controller.cpp.o.d"
+  "CMakeFiles/na_gen.dir/gen/datapath.cpp.o"
+  "CMakeFiles/na_gen.dir/gen/datapath.cpp.o.d"
+  "CMakeFiles/na_gen.dir/gen/facing.cpp.o"
+  "CMakeFiles/na_gen.dir/gen/facing.cpp.o.d"
+  "CMakeFiles/na_gen.dir/gen/life.cpp.o"
+  "CMakeFiles/na_gen.dir/gen/life.cpp.o.d"
+  "CMakeFiles/na_gen.dir/gen/random_net.cpp.o"
+  "CMakeFiles/na_gen.dir/gen/random_net.cpp.o.d"
+  "libna_gen.a"
+  "libna_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_geom.dir/geom/orientation.cpp.o"
+  "CMakeFiles/na_geom.dir/geom/orientation.cpp.o.d"
+  "CMakeFiles/na_geom.dir/geom/point.cpp.o"
+  "CMakeFiles/na_geom.dir/geom/point.cpp.o.d"
+  "CMakeFiles/na_geom.dir/geom/rect.cpp.o"
+  "CMakeFiles/na_geom.dir/geom/rect.cpp.o.d"
+  "libna_geom.a"
+  "libna_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

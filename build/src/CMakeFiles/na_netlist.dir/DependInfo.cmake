@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/hierarchy.cpp" "src/CMakeFiles/na_netlist.dir/netlist/hierarchy.cpp.o" "gcc" "src/CMakeFiles/na_netlist.dir/netlist/hierarchy.cpp.o.d"
+  "/root/repo/src/netlist/module_library.cpp" "src/CMakeFiles/na_netlist.dir/netlist/module_library.cpp.o" "gcc" "src/CMakeFiles/na_netlist.dir/netlist/module_library.cpp.o.d"
+  "/root/repo/src/netlist/netlist_io.cpp" "src/CMakeFiles/na_netlist.dir/netlist/netlist_io.cpp.o" "gcc" "src/CMakeFiles/na_netlist.dir/netlist/netlist_io.cpp.o.d"
+  "/root/repo/src/netlist/network.cpp" "src/CMakeFiles/na_netlist.dir/netlist/network.cpp.o" "gcc" "src/CMakeFiles/na_netlist.dir/netlist/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/na_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

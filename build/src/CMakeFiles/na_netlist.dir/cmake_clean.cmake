@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_netlist.dir/netlist/hierarchy.cpp.o"
+  "CMakeFiles/na_netlist.dir/netlist/hierarchy.cpp.o.d"
+  "CMakeFiles/na_netlist.dir/netlist/module_library.cpp.o"
+  "CMakeFiles/na_netlist.dir/netlist/module_library.cpp.o.d"
+  "CMakeFiles/na_netlist.dir/netlist/netlist_io.cpp.o"
+  "CMakeFiles/na_netlist.dir/netlist/netlist_io.cpp.o.d"
+  "CMakeFiles/na_netlist.dir/netlist/network.cpp.o"
+  "CMakeFiles/na_netlist.dir/netlist/network.cpp.o.d"
+  "libna_netlist.a"
+  "libna_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

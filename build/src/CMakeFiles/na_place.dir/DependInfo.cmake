@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/box_place.cpp" "src/CMakeFiles/na_place.dir/place/box_place.cpp.o" "gcc" "src/CMakeFiles/na_place.dir/place/box_place.cpp.o.d"
+  "/root/repo/src/place/boxes.cpp" "src/CMakeFiles/na_place.dir/place/boxes.cpp.o" "gcc" "src/CMakeFiles/na_place.dir/place/boxes.cpp.o.d"
+  "/root/repo/src/place/columnar.cpp" "src/CMakeFiles/na_place.dir/place/columnar.cpp.o" "gcc" "src/CMakeFiles/na_place.dir/place/columnar.cpp.o.d"
+  "/root/repo/src/place/epitaxial.cpp" "src/CMakeFiles/na_place.dir/place/epitaxial.cpp.o" "gcc" "src/CMakeFiles/na_place.dir/place/epitaxial.cpp.o.d"
+  "/root/repo/src/place/gravity.cpp" "src/CMakeFiles/na_place.dir/place/gravity.cpp.o" "gcc" "src/CMakeFiles/na_place.dir/place/gravity.cpp.o.d"
+  "/root/repo/src/place/improve.cpp" "src/CMakeFiles/na_place.dir/place/improve.cpp.o" "gcc" "src/CMakeFiles/na_place.dir/place/improve.cpp.o.d"
+  "/root/repo/src/place/mincut.cpp" "src/CMakeFiles/na_place.dir/place/mincut.cpp.o" "gcc" "src/CMakeFiles/na_place.dir/place/mincut.cpp.o.d"
+  "/root/repo/src/place/module_place.cpp" "src/CMakeFiles/na_place.dir/place/module_place.cpp.o" "gcc" "src/CMakeFiles/na_place.dir/place/module_place.cpp.o.d"
+  "/root/repo/src/place/partition.cpp" "src/CMakeFiles/na_place.dir/place/partition.cpp.o" "gcc" "src/CMakeFiles/na_place.dir/place/partition.cpp.o.d"
+  "/root/repo/src/place/partition_place.cpp" "src/CMakeFiles/na_place.dir/place/partition_place.cpp.o" "gcc" "src/CMakeFiles/na_place.dir/place/partition_place.cpp.o.d"
+  "/root/repo/src/place/placer.cpp" "src/CMakeFiles/na_place.dir/place/placer.cpp.o" "gcc" "src/CMakeFiles/na_place.dir/place/placer.cpp.o.d"
+  "/root/repo/src/place/terminal_place.cpp" "src/CMakeFiles/na_place.dir/place/terminal_place.cpp.o" "gcc" "src/CMakeFiles/na_place.dir/place/terminal_place.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/na_schematic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/na_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/na_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_place.dir/place/box_place.cpp.o"
+  "CMakeFiles/na_place.dir/place/box_place.cpp.o.d"
+  "CMakeFiles/na_place.dir/place/boxes.cpp.o"
+  "CMakeFiles/na_place.dir/place/boxes.cpp.o.d"
+  "CMakeFiles/na_place.dir/place/columnar.cpp.o"
+  "CMakeFiles/na_place.dir/place/columnar.cpp.o.d"
+  "CMakeFiles/na_place.dir/place/epitaxial.cpp.o"
+  "CMakeFiles/na_place.dir/place/epitaxial.cpp.o.d"
+  "CMakeFiles/na_place.dir/place/gravity.cpp.o"
+  "CMakeFiles/na_place.dir/place/gravity.cpp.o.d"
+  "CMakeFiles/na_place.dir/place/improve.cpp.o"
+  "CMakeFiles/na_place.dir/place/improve.cpp.o.d"
+  "CMakeFiles/na_place.dir/place/mincut.cpp.o"
+  "CMakeFiles/na_place.dir/place/mincut.cpp.o.d"
+  "CMakeFiles/na_place.dir/place/module_place.cpp.o"
+  "CMakeFiles/na_place.dir/place/module_place.cpp.o.d"
+  "CMakeFiles/na_place.dir/place/partition.cpp.o"
+  "CMakeFiles/na_place.dir/place/partition.cpp.o.d"
+  "CMakeFiles/na_place.dir/place/partition_place.cpp.o"
+  "CMakeFiles/na_place.dir/place/partition_place.cpp.o.d"
+  "CMakeFiles/na_place.dir/place/placer.cpp.o"
+  "CMakeFiles/na_place.dir/place/placer.cpp.o.d"
+  "CMakeFiles/na_place.dir/place/terminal_place.cpp.o"
+  "CMakeFiles/na_place.dir/place/terminal_place.cpp.o.d"
+  "libna_place.a"
+  "libna_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

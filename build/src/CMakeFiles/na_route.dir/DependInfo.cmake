@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/channel.cpp" "src/CMakeFiles/na_route.dir/route/channel.cpp.o" "gcc" "src/CMakeFiles/na_route.dir/route/channel.cpp.o.d"
+  "/root/repo/src/route/global.cpp" "src/CMakeFiles/na_route.dir/route/global.cpp.o" "gcc" "src/CMakeFiles/na_route.dir/route/global.cpp.o.d"
+  "/root/repo/src/route/hightower.cpp" "src/CMakeFiles/na_route.dir/route/hightower.cpp.o" "gcc" "src/CMakeFiles/na_route.dir/route/hightower.cpp.o.d"
+  "/root/repo/src/route/lee.cpp" "src/CMakeFiles/na_route.dir/route/lee.cpp.o" "gcc" "src/CMakeFiles/na_route.dir/route/lee.cpp.o.d"
+  "/root/repo/src/route/line_expansion.cpp" "src/CMakeFiles/na_route.dir/route/line_expansion.cpp.o" "gcc" "src/CMakeFiles/na_route.dir/route/line_expansion.cpp.o.d"
+  "/root/repo/src/route/net_order.cpp" "src/CMakeFiles/na_route.dir/route/net_order.cpp.o" "gcc" "src/CMakeFiles/na_route.dir/route/net_order.cpp.o.d"
+  "/root/repo/src/route/ripup.cpp" "src/CMakeFiles/na_route.dir/route/ripup.cpp.o" "gcc" "src/CMakeFiles/na_route.dir/route/ripup.cpp.o.d"
+  "/root/repo/src/route/router.cpp" "src/CMakeFiles/na_route.dir/route/router.cpp.o" "gcc" "src/CMakeFiles/na_route.dir/route/router.cpp.o.d"
+  "/root/repo/src/route/segment_expansion.cpp" "src/CMakeFiles/na_route.dir/route/segment_expansion.cpp.o" "gcc" "src/CMakeFiles/na_route.dir/route/segment_expansion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/na_schematic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/na_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/na_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

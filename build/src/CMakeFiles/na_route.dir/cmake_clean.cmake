@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_route.dir/route/channel.cpp.o"
+  "CMakeFiles/na_route.dir/route/channel.cpp.o.d"
+  "CMakeFiles/na_route.dir/route/global.cpp.o"
+  "CMakeFiles/na_route.dir/route/global.cpp.o.d"
+  "CMakeFiles/na_route.dir/route/hightower.cpp.o"
+  "CMakeFiles/na_route.dir/route/hightower.cpp.o.d"
+  "CMakeFiles/na_route.dir/route/lee.cpp.o"
+  "CMakeFiles/na_route.dir/route/lee.cpp.o.d"
+  "CMakeFiles/na_route.dir/route/line_expansion.cpp.o"
+  "CMakeFiles/na_route.dir/route/line_expansion.cpp.o.d"
+  "CMakeFiles/na_route.dir/route/net_order.cpp.o"
+  "CMakeFiles/na_route.dir/route/net_order.cpp.o.d"
+  "CMakeFiles/na_route.dir/route/ripup.cpp.o"
+  "CMakeFiles/na_route.dir/route/ripup.cpp.o.d"
+  "CMakeFiles/na_route.dir/route/router.cpp.o"
+  "CMakeFiles/na_route.dir/route/router.cpp.o.d"
+  "CMakeFiles/na_route.dir/route/segment_expansion.cpp.o"
+  "CMakeFiles/na_route.dir/route/segment_expansion.cpp.o.d"
+  "libna_route.a"
+  "libna_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schematic/ascii_writer.cpp" "src/CMakeFiles/na_schematic.dir/schematic/ascii_writer.cpp.o" "gcc" "src/CMakeFiles/na_schematic.dir/schematic/ascii_writer.cpp.o.d"
+  "/root/repo/src/schematic/diagram.cpp" "src/CMakeFiles/na_schematic.dir/schematic/diagram.cpp.o" "gcc" "src/CMakeFiles/na_schematic.dir/schematic/diagram.cpp.o.d"
+  "/root/repo/src/schematic/eps_writer.cpp" "src/CMakeFiles/na_schematic.dir/schematic/eps_writer.cpp.o" "gcc" "src/CMakeFiles/na_schematic.dir/schematic/eps_writer.cpp.o.d"
+  "/root/repo/src/schematic/escher_reader.cpp" "src/CMakeFiles/na_schematic.dir/schematic/escher_reader.cpp.o" "gcc" "src/CMakeFiles/na_schematic.dir/schematic/escher_reader.cpp.o.d"
+  "/root/repo/src/schematic/escher_writer.cpp" "src/CMakeFiles/na_schematic.dir/schematic/escher_writer.cpp.o" "gcc" "src/CMakeFiles/na_schematic.dir/schematic/escher_writer.cpp.o.d"
+  "/root/repo/src/schematic/grid.cpp" "src/CMakeFiles/na_schematic.dir/schematic/grid.cpp.o" "gcc" "src/CMakeFiles/na_schematic.dir/schematic/grid.cpp.o.d"
+  "/root/repo/src/schematic/metrics.cpp" "src/CMakeFiles/na_schematic.dir/schematic/metrics.cpp.o" "gcc" "src/CMakeFiles/na_schematic.dir/schematic/metrics.cpp.o.d"
+  "/root/repo/src/schematic/svg_writer.cpp" "src/CMakeFiles/na_schematic.dir/schematic/svg_writer.cpp.o" "gcc" "src/CMakeFiles/na_schematic.dir/schematic/svg_writer.cpp.o.d"
+  "/root/repo/src/schematic/validate.cpp" "src/CMakeFiles/na_schematic.dir/schematic/validate.cpp.o" "gcc" "src/CMakeFiles/na_schematic.dir/schematic/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/na_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/na_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

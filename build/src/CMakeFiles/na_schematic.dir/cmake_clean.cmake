@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_schematic.dir/schematic/ascii_writer.cpp.o"
+  "CMakeFiles/na_schematic.dir/schematic/ascii_writer.cpp.o.d"
+  "CMakeFiles/na_schematic.dir/schematic/diagram.cpp.o"
+  "CMakeFiles/na_schematic.dir/schematic/diagram.cpp.o.d"
+  "CMakeFiles/na_schematic.dir/schematic/eps_writer.cpp.o"
+  "CMakeFiles/na_schematic.dir/schematic/eps_writer.cpp.o.d"
+  "CMakeFiles/na_schematic.dir/schematic/escher_reader.cpp.o"
+  "CMakeFiles/na_schematic.dir/schematic/escher_reader.cpp.o.d"
+  "CMakeFiles/na_schematic.dir/schematic/escher_writer.cpp.o"
+  "CMakeFiles/na_schematic.dir/schematic/escher_writer.cpp.o.d"
+  "CMakeFiles/na_schematic.dir/schematic/grid.cpp.o"
+  "CMakeFiles/na_schematic.dir/schematic/grid.cpp.o.d"
+  "CMakeFiles/na_schematic.dir/schematic/metrics.cpp.o"
+  "CMakeFiles/na_schematic.dir/schematic/metrics.cpp.o.d"
+  "CMakeFiles/na_schematic.dir/schematic/svg_writer.cpp.o"
+  "CMakeFiles/na_schematic.dir/schematic/svg_writer.cpp.o.d"
+  "CMakeFiles/na_schematic.dir/schematic/validate.cpp.o"
+  "CMakeFiles/na_schematic.dir/schematic/validate.cpp.o.d"
+  "libna_schematic.a"
+  "libna_schematic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_schematic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

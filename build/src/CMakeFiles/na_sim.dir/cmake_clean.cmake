@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/na_sim.dir/sim/life_check.cpp.o"
+  "CMakeFiles/na_sim.dir/sim/life_check.cpp.o.d"
+  "CMakeFiles/na_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/na_sim.dir/sim/simulator.cpp.o.d"
+  "libna_sim.a"
+  "libna_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/na_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

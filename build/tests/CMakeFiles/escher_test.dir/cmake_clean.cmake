@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escher_test.dir/escher_test.cpp.o"
+  "CMakeFiles/escher_test.dir/escher_test.cpp.o.d"
+  "escher_test"
+  "escher_test.pdb"
+  "escher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

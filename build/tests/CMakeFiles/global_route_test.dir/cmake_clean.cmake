@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_route_test.dir/global_route_test.cpp.o"
+  "CMakeFiles/global_route_test.dir/global_route_test.cpp.o.d"
+  "global_route_test"
+  "global_route_test.pdb"
+  "global_route_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_route_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gravity_place_test.dir/gravity_place_test.cpp.o"
+  "CMakeFiles/gravity_place_test.dir/gravity_place_test.cpp.o.d"
+  "gravity_place_test"
+  "gravity_place_test.pdb"
+  "gravity_place_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gravity_place_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

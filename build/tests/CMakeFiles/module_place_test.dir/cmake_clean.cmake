@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module_place_test.dir/module_place_test.cpp.o"
+  "CMakeFiles/module_place_test.dir/module_place_test.cpp.o.d"
+  "module_place_test"
+  "module_place_test.pdb"
+  "module_place_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module_place_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

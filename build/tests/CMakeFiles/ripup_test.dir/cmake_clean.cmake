@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripup_test.dir/ripup_test.cpp.o"
+  "CMakeFiles/ripup_test.dir/ripup_test.cpp.o.d"
+  "ripup_test"
+  "ripup_test.pdb"
+  "ripup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_driver_test.dir/router_driver_test.cpp.o"
+  "CMakeFiles/router_driver_test.dir/router_driver_test.cpp.o.d"
+  "router_driver_test"
+  "router_driver_test.pdb"
+  "router_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

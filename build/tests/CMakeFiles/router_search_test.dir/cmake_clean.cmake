@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_search_test.dir/router_search_test.cpp.o"
+  "CMakeFiles/router_search_test.dir/router_search_test.cpp.o.d"
+  "router_search_test"
+  "router_search_test.pdb"
+  "router_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

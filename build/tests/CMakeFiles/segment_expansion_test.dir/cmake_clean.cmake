@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_expansion_test.dir/segment_expansion_test.cpp.o"
+  "CMakeFiles/segment_expansion_test.dir/segment_expansion_test.cpp.o.d"
+  "segment_expansion_test"
+  "segment_expansion_test.pdb"
+  "segment_expansion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_expansion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
