@@ -13,6 +13,8 @@
 // crossings and longer wire than the hand placement.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench_util.hpp"
 #include "place/placer.hpp"
 #include "schematic/metrics.hpp"
@@ -110,6 +112,34 @@ int main(int argc, char** argv) {
     require_valid(dia, "fig 6.7 historical order");
     print_row("fig 6.7 (netlist order)", r.stats);
   }
+
+  // Sequential vs speculative-parallel routing on the hand placement (the
+  // fig 6.6 workload), best of three runs each.
+  {
+    Diagram placed(life());
+    gen::life_hand_placement(placed);
+    GeneratorOptions opt = life_router_options();
+    for (int threads : {1, 4}) {
+      opt.router.threads = threads;
+      double best = 1e18;
+      long expansions = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        Diagram dia = placed;
+        const auto t0 = std::chrono::steady_clock::now();
+        const RouteReport r = route_all(dia, opt.router);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (ms < best) best = ms;
+        expansions = r.total_expansions;
+      }
+      std::printf("    fig 6.6 route threads=%d: %.0fms (%ld expansions)\n",
+                  threads, best, expansions);
+      bench_json_add("fig66_67_life", "threads=" + std::to_string(threads),
+                     best, expansions);
+    }
+  }
+  bench_json_write();
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,10 +1,15 @@
 // Shared helpers for the experiment benches: the paper's workloads with
 // their published option settings, and a row printer for the
 // paper-vs-measured tables each bench emits before the timing runs.
+// Benches that time routing also append machine-readable records via
+// bench_json_add() and call bench_json_write() before exiting; the
+// resulting BENCH_routing.json lets CI track routing performance without
+// scraping the human-oriented tables.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/generator.hpp"
 #include "gen/chain.hpp"
@@ -98,6 +103,49 @@ inline void print_row(const std::string& name, const DiagramStats& s) {
   std::printf("%-26s %8d %6d %9d %6d %6d %7d %dx%d\n", name.c_str(), s.modules,
               s.nets, s.unrouted, s.bends, s.crossings, s.wire_length, s.width,
               s.height);
+}
+
+// ----- machine-readable timing records ---------------------------------------
+
+struct BenchRecord {
+  std::string bench;   ///< source bench executable, e.g. "fig66_67_life"
+  std::string config;  ///< measured configuration, e.g. "threads=4"
+  double ms = 0;       ///< wall-clock of the timed run
+  long expansions = 0; ///< RouteReport::total_expansions (0 when untracked)
+};
+
+inline std::vector<BenchRecord>& bench_json_records() {
+  static std::vector<BenchRecord> records;
+  return records;
+}
+
+inline void bench_json_add(std::string bench, std::string config, double ms,
+                           long expansions) {
+  bench_json_records().push_back(
+      {std::move(bench), std::move(config), ms, expansions});
+}
+
+/// Writes every record collected so far as a JSON array.  Plain fprintf —
+/// the fields are identifiers and numbers, nothing needs escaping.
+inline void bench_json_write(const char* path = "BENCH_routing.json") {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  const auto& records = bench_json_records();
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "  {\"bench\": \"%s\", \"config\": \"%s\", \"ms\": %.3f, "
+                 "\"expansions\": %ld}%s\n",
+                 r.bench.c_str(), r.config.c_str(), r.ms, r.expansions,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu records)\n", path, records.size());
 }
 
 }  // namespace na::bench

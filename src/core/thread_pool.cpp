@@ -1,0 +1,79 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace na {
+namespace {
+thread_local int tl_worker_index = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  queues_.resize(n);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++queued_;
+  }
+  work_cv_.notify_one();
+}
+
+int ThreadPool::worker_index() { return tl_worker_index; }
+
+void ThreadPool::worker_loop(int index) {
+  tl_worker_index = index;
+  std::unique_lock lock(mu_);
+  for (;;) {
+    std::function<void()> task;
+    if (!queues_[index].empty()) {
+      task = std::move(queues_[index].front());
+      queues_[index].pop_front();
+    } else {
+      // Steal the oldest task of the first non-empty neighbour.
+      for (size_t j = 1; j < queues_.size(); ++j) {
+        auto& q = queues_[(index + j) % queues_.size()];
+        if (!q.empty()) {
+          task = std::move(q.front());
+          q.pop_front();
+          break;
+        }
+      }
+    }
+    if (task) {
+      --queued_;
+      ++active_;
+      lock.unlock();
+      task();
+      lock.lock();
+      --active_;
+      if (queued_ == 0 && active_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    if (stop_) break;
+    work_cv_.wait(lock);
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [&] { return queued_ == 0 && active_ == 0; });
+}
+
+}  // namespace na

@@ -1,0 +1,56 @@
+// A small work-stealing thread pool for the routing subsystem.
+//
+// Each worker owns a deque; submit() deals tasks round-robin, a worker
+// drains its own deque front-first and steals the oldest task of a
+// neighbour when it runs dry.  Oldest-first stealing matters here: the
+// speculative router submits net tasks in commit order, and the closer the
+// execution order tracks it, the fewer commits a speculation races with.
+// Synchronisation is one mutex + condition variables — the tasks this pool
+// exists for (net routings) run for milliseconds, so queue contention is
+// noise and the simple scheme stays ThreadSanitizer-clean.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace na {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Index of the calling thread within its pool, -1 off-pool.  Lets task
+  /// code address per-worker state without locking.
+  static int worker_index();
+
+ private:
+  void worker_loop(int index);
+
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::vector<std::thread> workers_;
+  size_t next_queue_ = 0;
+  int queued_ = 0;
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace na

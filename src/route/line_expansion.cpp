@@ -8,10 +8,17 @@
 // popped is exactly the path section 5.4 asks for: minimum bends, then
 // minimum crossovers, then minimum wire length.  The `-s` option of
 // Appendix F swaps the last two keys.
+//
+// The search state lives in a SearchWorkspace (generation-stamped arrays
+// plus a reusable binary heap) so repeated searches stop paying a per-call
+// O(W*H) allocation; a caller that passes no workspace gets a private one.
+// An optional per-problem window restricts the explored plane: points
+// outside it count as blocked, and the driver retries without the window
+// when a windowed search fails.
 #include "route/dijkstra.hpp"
 
+#include <algorithm>
 #include <limits>
-#include <queue>
 #include <stdexcept>
 #include <vector>
 
@@ -19,17 +26,9 @@ namespace na {
 namespace detail {
 namespace {
 
-constexpr std::uint64_t kUnvisited = std::numeric_limits<std::uint64_t>::max();
-
-struct Costs {
-  int bends = 0;
-  int crossings = 0;
-  int length = 0;
-};
-
 /// Packs the cost triple into one comparable 64-bit key.  Field widths:
 /// 20 bits per component (grids here are far smaller than 2^20 tracks).
-std::uint64_t pack(const Costs& c, CostMode mode) {
+std::uint64_t pack(const SearchCosts& c, CostMode mode) {
   auto clamp20 = [](int v) {
     return static_cast<std::uint64_t>(v) & ((1u << 20) - 1);
   };
@@ -46,27 +45,39 @@ std::uint64_t pack(const Costs& c, CostMode mode) {
   return 0;
 }
 
-struct QueueEntry {
-  std::uint64_t key;
-  int state;
-  Costs costs;
-  bool operator>(const QueueEntry& o) const { return key > o.key; }
+/// Min-heap on the key (same ordering std::priority_queue<_, _, greater<>>
+/// used before, so pop order — ties included — is unchanged).  A functor
+/// type, not a function: std::push_heap with a function pointer comparator
+/// costs an indirect call per comparison.
+struct HeapAfter {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return a.key > b.key;
+  }
 };
 
 }  // namespace
 
+// Deliberately one function with runtime checks for the window and the
+// observation mask: specializing the hot loop per feature combination
+// multiplies its inlining call sites, at which point GCC stops inlining
+// the heap sift and key packing (~25% slower on the LIFE workload).
 std::optional<SearchResult> grid_search(const RoutingGrid& grid,
-                                        const SearchProblem& prob, CostMode mode) {
+                                        const SearchProblem& prob, CostMode mode,
+                                        SearchWorkspace* ws, ObservedMask* observed) {
   if (prob.starts.empty()) return std::nullopt;
   if (!prob.target && !prob.join_own_net) {
     throw std::invalid_argument("search problem without destination");
   }
+  SearchWorkspace local;
+  if (!ws) ws = &local;
   const geom::Rect area = grid.area();
   const int w = area.width() + 1;
   const int h = area.height() + 1;
   const int ncells = w * h;
   const int nstates = ncells * 4;
   const int goal_state = nstates;  // virtual goal
+  const bool windowed = prob.window.has_value();
+  const geom::Rect win = windowed ? *prob.window : area;
 
   auto cell_index = [&](geom::Point p) {
     return (p.y - area.lo.y) * w + (p.x - area.lo.x);
@@ -80,20 +91,22 @@ std::optional<SearchResult> grid_search(const RoutingGrid& grid,
   };
   auto dir_of = [&](int state) { return static_cast<geom::Dir>(state % 4); };
 
-  std::vector<std::uint64_t> best(nstates + 1, kUnvisited);
-  std::vector<int> parent(nstates + 1, -1);
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> open;
+  ws->begin(nstates + 1);
+  const SearchWorkspace::View visited = ws->view();
+  std::vector<HeapEntry>& open = ws->heap();
 
-  auto relax = [&](int state, int from, const Costs& c) {
+  auto relax = [&](int state, int from, const SearchCosts& c) {
     const std::uint64_t key = pack(c, mode);
-    if (key < best[state]) {
-      best[state] = key;
-      parent[state] = from;
-      open.push({key, state, c});
+    if (key < visited.best(state)) {
+      visited.record(state, key, from);
+      open.push_back({key, state, c});
+      std::push_heap(open.begin(), open.end(), HeapAfter{});
     }
   };
 
   for (const SearchStart& s : prob.starts) {
+    if (windowed && !win.contains(s.p)) continue;
+    if (observed) observed->mark(s.p);
     // The start point becomes a node of this net as well.
     if (!grid.in_bounds(s.p) || !grid.node_free(s.p, prob.net)) continue;
     if (s.dir) {
@@ -104,11 +117,12 @@ std::optional<SearchResult> grid_search(const RoutingGrid& grid,
   }
 
   long expansions = 0;
-  Costs goal_costs{};
+  SearchCosts goal_costs{};
   while (!open.empty()) {
-    const QueueEntry e = open.top();
-    open.pop();
-    if (e.key != best[e.state]) continue;  // stale
+    std::pop_heap(open.begin(), open.end(), HeapAfter{});
+    const HeapEntry e = open.back();
+    open.pop_back();
+    if (e.key != visited.best(e.state)) continue;  // stale
     if (e.state == goal_state) {
       goal_costs = e.costs;
       break;
@@ -118,28 +132,33 @@ std::optional<SearchResult> grid_search(const RoutingGrid& grid,
     const geom::Point p = point_of(e.state);
     const geom::Dir d = dir_of(e.state);
     const NetId net = prob.net;
+    if (observed) observed->mark(p);
 
     // Straight step: extend the escape line one track.
     {
       const geom::Point q = p + geom::delta(d);
-      const bool horiz = geom::is_horizontal(d);
-      Costs c = e.costs;
-      c.length += 1;
-      // Destination tests come first: a terminal cell is enterable only by
-      // its own net and join cells are occupied, so `passable` would veto
-      // them.
-      // Arrival makes q a node of this net, so no foreign net may touch q.
-      const bool arrivable = grid.enterable(q, net) && grid.node_free(q, net);
-      const bool is_target = prob.target && q == prob.target->p &&
-                             (!prob.target->facing ||
-                              d == geom::opposite(*prob.target->facing)) &&
-                             arrivable;
-      const bool is_join = prob.join_own_net && arrivable && grid.occupied_by(q, net);
-      if (is_target || is_join) {
-        relax(goal_state, e.state, c);
-      } else if (grid.passable(q, net, horiz) && !grid.occupied_by(q, net)) {
-        c.crossings += grid.crosses_at(q, net, horiz) ? 1 : 0;
-        relax(state_of(q, d), e.state, c);
+      if (!windowed || win.contains(q)) {
+        if (observed) observed->mark(q);  // q's grid state is read below
+        const bool horiz = geom::is_horizontal(d);
+        SearchCosts c = e.costs;
+        c.length += 1;
+        // Destination tests come first: a terminal cell is enterable only by
+        // its own net and join cells are occupied, so `passable` would veto
+        // them.
+        // Arrival makes q a node of this net, so no foreign net may touch q.
+        const bool arrivable = grid.enterable(q, net) && grid.node_free(q, net);
+        const bool is_target = prob.target && q == prob.target->p &&
+                               (!prob.target->facing ||
+                                d == geom::opposite(*prob.target->facing)) &&
+                               arrivable;
+        const bool is_join =
+            prob.join_own_net && arrivable && grid.occupied_by(q, net);
+        if (is_target || is_join) {
+          relax(goal_state, e.state, c);
+        } else if (grid.passable(q, net, horiz) && !grid.occupied_by(q, net)) {
+          c.crossings += grid.crosses_at(q, net, horiz) ? 1 : 0;
+          relax(state_of(q, d), e.state, c);
+        }
       }
     }
     // Turns: start a perpendicular expansion wave (one bend deeper).  The
@@ -147,24 +166,24 @@ std::optional<SearchResult> grid_search(const RoutingGrid& grid,
     if (grid.can_turn(p, prob.net)) {
       for (geom::Dir nd : geom::kAllDirs) {
         if (geom::is_horizontal(nd) == geom::is_horizontal(d)) continue;
-        Costs c = e.costs;
+        SearchCosts c = e.costs;
         c.bends += 1;
         relax(state_of(p, nd), e.state, c);
       }
     }
   }
 
-  if (best[goal_state] == kUnvisited) return std::nullopt;
+  if (ws->best(goal_state) == SearchWorkspace::kUnvisited) return std::nullopt;
 
   // Trace back the state chain and compress it into polyline corners.
   std::vector<geom::Point> chain;
-  for (int s = parent[goal_state]; s != -1; s = parent[s]) {
+  for (int s = ws->parent(goal_state); s != -1; s = ws->parent(s)) {
     chain.push_back(point_of(s));
   }
   std::reverse(chain.begin(), chain.end());
   chain.push_back(prob.target ? prob.target->p
-                              : point_of(parent[goal_state]) +
-                                    geom::delta(dir_of(parent[goal_state])));
+                              : point_of(ws->parent(goal_state)) +
+                                    geom::delta(dir_of(ws->parent(goal_state))));
   std::vector<geom::Point> path;
   for (const geom::Point& p : chain) {
     if (!path.empty() && path.back() == p) continue;  // turn-in-place states

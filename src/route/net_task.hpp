@@ -1,0 +1,96 @@
+// Per-net routing, factored out of the route_all driver so the sequential
+// and the speculative parallel drivers share one implementation.
+//
+// route_single_net reproduces the paper's per-net procedure exactly
+// (initiation by nearest terminal pairs, then one expansion per remaining
+// terminal toward the grown net) but against *any* RoutingGrid — the live
+// one for the sequential driver and the committer's re-routes, a private
+// clone for the speculative workers.  It occupies its own paths on that
+// grid as it goes and never touches the Diagram; committing the polylines
+// to the diagram (and the claimpoint bookkeeping around the call) stays
+// with the drivers.
+//
+// DriverSetup is the state both drivers build before routing: the routing
+// plane, the pending-terminal lists, and the claimpoint table of paper
+// section 5.7.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "route/router.hpp"
+#include "route/search_workspace.hpp"
+
+namespace na::detail {
+
+/// One cell-level grid mutation a net's commit performed.  The committer
+/// journals these so speculative workers can replay commits onto their
+/// private grids, and so commit-time validation knows which cells changed.
+struct CellOp {
+  enum Kind : std::uint8_t { kSetH, kSetV, kSetClaim, kClearClaim };
+  geom::Point p;
+  Kind kind;
+  NetId net;
+};
+
+void apply_ops(RoutingGrid& grid, const std::vector<CellOp>& ops);
+
+/// What routing one net produced: the connections committed to the grid
+/// (in order — their paths become the diagram polylines) and the terminals
+/// still unconnected.
+struct NetTaskResult {
+  std::vector<SearchResult> connections;
+  std::vector<TermId> failed;
+};
+
+/// Routes as much of net `n` as possible on `grid`, starting from the
+/// `todo` terminals.  Occupies every found path on `grid` (journalling the
+/// slot writes into `occupancy` when given, so a speculative worker can
+/// undo them); marks every examined cell into `observed` when given.
+NetTaskResult route_single_net(RoutingGrid& grid, const Diagram& dia, NetId n,
+                               std::vector<TermId> todo, const RouterOptions& opt,
+                               bool has_geometry, SearchWorkspace& ws,
+                               ObservedMask* observed = nullptr,
+                               std::vector<RoutingGrid::TrackWrite>* occupancy = nullptr);
+
+/// Driver state shared by the sequential and parallel route_all.
+struct DriverSetup {
+  RoutingGrid grid;  ///< the live routing plane
+  std::vector<std::vector<TermId>> pending;  ///< per net, terminals to connect
+  std::vector<bool> has_geometry;
+  std::vector<std::pair<geom::Point, NetId>> claims;
+
+  explicit DriverSetup(RoutingGrid g) : grid(std::move(g)) {}
+
+  /// Releases net `n`'s remaining claimpoints (done when its routing
+  /// starts); journals the clears when `ops` is given.
+  void release_claims(NetId n, std::vector<CellOp>* ops = nullptr);
+  /// Re-claims the escape track of a terminal that stayed unconnected.
+  void restore_claim(const Diagram& dia, const RouterOptions& opt, TermId t,
+                     NetId n, std::vector<CellOp>* ops = nullptr);
+};
+
+/// Builds the routing plane, the pending lists and the claimpoint table
+/// for a placed diagram (the common preamble of both drivers).
+DriverSetup prepare_driver(const Diagram& dia, const RouterOptions& opt);
+
+/// Net processing order: the configured criterion with the route_first
+/// overrides applied.
+std::vector<NetId> ordered_nets(const Diagram& dia, const RouterOptions& opt);
+
+/// Adds a net-task result to the diagram and the report (the grid was
+/// already updated by route_single_net).
+void commit_connections(Diagram& dia, NetId n, NetTaskResult& res,
+                        DriverSetup& setup, RouteReport& report);
+
+/// The section-5.7 retry pass: all remaining claims released, failed nets
+/// re-tried in order.  Runs on the live grid (sequentially in both
+/// drivers; the retry set is small by construction).
+void retry_pass(Diagram& dia, const RouterOptions& opt, DriverSetup& setup,
+                const std::vector<NetId>& order, RouteReport& report,
+                SearchWorkspace& ws);
+
+/// Final per-net accounting into the report.
+void finish_report(Diagram& dia, DriverSetup& setup, RouteReport& report);
+
+}  // namespace na::detail

@@ -1,0 +1,222 @@
+#include "route/parallel_route.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "route/net_task.hpp"
+
+namespace na {
+
+using detail::CellOp;
+using detail::DriverSetup;
+using detail::NetTaskResult;
+using detail::ObservedMask;
+using detail::SearchWorkspace;
+
+namespace {
+
+/// What a worker hands the committer for one net.
+struct Outcome {
+  int epoch = 0;  ///< commits visible to the speculation: journal[0..epoch)
+  NetTaskResult result;
+  ObservedMask observed;
+};
+
+/// Per-worker private state: a clone of the routing plane plus a cursor
+/// into the commit journal (the clone equals the live grid of `cursor`
+/// commits ago), and the reusable search scratch.
+struct Worker {
+  std::optional<RoutingGrid> grid;
+  int cursor = 0;
+  SearchWorkspace ws;
+  std::vector<RoutingGrid::TrackWrite> occupancy;
+};
+
+}  // namespace
+
+RouteReport parallel_route_all(Diagram& dia, const RouterOptions& opt,
+                               int threads, ParallelRouteStats* stats) {
+  DriverSetup setup = detail::prepare_driver(dia, opt);
+  const std::vector<NetId> order = detail::ordered_nets(dia, opt);
+  const int npos = static_cast<int>(order.size());
+  RouteReport report;
+  ParallelRouteStats local_stats;
+  if (!stats) stats = &local_stats;
+
+  // Pristine copy of the plane (with all claims set) that workers clone;
+  // the live `setup.grid` belongs to the committer alone.
+  const RoutingGrid initial_grid = setup.grid;
+
+  std::mutex mu;
+  std::condition_variable outcome_cv;
+  std::condition_variable epoch_cv;
+  std::vector<std::vector<CellOp>> journal(npos);  // journal[i]: commit i's cell writes
+  std::vector<std::unique_ptr<Outcome>> outcomes(npos);
+  int epoch = 0;  // commits published; journal[0..epoch) is stable
+  std::vector<Worker> workers(threads);
+
+  // Backpressure window: a speculation for commit position p starts only
+  // once fewer than `window` commits can still race it.  Without the
+  // throttle workers sprint far ahead of the committer and validate
+  // against hopelessly stale grids; with it the raced-commit count is
+  // bounded by `window` and most speculations survive.  Progress is
+  // guaranteed: the task at the committer's own position always satisfies
+  // the wait predicate (p - epoch == 0), and every earlier task has
+  // already produced its outcome.
+  const int window = 2 * threads;
+
+  // Speculation gate: a net whose terminal hull spans a large fraction of
+  // the plane forces whole-plane expansion waves, so its searches read —
+  // and any earlier commit invalidates — nearly everything.  Speculating
+  // such a net is deterministic wasted work; the committer routes it on
+  // the live grid instead.  The gate only chooses who routes the net, so
+  // results stay byte-identical.
+  const geom::Rect plane = initial_grid.area();
+  const long plane_area =
+      static_cast<long>(plane.width() + 1) * (plane.height() + 1);
+  std::vector<char> speculated(npos, 0);
+  for (int p = 0; p < npos; ++p) {
+    const NetId n = order[p];
+    if (setup.pending[n].empty()) continue;
+    geom::Rect hull;
+    for (TermId t : setup.pending[n]) hull = hull.hull(dia.term_pos(t));
+    for (const auto& pl : dia.route(n).polylines) {
+      for (geom::Point pt : pl) hull = hull.hull(pt);
+    }
+    const long hull_area =
+        static_cast<long>(hull.width() + 1) * (hull.height() + 1);
+    speculated[p] = hull_area * 4 <= plane_area;
+  }
+
+  ThreadPool pool(threads);
+  for (int p = 0; p < npos; ++p) {
+    const NetId n = order[p];
+    if (!speculated[p]) continue;  // empty or gated: committer handles it
+    pool.submit([&, p, n, todo = setup.pending[n],
+                 hasgeo = static_cast<bool>(setup.has_geometry[n])]() mutable {
+      Worker& w = workers[ThreadPool::worker_index()];
+      if (!w.grid) w.grid.emplace(initial_grid);
+      auto out = std::make_unique<Outcome>();
+      {
+        // Wait out the backpressure window, then catch up with the
+        // published commits and speculate from there.
+        std::unique_lock lock(mu);
+        epoch_cv.wait(lock, [&] { return p - epoch <= window; });
+        for (int i = w.cursor; i < epoch; ++i) {
+          detail::apply_ops(*w.grid, journal[i]);
+        }
+        w.cursor = epoch;
+        out->epoch = epoch;
+      }
+      out->observed.reset(w.grid->area());
+      w.occupancy.clear();
+      out->result =
+          detail::route_single_net(*w.grid, dia, n, std::move(todo), opt, hasgeo,
+                                   w.ws, &out->observed, &w.occupancy);
+      // Leave the private grid exactly one journal replay behind the live
+      // one again: undo this net's own occupancy.
+      for (auto it = w.occupancy.rbegin(); it != w.occupancy.rend(); ++it) {
+        w.grid->clear_track(it->p, it->horizontal);
+      }
+      {
+        std::lock_guard lock(mu);
+        outcomes[p] = std::move(out);
+      }
+      outcome_cv.notify_all();
+    });
+  }
+
+  // ----- pass 1: in-order commit ---------------------------------------------
+  SearchWorkspace committer_ws;
+  std::vector<RoutingGrid::TrackWrite> track_writes;
+  for (int p = 0; p < npos; ++p) {
+    const NetId n = order[p];
+    std::vector<CellOp> ops;
+    if (!setup.pending[n].empty()) {
+      std::unique_ptr<Outcome> out;
+      bool exact = false;
+      if (speculated[p]) {
+        {
+          std::unique_lock lock(mu);
+          outcome_cv.wait(lock, [&] { return outcomes[p] != nullptr; });
+          out = std::move(outcomes[p]);
+        }
+        ++stats->nets_speculated;
+        // Exactness check: did any commit the speculation missed touch a
+        // cell its searches read?  journal[0..p) is only written by this
+        // thread, so no lock is needed to read it here.
+        exact = true;
+        for (int i = out->epoch; exact && i < p; ++i) {
+          for (const CellOp& op : journal[i]) {
+            if (out->observed.covers(op.p)) {
+              exact = false;
+              break;
+            }
+          }
+        }
+      } else {
+        ++stats->nets_gated;
+      }
+      setup.release_claims(n, &ops);
+      if (exact) {
+        // Insurance against validation bugs: a speculative path must still
+        // fit the live grid.  (Unreachable when the mask logic is sound.)
+        for (const SearchResult& c : out->result.connections) {
+          if (!setup.grid.polyline_fits(n, c.path)) {
+            exact = false;
+            break;
+          }
+        }
+      }
+      if (out && std::getenv("NA_PAR_DEBUG")) {
+        std::fprintf(stderr, "net p=%d lag=%d marked=%d exact=%d\n", p,
+                     p - out->epoch, out->observed.marked_count(), (int)exact);
+      }
+      NetTaskResult res;
+      track_writes.clear();
+      if (exact) {
+        ++stats->commits_clean;
+        res = std::move(out->result);
+        for (const SearchResult& c : res.connections) {
+          setup.grid.occupy_polyline(n, c.path, &track_writes);
+        }
+      } else {
+        if (out) ++stats->reroutes;
+        res = detail::route_single_net(setup.grid, dia, n,
+                                       std::move(setup.pending[n]), opt,
+                                       setup.has_geometry[n], committer_ws,
+                                       nullptr, &track_writes);
+      }
+      for (const RoutingGrid::TrackWrite& t : track_writes) {
+        ops.push_back({t.p, t.horizontal ? CellOp::kSetH : CellOp::kSetV, n});
+      }
+      detail::commit_connections(dia, n, res, setup, report);
+      setup.pending[n] = std::move(res.failed);
+      for (TermId t : setup.pending[n]) {
+        setup.restore_claim(dia, opt, t, n, &ops);
+      }
+    }
+    {
+      std::lock_guard lock(mu);
+      journal[p] = std::move(ops);
+      epoch = p + 1;
+    }
+    epoch_cv.notify_all();
+  }
+  pool.wait_idle();
+
+  // ----- pass 2 + accounting: identical to the sequential driver -------------
+  detail::retry_pass(dia, opt, setup, order, report, committer_ws);
+  detail::finish_report(dia, setup, report);
+  return report;
+}
+
+}  // namespace na

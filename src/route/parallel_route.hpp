@@ -1,0 +1,44 @@
+// Speculative parallel net routing.
+//
+// Workers route independent nets concurrently, each against a private
+// clone of the routing plane kept in sync by replaying the commit journal;
+// a single committer (the calling thread) then walks the nets in the
+// deterministic sequential order and, for each one, either commits the
+// speculative result or re-routes the net on the live grid.
+//
+// The commit decision is exact, not heuristic: every search records the
+// set of grid cells it read (ObservedMask).  If no commit that the
+// speculation missed touched a read cell, a re-run of the same searches
+// on the live grid would take identical decisions at every step — so the
+// speculative paths, costs and expansion counts are committed as-is.
+// Otherwise the committer re-routes the net sequentially.  Either way
+// every net observes exactly the grid state the sequential driver would
+// have shown it, which is why any thread count produces a byte-identical
+// diagram and RouteReport.
+//
+// Claimpoint bookkeeping (release on routing start, re-claim for failed
+// terminals) happens on the live grid at commit time, and the section-5.7
+// retry pass runs after the parallel pass exactly as in the sequential
+// driver.
+#pragma once
+
+#include "route/router.hpp"
+
+namespace na {
+
+/// Effectiveness counters (not part of RouteReport — the report must be
+/// identical across thread counts).
+struct ParallelRouteStats {
+  int nets_speculated = 0;  ///< pass-1 nets routed by workers
+  int commits_clean = 0;    ///< speculations committed without re-routing
+  int reroutes = 0;         ///< speculations invalidated by earlier commits
+  int nets_gated = 0;       ///< plane-spanning nets routed by the committer only
+};
+
+/// Routes every unrouted net of `dia` with `threads` workers (>= 2).
+/// Requires a grid-search engine (LineExpansion or Lee); route_all
+/// enforces that before dispatching here.
+RouteReport parallel_route_all(Diagram& dia, const RouterOptions& opt,
+                               int threads, ParallelRouteStats* stats = nullptr);
+
+}  // namespace na

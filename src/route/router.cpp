@@ -1,46 +1,20 @@
 // The whole-diagram routing driver: claimpoints, net ordering, per-net
 // initiation + expansion, and the post-pass retry of section 5.7.
+//
+// The per-net work lives in route/net_task.cpp (shared with the
+// speculative parallel driver); this file keeps the engine dispatch and
+// the sequential commit loop.  With opt.threads != 1 the driver hands the
+// whole pass to parallel_route_all, which produces a byte-identical
+// diagram and report.
 #include "route/router.hpp"
 
 #include <algorithm>
-#include <limits>
+#include <thread>
 
-#include "route/net_order.hpp"
+#include "route/net_task.hpp"
+#include "route/parallel_route.hpp"
 
 namespace na {
-namespace {
-
-SearchStart start_for(const Diagram& dia, TermId t) {
-  const Terminal& term = dia.network().term(t);
-  if (term.is_system()) return {dia.term_pos(t), std::nullopt};
-  return {dia.term_pos(t), dia.term_facing(t)};
-}
-
-SearchTarget target_for(const Diagram& dia, TermId t) {
-  const Terminal& term = dia.network().term(t);
-  if (term.is_system()) return {dia.term_pos(t), std::nullopt};
-  return {dia.term_pos(t), dia.term_facing(t)};
-}
-
-/// All unordered terminal pairs of a net, nearest first (the initiation
-/// tries pairs until one connects — "another pair of points has to be
-/// selected").
-std::vector<std::pair<TermId, TermId>> pairs_by_distance(
-    const Diagram& dia, const std::vector<TermId>& terms) {
-  std::vector<std::pair<TermId, TermId>> pairs;
-  for (size_t i = 0; i < terms.size(); ++i) {
-    for (size_t j = i + 1; j < terms.size(); ++j) {
-      pairs.emplace_back(terms[i], terms[j]);
-    }
-  }
-  std::stable_sort(pairs.begin(), pairs.end(), [&](const auto& a, const auto& b) {
-    return manhattan(dia.term_pos(a.first), dia.term_pos(a.second)) <
-           manhattan(dia.term_pos(b.first), dia.term_pos(b.second));
-  });
-  return pairs;
-}
-
-}  // namespace
 
 std::optional<SearchResult> find_path(Engine e, const RoutingGrid& grid,
                                       const SearchProblem& prob) {
@@ -54,194 +28,39 @@ std::optional<SearchResult> find_path(Engine e, const RoutingGrid& grid,
 }
 
 RouteReport route_all(Diagram& dia, const RouterOptions& opt) {
-  const Network& net = dia.network();
-  RoutingGrid grid = build_grid(dia, opt.margin);
+  int threads = opt.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // Speculative validation needs the observable grid-search engines; the
+  // baselines always route sequentially.
+  if (threads > 1 &&
+      (opt.engine == Engine::LineExpansion || opt.engine == Engine::Lee)) {
+    return parallel_route_all(dia, opt, threads);
+  }
+
+  detail::DriverSetup setup = detail::prepare_driver(dia, opt);
+  const std::vector<NetId> order = detail::ordered_nets(dia, opt);
   RouteReport report;
-
-  // Terminals of each net that still need connecting.  With prerouted
-  // geometry, terminals already covered by it count as connected.
-  std::vector<std::vector<TermId>> pending(net.net_count());
-  std::vector<bool> has_geometry(net.net_count(), false);
-  for (NetId n = 0; n < net.net_count(); ++n) {
-    has_geometry[n] = !dia.route(n).polylines.empty();
-    for (TermId t : net.net(n).terms) {
-      const Terminal& term = net.term(t);
-      const bool placeable = term.is_system() ? dia.system_term_placed(t)
-                                              : dia.module_placed(term.module);
-      if (!placeable) continue;
-      if (has_geometry[n] && grid.occupied_by(dia.term_pos(t), n)) continue;
-      pending[n].push_back(t);
-    }
-  }
-
-  // Claimpoints: every still-unconnected subsystem terminal claims the
-  // first track outside its module side (section 5.7).
-  std::vector<std::pair<geom::Point, NetId>> claims;
-  if (opt.use_claimpoints) {
-    for (NetId n = 0; n < net.net_count(); ++n) {
-      for (TermId t : pending[n]) {
-        if (net.term(t).is_system()) continue;
-        const geom::Point cell =
-            dia.term_pos(t) + geom::delta(dia.term_facing(t));
-        if (grid.in_bounds(cell) && !grid.blocked(cell) &&
-            grid.claim_owner(cell) == kNone) {
-          grid.set_claim(cell, n);
-          claims.emplace_back(cell, n);
-        }
-      }
-    }
-  }
-  auto release_claims = [&](NetId n) {
-    for (auto& [cell, owner] : claims) {
-      if (owner == n) {
-        grid.clear_claim(cell);
-        owner = kNone;
-      }
-    }
-  };
-  auto restore_claim = [&](TermId t, NetId n) {
-    if (!opt.use_claimpoints || net.term(t).is_system()) return;
-    const geom::Point cell = dia.term_pos(t) + geom::delta(dia.term_facing(t));
-    if (grid.in_bounds(cell) && !grid.blocked(cell) &&
-        grid.claim_owner(cell) == kNone && grid.h_net(cell) == kNone &&
-        grid.v_net(cell) == kNone) {
-      grid.set_claim(cell, n);
-      claims.emplace_back(cell, n);
-    }
-  };
-
-  auto commit = [&](NetId n, const SearchResult& res) {
-    grid.occupy_polyline(n, res.path);
-    dia.add_polyline(n, res.path);
-    has_geometry[n] = true;
-    ++report.connections_made;
-    report.total_expansions += res.expansions;
-  };
-
-  auto try_connection = [&](const SearchProblem& prob,
-                            const SearchStart& s) -> std::optional<SearchResult> {
-    // Straight-line fast path (paper STRAIGHT_LINE) for fixed destinations.
-    if (prob.target) {
-      if (auto r = straight_line(grid, prob.net, s, *prob.target)) return r;
-    }
-    return find_path(opt.engine, grid, prob);
-  };
-
-  // Routes as much of net `n` as possible; returns terminals still pending.
-  auto route_net = [&](NetId n, std::vector<TermId> todo) -> std::vector<TermId> {
-    if (todo.empty()) return todo;
-    release_claims(n);
-    // ----- initiation: first point-to-point connection --------------------
-    if (!has_geometry[n]) {
-      if (todo.size() < 2) return todo;  // nothing to connect against
-      constexpr size_t kMaxPairTries = 8;
-      size_t tries = 0;
-      for (auto [t0, t1] : pairs_by_distance(dia, todo)) {
-        if (++tries > kMaxPairTries) break;
-        SearchProblem prob;
-        prob.net = n;
-        prob.starts = {start_for(dia, t0)};
-        prob.target = target_for(dia, t1);
-        prob.order = opt.order;
-        prob.max_expansions = opt.max_expansions;
-        if (auto res = try_connection(prob, prob.starts[0])) {
-          commit(n, *res);
-          std::erase(todo, t0);
-          std::erase(todo, t1);
-          break;
-        }
-      }
-      if (!has_geometry[n]) return todo;  // initiation impossible for now
-    }
-    // ----- expansion: attach remaining terminals one at a time ------------
-    // Nearest-to-the-net terminal first (cheap estimate over net geometry).
-    std::vector<TermId> failed;
-    while (!todo.empty()) {
-      auto nearest = std::min_element(
-          todo.begin(), todo.end(), [&](TermId a, TermId b) {
-            auto dist_to_net = [&](TermId t) {
-              int best = std::numeric_limits<int>::max();
-              for (const auto& pl : dia.route(n).polylines) {
-                for (geom::Point p : pl) {
-                  best = std::min(best, manhattan(p, dia.term_pos(t)));
-                }
-              }
-              return best;
-            };
-            return dist_to_net(a) < dist_to_net(b);
-          });
-      const TermId t = *nearest;
-      todo.erase(nearest);
-      SearchProblem prob;
-      prob.net = n;
-      prob.starts = {start_for(dia, t)};
-      prob.join_own_net = true;
-      prob.order = opt.order;
-      prob.max_expansions = opt.max_expansions;
-      if (auto res = find_path(opt.engine, grid, prob)) {
-        commit(n, *res);
-      } else {
-        failed.push_back(t);
-      }
-    }
-    return failed;
-  };
+  detail::SearchWorkspace ws;
 
   // ----- pass 1 --------------------------------------------------------------
-  auto order = order_nets(dia, static_cast<NetOrderCriterion>(opt.order_criterion));
-  if (!opt.route_first.empty()) {
-    std::vector<NetId> prioritized;
-    std::vector<bool> is_first(net.net_count(), false);
-    for (NetId n : opt.route_first) {
-      if (n >= 0 && n < net.net_count() && !is_first[n]) {
-        is_first[n] = true;
-        prioritized.push_back(n);
-      }
-    }
-    for (NetId n : order) {
-      if (!is_first[n]) prioritized.push_back(n);
-    }
-    order = std::move(prioritized);
-  }
   for (NetId n : order) {
-    pending[n] = route_net(n, std::move(pending[n]));
-    for (TermId t : pending[n]) restore_claim(t, n);
+    if (setup.pending[n].empty()) continue;
+    setup.release_claims(n);
+    detail::NetTaskResult res =
+        detail::route_single_net(setup.grid, dia, n, std::move(setup.pending[n]),
+                                 opt, setup.has_geometry[n], ws);
+    detail::commit_connections(dia, n, res, setup, report);
+    setup.pending[n] = std::move(res.failed);
+    for (TermId t : setup.pending[n]) setup.restore_claim(dia, opt, t, n);
   }
 
   // ----- pass 2: retry after every claim is gone (section 5.7) ---------------
-  if (opt.retry_failed) {
-    for (auto& [cell, owner] : claims) {
-      if (owner != kNone) grid.clear_claim(cell);
-    }
-    claims.clear();
-    for (NetId n : order) {
-      if (pending[n].empty()) continue;
-      const int before = static_cast<int>(pending[n].size());
-      pending[n] = route_net(n, std::move(pending[n]));
-      report.retried_connections += before - static_cast<int>(pending[n].size());
-    }
-  }
+  detail::retry_pass(dia, opt, setup, order, report, ws);
 
   // ----- accounting -----------------------------------------------------------
-  for (NetId n = 0; n < net.net_count(); ++n) {
-    int placeable = 0;
-    for (TermId t : net.net(n).terms) {
-      const Terminal& term = net.term(t);
-      placeable += (term.is_system() ? dia.system_term_placed(t)
-                                     : dia.module_placed(term.module))
-                       ? 1
-                       : 0;
-    }
-    if (placeable < 2) continue;  // not a routable net
-    if (pending[n].empty() && has_geometry[n]) {
-      dia.route(n).routed = true;
-      ++report.nets_routed;
-    } else {
-      ++report.nets_failed;
-      report.failed_nets.push_back(n);
-      report.connections_failed += static_cast<int>(pending[n].size());
-    }
-  }
+  detail::finish_report(dia, setup, report);
   return report;
 }
 

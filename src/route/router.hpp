@@ -51,6 +51,10 @@ struct SearchProblem {
   bool join_own_net = false;           ///< ...or attach to own routed geometry
   CostOrder order = CostOrder::BendsCrossingsLength;
   long max_expansions = 2'000'000;     ///< safety valve for the search loops
+  /// Optional search window: the grid-search engines treat points outside
+  /// it as blocked.  The driver uses it to keep searches on large planes
+  /// from touching O(W*H) state, retrying without the window on failure.
+  std::optional<geom::Rect> window;
 };
 
 /// Cost of a found path, in the lexicographic objective's terms.
@@ -89,6 +93,16 @@ struct RouterOptions {
   /// the criterion — used by the repair loop to give previously failed
   /// nets first pick of the freed tracks.
   std::vector<NetId> route_first;
+  /// Routing threads: 1 routes sequentially (the exact historical
+  /// behaviour), 0 uses the hardware concurrency, N > 1 routes nets
+  /// speculatively in parallel with an in-order committer.  Any thread
+  /// count produces a byte-identical diagram and report.
+  int threads = 1;
+  /// >= 0 enables windowed searches: each connection first searches inside
+  /// the hull of its endpoints (or of the net's geometry) inflated by this
+  /// many tracks, falling back to the full plane when that fails.  Faster
+  /// on large grids but may pick window-local optima, so off by default.
+  int window_slack = -1;
 };
 
 struct RouteReport {

@@ -1,0 +1,158 @@
+// Reusable scratch state for the grid search core.
+//
+// Every connection search used to allocate O(W*H) `best`/`parent` vectors
+// and a fresh priority queue; on large planes the allocation and paging
+// cost rivals the search itself.  A SearchWorkspace keeps those arrays
+// alive across searches and invalidates them in O(1) with a generation
+// stamp: a slot's contents are only meaningful when its stamp equals the
+// workspace's current generation, so "clearing" the arrays is a counter
+// increment.  One workspace serves one thread; the parallel driver keeps
+// one per worker.
+//
+// ObservedMask records exactly which grid cells a search batch read (every
+// grid query in the search core is single-cell, so the searches mark each
+// queried point).  The speculative parallel router uses it to decide
+// whether a net routed against a stale grid is still exact: if no later
+// commit touched a queried cell, re-running the searches on the live grid
+// would read identical state and take identical decisions at every step,
+// so the speculative result can be committed as-is.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace na::detail {
+
+struct SearchCosts {
+  int bends = 0;
+  int crossings = 0;
+  int length = 0;
+};
+
+struct HeapEntry {
+  std::uint64_t key;
+  int state;
+  SearchCosts costs;
+};
+
+class SearchWorkspace {
+ public:
+  static constexpr std::uint64_t kUnvisited =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// Search keys pack three 20-bit cost fields, so the top 4 bits of each
+  /// slot are free to hold a generation stamp.  A slot is valid only when
+  /// its stamp matches the current one; stamps cycle 1..15 (0 means
+  /// scrubbed), and every 15th begin() re-scrubs the array so a stale slot
+  /// can never alias a live stamp.  The array stays 8 bytes per state —
+  /// the same cache footprint as the plain `best` vector it replaces —
+  /// while "clearing" costs 1/15th of a fill on average instead of a full
+  /// allocate-and-fill per search.
+  static constexpr int kKeyBits = 60;
+  static constexpr std::uint64_t kKeyMask = (std::uint64_t{1} << kKeyBits) - 1;
+
+  /// Prepares the workspace for a search over `nstates` states: grows the
+  /// arrays if needed and invalidates previous contents (amortized O(1)).
+  void begin(int nstates) {
+    const size_t need = static_cast<size_t>(nstates);
+    if (slots_.size() < need) {
+      slots_.resize(need);
+      parent_.resize(need);
+    }
+    stamp_ = stamp_ % 15 + 1;
+    if (stamp_ == 1) std::fill(slots_.begin(), slots_.end(), 0);
+    heap_.clear();
+  }
+
+  /// Raw pointers into the (already sized) arrays for the search hot loop.
+  /// Holding them as locals lets the optimizer keep them in registers: heap
+  /// pushes mutate the workspace object, so access through the workspace
+  /// itself would force a data-pointer reload after every relax.  Valid
+  /// until the next begin().
+  struct View {
+    std::uint64_t* slots;
+    std::int32_t* parent;
+    std::uint64_t tag;  ///< current stamp, pre-shifted into the top bits
+
+    std::uint64_t best(int s) const {
+      const std::uint64_t v = slots[s];
+      return (v & ~kKeyMask) == tag ? (v & kKeyMask) : kUnvisited;
+    }
+    void record(int s, std::uint64_t key, int from) const {
+      slots[s] = key | tag;
+      parent[s] = from;
+    }
+  };
+  View view() {
+    return {slots_.data(), parent_.data(),
+            static_cast<std::uint64_t>(stamp_) << kKeyBits};
+  }
+
+  std::uint64_t best(int s) const {
+    const std::uint64_t v = slots_[s];
+    const std::uint64_t tag = static_cast<std::uint64_t>(stamp_) << kKeyBits;
+    return (v & ~kKeyMask) == tag ? (v & kKeyMask) : kUnvisited;
+  }
+  /// Only meaningful for states recorded in the current generation.
+  int parent(int s) const { return parent_[s]; }
+
+  /// Heap storage for the open set (managed by the search loop).
+  std::vector<HeapEntry>& heap() { return heap_; }
+
+ private:
+  std::vector<std::uint64_t> slots_;
+  std::vector<std::int32_t> parent_;
+  std::vector<HeapEntry> heap_;
+  std::uint32_t stamp_ = 0;
+};
+
+/// Set of grid cells examined by the searches of one net-routing task.
+class ObservedMask {
+ public:
+  void reset(geom::Rect area) {
+    area_ = area;
+    width_ = area.width() + 1;
+    bits_.assign(static_cast<size_t>(width_) * (area.height() + 1), 0);
+  }
+
+  void mark(geom::Point p) {
+    if (area_.contains(p)) bits_[index(p)] = 1;
+  }
+
+  /// Marks every cell of an axis-parallel segment (both endpoints included).
+  void mark_segment(geom::Point a, geom::Point b) {
+    const geom::Point step = {a.x == b.x ? 0 : (b.x > a.x ? 1 : -1),
+                              a.y == b.y ? 0 : (b.y > a.y ? 1 : -1)};
+    for (geom::Point p = a;; p += step) {
+      mark(p);
+      if (p == b) break;
+    }
+  }
+
+  /// Was `p` queried by any of the task's searches?  A commit at a cell
+  /// for which this returns false cannot have influenced the task.
+  bool covers(geom::Point p) const { return test(p); }
+
+  /// Number of marked cells (diagnostics / tests).
+  int marked_count() const {
+    return static_cast<int>(std::count(bits_.begin(), bits_.end(), 1));
+  }
+
+ private:
+  bool test(geom::Point p) const {
+    return area_.contains(p) && bits_[index(p)] != 0;
+  }
+  size_t index(geom::Point p) const {
+    return static_cast<size_t>(p.y - area_.lo.y) * width_ + (p.x - area_.lo.x);
+  }
+
+  geom::Rect area_;
+  int width_ = 0;
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace na::detail

@@ -1,0 +1,273 @@
+// Tests for the speculative parallel routing driver and its supporting
+// machinery: byte-identical determinism across thread counts (the central
+// contract of parallel_route_all), the speculation-effectiveness counters,
+// search-workspace reuse, windowed searches and the work-stealing pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/thread_pool.hpp"
+#include "gen/life.hpp"
+#include "netlist/module_library.hpp"
+#include "route/dijkstra.hpp"
+#include "route/net_order.hpp"
+#include "route/parallel_route.hpp"
+#include "route/router.hpp"
+#include "schematic/validate.hpp"
+
+namespace na {
+namespace {
+
+// ----- fixtures ---------------------------------------------------------------
+
+/// The LIFE network hand-placed — 27 modules / 222 nets, the paper's
+/// figure 6.6 workload and the densest routing job in the repo.
+Diagram placed_life() {
+  static const Network& net = []() -> const Network& {
+    static Network n = gen::life_network();
+    return n;
+  }();
+  Diagram dia(net);
+  gen::life_hand_placement(dia);
+  return dia;
+}
+
+RouterOptions life_options(int threads) {
+  RouterOptions opt;
+  opt.margin = 12;
+  opt.order_criterion = static_cast<int>(NetOrderCriterion::LongestFirst);
+  opt.threads = threads;
+  return opt;
+}
+
+/// Every observable per-net routing artefact.
+struct RoutedSnapshot {
+  std::vector<std::vector<std::vector<geom::Point>>> polylines;
+  std::vector<bool> routed;
+
+  explicit RoutedSnapshot(const Diagram& dia) {
+    for (NetId n = 0; n < dia.network().net_count(); ++n) {
+      polylines.push_back(dia.route(n).polylines);
+      routed.push_back(dia.route(n).routed);
+    }
+  }
+  friend bool operator==(const RoutedSnapshot&, const RoutedSnapshot&) = default;
+};
+
+void expect_reports_equal(const RouteReport& a, const RouteReport& b) {
+  EXPECT_EQ(a.nets_routed, b.nets_routed);
+  EXPECT_EQ(a.nets_failed, b.nets_failed);
+  EXPECT_EQ(a.connections_made, b.connections_made);
+  EXPECT_EQ(a.connections_failed, b.connections_failed);
+  EXPECT_EQ(a.retried_connections, b.retried_connections);
+  EXPECT_EQ(a.total_expansions, b.total_expansions);
+  EXPECT_EQ(a.failed_nets, b.failed_nets);
+}
+
+// ----- determinism: the parallel driver's central contract ----------------------
+
+TEST(ParallelRoute, ByteIdenticalToSequentialOnLife) {
+  Diagram seq = placed_life();
+  const RouteReport r1 = route_all(seq, life_options(1));
+
+  Diagram par = placed_life();
+  const RouteReport r4 = route_all(par, life_options(4));
+
+  expect_reports_equal(r1, r4);
+  EXPECT_TRUE(RoutedSnapshot(seq) == RoutedSnapshot(par));
+  EXPECT_TRUE(validate_diagram(par, true).empty());
+  EXPECT_GT(r1.nets_routed, 200);  // the workload actually exercised routing
+}
+
+TEST(ParallelRoute, ThreadCountsAgree) {
+  // 2, 3 and 8 threads must all match each other (and, by the test above,
+  // the sequential result).
+  Diagram base = placed_life();
+  const RouteReport r2 = route_all(base, life_options(2));
+  const RoutedSnapshot snap2(base);
+  for (int threads : {3, 8}) {
+    Diagram dia = placed_life();
+    const RouteReport r = route_all(dia, life_options(threads));
+    expect_reports_equal(r2, r);
+    EXPECT_TRUE(snap2 == RoutedSnapshot(dia)) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelRoute, LeeEngineDeterministic) {
+  RouterOptions opt = life_options(1);
+  opt.engine = Engine::Lee;
+  Diagram seq = placed_life();
+  const RouteReport r1 = route_all(seq, opt);
+  opt.threads = 4;
+  Diagram par = placed_life();
+  const RouteReport r4 = route_all(par, opt);
+  expect_reports_equal(r1, r4);
+  EXPECT_TRUE(RoutedSnapshot(seq) == RoutedSnapshot(par));
+}
+
+TEST(ParallelRoute, SpeculationStatsAddUp) {
+  Diagram dia = placed_life();
+  ParallelRouteStats stats;
+  parallel_route_all(dia, life_options(4), 4, &stats);
+  EXPECT_EQ(stats.nets_speculated, stats.commits_clean + stats.reroutes);
+  EXPECT_GT(stats.nets_speculated, 200);
+  // Nets on a schematic plane are mostly local, so the bulk of the
+  // speculations must survive validation or the parallel driver is useless.
+  EXPECT_GT(stats.commits_clean, stats.nets_speculated / 2);
+}
+
+// ----- workspace reuse ----------------------------------------------------------
+
+/// A small plane with a wall that forces a bend, so the searches are not
+/// trivial straight lines.
+RoutingGrid walled_grid() {
+  RoutingGrid grid({{0, 0}, {20, 12}});
+  grid.block_rect({{8, 0}, {10, 8}});
+  return grid;
+}
+
+SearchProblem across_problem(geom::Point from, geom::Point to) {
+  SearchProblem prob;
+  prob.net = 0;
+  prob.starts = {{from, std::nullopt}};
+  prob.target = SearchTarget{to, std::nullopt};
+  return prob;
+}
+
+TEST(SearchWorkspace, ReuseMatchesFreshSearches) {
+  const RoutingGrid grid = walled_grid();
+  const std::vector<std::pair<geom::Point, geom::Point>> cases = {
+      {{1, 1}, {18, 1}}, {{2, 10}, {17, 2}}, {{1, 4}, {19, 11}}};
+  detail::SearchWorkspace shared;
+  for (const auto& [from, to] : cases) {
+    const SearchProblem prob = across_problem(from, to);
+    const auto fresh =
+        detail::grid_search(grid, prob, detail::CostMode::BendsCrossingsLength);
+    const auto reused = detail::grid_search(
+        grid, prob, detail::CostMode::BendsCrossingsLength, &shared);
+    ASSERT_TRUE(fresh.has_value());
+    ASSERT_TRUE(reused.has_value());
+    EXPECT_EQ(fresh->path, reused->path);
+    EXPECT_EQ(fresh->expansions, reused->expansions);
+    EXPECT_EQ(fresh->cost.bends, reused->cost.bends);
+    EXPECT_EQ(fresh->cost.crossings, reused->cost.crossings);
+    EXPECT_EQ(fresh->cost.length, reused->cost.length);
+  }
+}
+
+TEST(SearchWorkspace, ObservedMaskCoversPath) {
+  const RoutingGrid grid = walled_grid();
+  const SearchProblem prob = across_problem({1, 1}, {18, 1});
+  detail::SearchWorkspace ws;
+  detail::ObservedMask observed;
+  observed.reset(grid.area());
+  const auto res = detail::grid_search(
+      grid, prob, detail::CostMode::BendsCrossingsLength, &ws, &observed);
+  ASSERT_TRUE(res.has_value());
+  // Every point of the found path was read, so a commit touching any of
+  // them must invalidate the speculation.
+  for (const geom::Point& p : res->path) {
+    EXPECT_TRUE(observed.covers(p)) << p.x << "," << p.y;
+  }
+  // Cells inside the wall were never read (only their free boundary was).
+  EXPECT_FALSE(observed.covers({9, 4}));
+}
+
+// ----- windowed searches --------------------------------------------------------
+
+TEST(WindowedSearch, WindowBlocksOutsidePoints) {
+  const RoutingGrid grid = walled_grid();
+  SearchProblem prob = across_problem({1, 1}, {18, 1});
+  prob.window = geom::Rect{{0, 0}, {6, 12}};  // excludes the target
+  EXPECT_FALSE(
+      detail::grid_search(grid, prob, detail::CostMode::BendsCrossingsLength)
+          .has_value());
+  prob.window = grid.area();  // window covering everything changes nothing
+  const auto windowed =
+      detail::grid_search(grid, prob, detail::CostMode::BendsCrossingsLength);
+  prob.window.reset();
+  const auto full =
+      detail::grid_search(grid, prob, detail::CostMode::BendsCrossingsLength);
+  ASSERT_TRUE(windowed.has_value());
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(windowed->path, full->path);
+}
+
+TEST(WindowedSearch, DriverFallsBackToFullPlane) {
+  // A detour forced far outside the endpoint hull: the windowed first
+  // attempt fails, the full-plane retry must still connect the net.
+  Network net;
+  const ModuleLibrary lib = ModuleLibrary::standard_cells();
+  lib.instantiate(net, "buf", "b0");
+  lib.instantiate(net, "buf", "b1");
+  net.add_module("wall", "", {2, 40});
+  const NetId n = net.add_net("n0");
+  net.connect(n, *net.term_by_name(0, "y"));
+  net.connect(n, *net.term_by_name(1, "a"));
+  Diagram dia(net);
+  dia.place_module(0, {0, 18});
+  dia.place_module(1, {20, 18});
+  dia.place_module(2, {9, 0});  // wall spanning y=0..40 between them
+  RouterOptions opt;
+  opt.margin = 4;
+  opt.window_slack = 1;
+  const RouteReport r = route_all(dia, opt);
+  EXPECT_EQ(r.nets_routed, 1);
+  EXPECT_TRUE(validate_diagram(dia, true).empty());
+}
+
+TEST(WindowedSearch, LifeStillRoutesEverything) {
+  Diagram baseline = placed_life();
+  const RouteReport base = route_all(baseline, life_options(1));
+  Diagram dia = placed_life();
+  RouterOptions opt = life_options(1);
+  opt.window_slack = 8;
+  const RouteReport r = route_all(dia, opt);
+  // Windowed routing may pick different (window-local) optima but must not
+  // lose nets: the full-plane fallback guarantees completeness.
+  EXPECT_EQ(r.nets_routed, base.nets_routed);
+  EXPECT_TRUE(validate_diagram(dia, true).empty());
+}
+
+// ----- the thread pool ----------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, WorkerIndexAddressesPerWorkerState) {
+  ThreadPool pool(3);
+  std::atomic<int> bad{0};
+  std::atomic<int> seen_mask{0};
+  for (int i = 0; i < 300; ++i) {
+    pool.submit([&] {
+      const int idx = ThreadPool::worker_index();
+      if (idx < 0 || idx >= 3) bad.fetch_add(1);
+      else seen_mask.fetch_or(1 << idx);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(seen_mask.load(), 0b111);  // stealing spread work to all workers
+  EXPECT_EQ(ThreadPool::worker_index(), -1);  // off-pool threads
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  pool.submit([] {});
+  pool.wait_idle();
+}
+
+}  // namespace
+}  // namespace na
