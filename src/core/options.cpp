@@ -48,6 +48,14 @@ std::vector<std::string> parse_generator_args(const std::vector<std::string>& ar
       opt.router.engine = Engine::SegmentExpansion;
     } else if (a == "-m") {
       opt.router.margin = next_int(i, a);
+    } else if (a == "--threads" || a == "-threads") {
+      // Routing threads (PR-1 speculative parallel driver): 1 = sequential
+      // (default), 0 = hardware concurrency.  Any value produces a
+      // byte-identical diagram and report.
+      opt.router.threads = next_int(i, a);
+      if (opt.router.threads < 0) {
+        throw std::runtime_error("--threads needs a value >= 0");
+      }
     } else if (a == "-u" || a == "-d" || a == "-l" || a == "-r") {
       // Border-pinning flags of Appendix F; the grid always reserves a
       // margin on all four sides, so these are accepted no-ops.
@@ -62,7 +70,7 @@ std::string generator_usage() {
   return "options: -p <part-size> -b <box-size> -c <max-conns> -e <part-space>\n"
          "         -i <box-space> -s <module-space|length-first> -m <margin>\n"
          "         -L (Lee) -H (Hightower) -S (segment expansion) -noclaim\n"
-         "         -noretry -u -d -l -r";
+         "         -noretry -u -d -l -r --threads <n (0 = all cores, default 1)>";
 }
 
 }  // namespace na

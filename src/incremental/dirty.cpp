@@ -1,0 +1,79 @@
+#include "incremental/dirty.hpp"
+
+namespace na {
+
+DirtyInfo map_dirty(const NetlistDiff& diff, const Network& before,
+                    const Network& after, const PlacementInfo& placement) {
+  DirtyInfo info;
+  info.partition_dirty.assign(placement.partitions.size(), false);
+  info.module_dirty.assign(after.module_count(), false);
+
+  // Partition index of every old module (kNone when uncovered — possible
+  // for a PlacementInfo reconstructed after adopt()).
+  std::vector<int> part_of(before.module_count(), kNone);
+  for (size_t p = 0; p < placement.partitions.size(); ++p) {
+    for (ModuleId m : placement.partitions[p]) {
+      if (m >= 0 && m < before.module_count()) part_of[m] = static_cast<int>(p);
+    }
+  }
+
+  auto dirty_old_module = [&](ModuleId om) {
+    const int p = part_of[om];
+    if (p != kNone) {
+      info.partition_dirty[p] = true;
+    } else if (diff.module_to_new[om] != kNone) {
+      // Uncovered by any partition: dirty the module alone.
+      info.module_dirty[diff.module_to_new[om]] = true;
+    }
+  };
+
+  // Seeds: changed modules (their old partition), removed modules.
+  for (ModuleId nm : diff.changed_modules) dirty_old_module(diff.module_to_old[nm]);
+  for (ModuleId om : diff.removed_modules) dirty_old_module(om);
+
+  // Re-pinned nets: dirty exactly the delta modules.  A terminal counts as
+  // delta when its membership on the changed net differs between versions.
+  for (NetId nn : diff.changed_nets) {
+    const NetId on = diff.net_to_old[nn];
+    for (TermId nt : after.net(nn).terms) {
+      const Terminal& term = after.term(nt);
+      if (term.is_system()) continue;
+      const TermId ot = diff.term_to_old[nt];
+      const bool was_member = ot != kNone && on != kNone && before.term(ot).net == on;
+      if (!was_member) {
+        // Gained end: dirty on the NEW side (module may be added).
+        const ModuleId om = diff.module_to_old[term.module];
+        if (om != kNone) {
+          dirty_old_module(om);
+        } else {
+          info.module_dirty[term.module] = true;
+        }
+      }
+    }
+    if (on == kNone) continue;
+    for (TermId ot : before.net(on).terms) {
+      const Terminal& term = before.term(ot);
+      if (term.is_system()) continue;
+      const TermId nt = diff.term_to_new[ot];
+      const bool still_member = nt != kNone && after.term(nt).net == nn;
+      if (!still_member) dirty_old_module(term.module);  // lost end
+    }
+  }
+
+  // Closure: every surviving module of a dirty partition is re-placed.
+  for (size_t p = 0; p < placement.partitions.size(); ++p) {
+    if (!info.partition_dirty[p]) continue;
+    ++info.dirty_partitions;
+    for (ModuleId om : placement.partitions[p]) {
+      const ModuleId nm = diff.module_to_new[om];
+      if (nm != kNone) info.module_dirty[nm] = true;
+    }
+  }
+  // Added modules are always dirty (they have no cached position).
+  for (ModuleId nm : diff.added_modules) info.module_dirty[nm] = true;
+
+  for (const bool d : info.module_dirty) info.dirty_modules += d ? 1 : 0;
+  return info;
+}
+
+}  // namespace na

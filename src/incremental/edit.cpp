@@ -1,0 +1,171 @@
+#include "incremental/edit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace na {
+namespace {
+
+[[noreturn]] void missing(std::string_view what, std::string_view name) {
+  throw std::invalid_argument("NetworkEditor: no " + std::string(what) + " '" +
+                              std::string(name) + "'");
+}
+
+}  // namespace
+
+NetworkEditor::NetworkEditor(const Network& base) {
+  modules_.reserve(base.module_count());
+  for (ModuleId m = 0; m < base.module_count(); ++m) {
+    const Module& mod = base.module(m);
+    EModule em{mod.name, mod.template_name, mod.size, {}};
+    em.terms.reserve(mod.terms.size());
+    for (TermId t : mod.terms) {
+      const Terminal& term = base.term(t);
+      em.terms.push_back({term.name, term.type, term.pos,
+                          term.net == kNone ? "" : base.net(term.net).name});
+    }
+    modules_.push_back(std::move(em));
+  }
+  for (TermId t : base.system_terms()) {
+    const Terminal& term = base.term(t);
+    system_terms_.push_back({term.name, term.type,
+                             term.net == kNone ? "" : base.net(term.net).name});
+  }
+  net_order_.reserve(base.net_count());
+  for (NetId n = 0; n < base.net_count(); ++n) {
+    net_order_.push_back(base.net(n).name);
+  }
+}
+
+NetworkEditor::EModule& NetworkEditor::module_ref(std::string_view name) {
+  for (EModule& m : modules_) {
+    if (m.name == name) return m;
+  }
+  missing("module", name);
+}
+
+NetworkEditor::ETerm& NetworkEditor::term_ref(std::string_view module,
+                                              std::string_view term) {
+  for (ETerm& t : module_ref(module).terms) {
+    if (t.name == term) return t;
+  }
+  missing("terminal", term);
+}
+
+void NetworkEditor::add_module(std::string name, std::string template_name,
+                               geom::Point size) {
+  modules_.push_back({std::move(name), std::move(template_name), size, {}});
+}
+
+void NetworkEditor::remove_module(std::string_view name) {
+  const auto it = std::find_if(modules_.begin(), modules_.end(),
+                               [&](const EModule& m) { return m.name == name; });
+  if (it == modules_.end()) missing("module", name);
+  modules_.erase(it);
+}
+
+void NetworkEditor::resize_module(std::string_view name, geom::Point size) {
+  module_ref(name).size = size;
+}
+
+void NetworkEditor::add_module_terminal(std::string_view module, std::string name,
+                                        TermType type, geom::Point rel) {
+  module_ref(module).terms.push_back({std::move(name), type, rel, ""});
+}
+
+void NetworkEditor::move_terminal(std::string_view module, std::string_view term,
+                                  geom::Point rel) {
+  term_ref(module, term).pos = rel;
+}
+
+void NetworkEditor::add_system_terminal(std::string name, TermType type) {
+  system_terms_.push_back({std::move(name), type, ""});
+}
+
+void NetworkEditor::remove_system_terminal(std::string_view name) {
+  const auto it =
+      std::find_if(system_terms_.begin(), system_terms_.end(),
+                   [&](const ESysTerm& t) { return t.name == name; });
+  if (it == system_terms_.end()) missing("system terminal", name);
+  system_terms_.erase(it);
+}
+
+void NetworkEditor::connect(std::string_view net, std::string_view module,
+                            std::string_view term) {
+  std::string* slot = nullptr;
+  if (module.empty()) {
+    for (ESysTerm& t : system_terms_) {
+      if (t.name == term) slot = &t.net;
+    }
+    if (slot == nullptr) missing("system terminal", term);
+  } else {
+    slot = &term_ref(module, term).net;
+  }
+  *slot = std::string(net);
+  if (std::find(net_order_.begin(), net_order_.end(), *slot) == net_order_.end()) {
+    net_order_.push_back(*slot);
+  }
+}
+
+void NetworkEditor::disconnect(std::string_view module, std::string_view term) {
+  if (module.empty()) {
+    for (ESysTerm& t : system_terms_) {
+      if (t.name == term) {
+        t.net.clear();
+        return;
+      }
+    }
+    missing("system terminal", term);
+  }
+  term_ref(module, term).net.clear();
+}
+
+void NetworkEditor::remove_net(std::string_view name) {
+  const auto it = std::find(net_order_.begin(), net_order_.end(), name);
+  if (it == net_order_.end()) missing("net", name);
+  net_order_.erase(it);
+  for (EModule& m : modules_) {
+    for (ETerm& t : m.terms) {
+      if (t.net == name) t.net.clear();
+    }
+  }
+  for (ESysTerm& t : system_terms_) {
+    if (t.net == name) t.net.clear();
+  }
+}
+
+Network NetworkEditor::build() const {
+  Network net;
+  // Nets first, in declaration order, so untouched nets keep their relative
+  // order; nets that lost every terminal are dropped afterwards by virtue
+  // of never being referenced — so collect usage first.
+  std::vector<std::string> used;
+  auto is_used = [&](const std::string& name) {
+    return std::find(used.begin(), used.end(), name) != used.end();
+  };
+  for (const EModule& m : modules_) {
+    for (const ETerm& t : m.terms) {
+      if (!t.net.empty() && !is_used(t.net)) used.push_back(t.net);
+    }
+  }
+  for (const ESysTerm& t : system_terms_) {
+    if (!t.net.empty() && !is_used(t.net)) used.push_back(t.net);
+  }
+  for (const std::string& name : net_order_) {
+    if (is_used(name)) net.add_net(name);
+  }
+  for (const EModule& m : modules_) {
+    const ModuleId id = net.add_module(m.name, m.template_name, m.size);
+    for (const ETerm& t : m.terms) {
+      const TermId tid = net.add_terminal(id, t.name, t.type, t.pos);
+      if (!t.net.empty()) net.connect(*net.net_by_name(t.net), tid);
+    }
+  }
+  for (const ESysTerm& t : system_terms_) {
+    const TermId tid = net.add_system_terminal(t.name, t.type);
+    if (!t.net.empty()) net.connect(*net.net_by_name(t.net), tid);
+  }
+  return net;
+}
+
+}  // namespace na

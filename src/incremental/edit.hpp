@@ -1,0 +1,84 @@
+// NetworkEditor — edit scripts over an immutable Network.
+//
+// A Network is immutable after build (the diagram flow depends on that), so
+// the ESCHER-style edit loop needs a way to derive "the same network with a
+// small change".  The editor copies a network into an editable form keyed
+// by names, applies edits, and emits a fresh Network.  Identities (module,
+// net and terminal names) and declaration order are preserved for every
+// untouched element, which is what keeps diff_networks deltas minimal.
+//
+// Used by the incremental benches and tests as the edit-script vocabulary:
+// add module, delete net, re-pin terminal, resize, reconnect.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace na {
+
+class NetworkEditor {
+ public:
+  explicit NetworkEditor(const Network& base);
+
+  // ----- module edits --------------------------------------------------------
+  /// Appends a new module (terminals added via add_module_terminal).
+  void add_module(std::string name, std::string template_name, geom::Point size);
+  /// Removes a module and detaches all its terminals from their nets.
+  void remove_module(std::string_view name);
+  void resize_module(std::string_view name, geom::Point size);
+
+  // ----- terminal edits ------------------------------------------------------
+  void add_module_terminal(std::string_view module, std::string name,
+                           TermType type, geom::Point rel);
+  /// Re-pins a terminal to a new position on the module perimeter.
+  void move_terminal(std::string_view module, std::string_view term,
+                     geom::Point rel);
+  void add_system_terminal(std::string name, TermType type);
+  void remove_system_terminal(std::string_view name);
+
+  // ----- net edits -----------------------------------------------------------
+  /// Attaches a terminal to `net` (created if absent); empty `module` means
+  /// a system terminal.  A terminal joins at most one net, so this also
+  /// detaches it from its previous net.
+  void connect(std::string_view net, std::string_view module,
+               std::string_view term);
+  /// Detaches a terminal from its net.
+  void disconnect(std::string_view module, std::string_view term);
+  /// Removes a net, detaching every terminal it had.
+  void remove_net(std::string_view name);
+
+  /// Emits the edited network.  Nets left without any terminal are dropped;
+  /// everything else keeps its declaration order.
+  Network build() const;
+
+ private:
+  struct ETerm {
+    std::string name;
+    TermType type;
+    geom::Point pos;
+    std::string net;  ///< empty = unconnected
+  };
+  struct EModule {
+    std::string name;
+    std::string template_name;
+    geom::Point size;
+    std::vector<ETerm> terms;
+  };
+  struct ESysTerm {
+    std::string name;
+    TermType type;
+    std::string net;
+  };
+
+  EModule& module_ref(std::string_view name);
+  ETerm& term_ref(std::string_view module, std::string_view term);
+
+  std::vector<EModule> modules_;
+  std::vector<ESysTerm> system_terms_;
+  std::vector<std::string> net_order_;  ///< net creation order, for stable ids
+};
+
+}  // namespace na

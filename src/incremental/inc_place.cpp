@@ -1,0 +1,273 @@
+#include "incremental/inc_place.hpp"
+
+#include <algorithm>
+
+#include "place/box_place.hpp"
+#include "place/boxes.hpp"
+#include "place/module_place.hpp"
+#include "place/partition.hpp"
+#include "place/partition_place.hpp"
+#include "place/terminal_place.hpp"
+
+namespace na {
+namespace {
+
+/// The frozen modules as one pinned pseudo-partition (the placer's own
+/// preplaced-part treatment, Appendix E option -g).
+PartitionLayout frozen_layout(const Diagram& dia,
+                              const std::vector<ModuleId>& frozen,
+                              geom::Rect hull) {
+  PartitionLayout part;
+  for (ModuleId m : frozen) {
+    BoxLayout box;
+    box.modules = {m};
+    box.rot = {dia.placed(m).rot};
+    box.pos = {{0, 0}};
+    box.size = dia.module_size(m);
+    part.boxes.push_back(std::move(box));
+    part.box_pos.push_back(dia.placed(m).pos - hull.lo);
+  }
+  part.size = {hull.width(), hull.height()};
+  return part;
+}
+
+/// The old arrangement of a dirty partition whose membership and module
+/// sizes are unchanged, rebuilt as a pinnable layout over the NEW ids.
+PartitionLayout refresh_layout(const Diagram& old_dia, const NetlistDiff& diff,
+                               const std::vector<ModuleId>& partition,
+                               geom::Rect hull) {
+  PartitionLayout part;
+  for (ModuleId m : partition) {
+    const ModuleId om = diff.module_to_old[m];
+    BoxLayout box;
+    box.modules = {m};
+    box.rot = {old_dia.placed(om).rot};
+    box.pos = {{0, 0}};
+    box.size = old_dia.module_size(om);
+    part.boxes.push_back(std::move(box));
+    part.box_pos.push_back(old_dia.placed(om).pos - hull.lo);
+  }
+  part.size = {hull.width(), hull.height()};
+  return part;
+}
+
+}  // namespace
+
+IncPlaceResult incremental_place(Diagram& dia, const Diagram& old_dia,
+                                 const NetlistDiff& diff, const DirtyInfo& dirty,
+                                 const PlacementInfo& old_info,
+                                 const PlacerOptions& opt) {
+  const Network& net = dia.network();
+  IncPlaceResult result;
+
+  // ----- freeze clean modules at their cached positions ----------------------
+  std::vector<ModuleId> frozen;
+  std::vector<bool> dirty_mask(net.module_count(), false);
+  for (ModuleId m = 0; m < net.module_count(); ++m) {
+    const ModuleId om = diff.module_to_old[m];
+    if (!dirty.module_dirty[m] && om != kNone && old_dia.module_placed(om)) {
+      const PlacedModule& pm = old_dia.placed(om);
+      dia.place_module(m, pm.pos, pm.rot);
+      frozen.push_back(m);
+    } else {
+      dirty_mask[m] = true;
+    }
+  }
+  result.modules_frozen = static_cast<int>(frozen.size());
+
+  // ----- re-place the dirty set through the section-4.6 pipeline -------------
+  std::vector<std::vector<ModuleId>> new_partitions;
+  std::vector<std::vector<Box>> new_boxes;
+  if (result.modules_frozen < net.module_count()) {
+    const PartitionLimits limits{opt.max_part_size, opt.max_connections};
+    new_partitions = partition_network(net, limits, dirty_mask);
+
+    std::vector<PartitionLayout> layouts;
+    std::vector<std::optional<geom::Point>> fixed_pos;
+    geom::Rect frozen_hull;
+    for (ModuleId m : frozen) frozen_hull = frozen_hull.hull(dia.module_rect(m));
+    if (!frozen.empty()) {
+      layouts.push_back(frozen_layout(dia, frozen, frozen_hull));
+      fixed_pos.push_back(frozen_hull.lo);
+    }
+
+    // Old module -> old partition index, for the in-place refresh test.
+    const Network& old_net = old_dia.network();
+    std::vector<int> old_part_of(old_net.module_count(), -1);
+    for (size_t p = 0; p < old_info.partitions.size(); ++p) {
+      for (ModuleId om : old_info.partitions[p]) {
+        old_part_of[om] = static_cast<int>(p);
+      }
+    }
+
+    std::vector<geom::Rect> pinned;  // holes already promised to a partition
+    for (const auto& partition : new_partitions) {
+      // In-place refresh: when the partition's membership and module sizes
+      // are unchanged (the edit moved a terminal pin or rewired a net), the
+      // old arrangement is still the right one — re-running the box layout
+      // would spread the group into space it does not have and tear up
+      // every net it touches.  Keep the old geometry verbatim.
+      int old_part = -1;
+      bool unchanged = !partition.empty();
+      for (ModuleId m : partition) {
+        const ModuleId om = diff.module_to_old[m];
+        if (om == kNone || !old_dia.module_placed(om) ||
+            old_net.module(om).size != net.module(m).size ||
+            old_part_of[om] == -1 ||
+            (old_part != -1 && old_part_of[om] != old_part)) {
+          unchanged = false;
+          break;
+        }
+        old_part = old_part_of[om];
+      }
+      if (unchanged &&
+          old_info.partitions[old_part].size() == partition.size()) {
+        geom::Rect hull;
+        for (ModuleId m : partition) {
+          hull = hull.hull(old_dia.module_rect(diff.module_to_old[m]));
+        }
+        bool clear = true;  // old rects cannot hit frozen ones, only holes
+        for (const geom::Rect& r : pinned) {
+          if (hull.overlaps(r)) clear = false;
+        }
+        if (clear) {
+          layouts.push_back(refresh_layout(old_dia, diff, partition, hull));
+          fixed_pos.push_back(hull.lo);
+          pinned.push_back(hull);
+          std::vector<Box> boxes;
+          for (const Box& ob : old_info.boxes[old_part]) {
+            Box nb;
+            for (ModuleId om : ob) nb.push_back(diff.module_to_new[om]);
+            boxes.push_back(std::move(nb));
+          }
+          new_boxes.push_back(std::move(boxes));
+          continue;
+        }
+      }
+
+      auto boxes = form_boxes(net, partition, opt.max_box_size);
+      std::vector<BoxLayout> box_layouts;
+      box_layouts.reserve(boxes.size());
+      for (const Box& b : boxes) {
+        box_layouts.push_back(place_box_modules(net, b, opt.module_spacing));
+      }
+      PartitionLayout layout =
+          place_boxes(net, std::move(box_layouts), opt.box_spacing);
+
+      // Hole pinning: the hull the partition's modules vacated in the old
+      // diagram.  Pin the new layout there when it fits and collides with
+      // nothing frozen and no other pinned hole.
+      std::optional<geom::Point> pin;
+      geom::Rect hole;
+      bool all_existed = !partition.empty();
+      for (ModuleId m : partition) {
+        const ModuleId om = diff.module_to_old[m];
+        if (om == kNone || !old_dia.module_placed(om)) {
+          all_existed = false;
+          break;
+        }
+        hole = hole.hull(old_dia.module_rect(om));
+      }
+      if (all_existed && layout.size.x <= hole.width() &&
+          layout.size.y <= hole.height()) {
+        const geom::Rect target = geom::Rect::from_size(hole.lo, layout.size);
+        bool clear = true;
+        for (ModuleId m : frozen) {
+          if (target.expanded(opt.partition_spacing)
+                  .overlaps(dia.module_rect(m))) {
+            clear = false;
+            break;
+          }
+        }
+        for (const geom::Rect& r : pinned) {
+          if (target.overlaps(r)) clear = false;
+        }
+        if (clear) {
+          pin = hole.lo;
+          pinned.push_back(target);
+        }
+      }
+      layouts.push_back(std::move(layout));
+      fixed_pos.push_back(pin);
+      new_boxes.push_back(std::move(boxes));
+    }
+
+    const FullLayout full =
+        place_partitions(net, std::move(layouts), opt.partition_spacing, fixed_pos);
+    for (size_t p = 0; p < full.partitions.size(); ++p) {
+      const PartitionLayout& part = full.partitions[p];
+      for (size_t b = 0; b < part.boxes.size(); ++b) {
+        const BoxLayout& box = part.boxes[b];
+        for (size_t i = 0; i < box.modules.size(); ++i) {
+          const ModuleId m = box.modules[i];
+          if (dia.module_placed(m)) continue;  // frozen stays put
+          dia.place_module(m, full.partition_pos[p] + part.box_pos[b] + box.pos[i],
+                           box.rot[i]);
+          ++result.modules_replaced;
+        }
+      }
+    }
+  }
+
+  // ----- system terminals: keep survivors, ring-place the rest ---------------
+  for (TermId st : net.system_terms()) {
+    const TermId ot = diff.term_to_old[st];
+    if (ot == kNone || !old_dia.system_term_placed(ot)) continue;
+    const geom::Point pos = old_dia.term_pos(ot);
+    bool clear = true;  // a re-placed partition may have grown over the spot
+    for (ModuleId m = 0; m < net.module_count(); ++m) {
+      if (dia.module_placed(m) && dia.module_rect(m).contains(pos)) {
+        clear = false;
+        break;
+      }
+    }
+    if (clear) dia.place_system_term(st, pos);
+  }
+  place_system_terminals(dia);
+
+  // ----- feasibility: frozen placement must stay overlap-free ----------------
+  for (ModuleId a = 0; a < net.module_count() && result.feasible; ++a) {
+    if (!dia.module_placed(a)) {
+      result.feasible = false;
+      break;
+    }
+    for (ModuleId b = a + 1; b < net.module_count(); ++b) {
+      if (dia.module_placed(b) &&
+          dia.module_rect(a).overlaps(dia.module_rect(b))) {
+        result.feasible = false;
+        break;
+      }
+    }
+  }
+
+  // ----- merged structure: carried-over clean partitions + the new ones ------
+  for (size_t p = 0; p < old_info.partitions.size(); ++p) {
+    if (p < dirty.partition_dirty.size() && dirty.partition_dirty[p]) continue;
+    std::vector<ModuleId> mapped;
+    for (ModuleId om : old_info.partitions[p]) {
+      const ModuleId nm = diff.module_to_new[om];
+      if (nm != kNone) mapped.push_back(nm);
+    }
+    if (mapped.empty()) continue;
+    std::vector<Box> boxes;
+    if (p < old_info.boxes.size()) {
+      for (const Box& ob : old_info.boxes[p]) {
+        Box nb;
+        for (ModuleId om : ob) {
+          const ModuleId nm = diff.module_to_new[om];
+          if (nm != kNone) nb.push_back(nm);
+        }
+        if (!nb.empty()) boxes.push_back(std::move(nb));
+      }
+    }
+    result.info.partitions.push_back(std::move(mapped));
+    result.info.boxes.push_back(std::move(boxes));
+  }
+  for (size_t p = 0; p < new_partitions.size(); ++p) {
+    result.info.partitions.push_back(std::move(new_partitions[p]));
+    result.info.boxes.push_back(std::move(new_boxes[p]));
+  }
+  return result;
+}
+
+}  // namespace na

@@ -1,0 +1,40 @@
+// Incremental placement — layer 2b of the incremental regeneration engine.
+//
+// Clean modules are frozen at their cached absolute positions (the
+// Appendix-E "-g" idea: the preplaced part forms a partition of its own);
+// only the dirty module set is re-run through the pipeline of section 4.6 —
+// seed-and-grow partitioning, box formation, module/box gravity placement.
+// Each re-formed dirty partition is pinned back into the rectangular hole
+// its modules vacated when the new layout still fits there (keeping the
+// artwork visually stable across edits, the property the ESCHER editor
+// loop and Weave-style verified layouts both care about); otherwise the
+// partition-level gravity placement finds it a fresh spot around the
+// frozen hull.
+//
+// The caller is expected to fall back to a full re-place when the result
+// reports `feasible == false` (frozen placement could not be completed
+// without overlap) — the second half of the fallback rule; the first half
+// (too many dirty partitions) is decided by the session before calling.
+#pragma once
+
+#include "incremental/dirty.hpp"
+#include "schematic/diagram.hpp"
+
+namespace na {
+
+struct IncPlaceResult {
+  PlacementInfo info;        ///< merged partition/box structure, NEW ids
+  int modules_replaced = 0;  ///< dirty modules placed this pass
+  int modules_frozen = 0;    ///< clean modules kept at cached positions
+  bool feasible = true;      ///< false: overlap — caller must re-place fully
+};
+
+/// Places `dia` (a fresh diagram over the edited network) incrementally
+/// against the cached `old_dia`/`old_info`.  System terminals that survive
+/// the edit keep their positions when possible; new ones go on the ring.
+IncPlaceResult incremental_place(Diagram& dia, const Diagram& old_dia,
+                                 const NetlistDiff& diff, const DirtyInfo& dirty,
+                                 const PlacementInfo& old_info,
+                                 const PlacerOptions& opt);
+
+}  // namespace na

@@ -1,0 +1,111 @@
+#include "incremental/inc_route.hpp"
+
+#include <vector>
+
+namespace na {
+namespace {
+
+/// Can the net's geometry be carried over unchanged?  Requires an old
+/// counterpart the diff left untouched, a complete old routing, and every
+/// terminal sitting at the exact same absolute position in both diagrams.
+bool is_clean(const Diagram& dia, const Diagram& old_dia, const NetlistDiff& diff,
+              NetId n, const std::vector<bool>& changed) {
+  const NetId on = diff.net_to_old[n];
+  if (on == kNone || changed[n]) return false;
+  if (!old_dia.route(on).routed) return false;
+  const Network& net = dia.network();
+  for (TermId t : net.net(n).terms) {
+    const TermId ot = diff.term_to_old[t];
+    if (ot == kNone) return false;
+    const Terminal& term = net.term(t);
+    const bool placed = term.is_system() ? dia.system_term_placed(t)
+                                         : dia.module_placed(term.module);
+    const Terminal& old_term = old_dia.network().term(ot);
+    const bool old_placed = old_term.is_system()
+                                ? old_dia.system_term_placed(ot)
+                                : old_dia.module_placed(old_term.module);
+    if (!placed || !old_placed) return false;
+    if (dia.term_pos(t) != old_dia.term_pos(ot)) return false;
+  }
+  return true;
+}
+
+int geometry_cells(const NetRoute& r) {
+  int cells = 0;
+  for (const auto& pl : r.polylines) cells += static_cast<int>(pl.size());
+  return r.total_length() + cells;  // track slots ~ unit steps + node points
+}
+
+}  // namespace
+
+PatchRouteResult patch_route(Diagram& dia, const Diagram& old_dia,
+                             const NetlistDiff& diff, const RouterOptions& opt) {
+  const Network& net = dia.network();
+  PatchRouteResult result;
+
+  std::vector<bool> changed(net.net_count(), false);
+  for (NetId n : diff.changed_nets) changed[n] = true;
+
+  // ----- dirty geometry: rects of modules that appeared or moved -------------
+  std::vector<geom::Rect> moved_rects;
+  for (ModuleId m = 0; m < net.module_count(); ++m) {
+    if (!dia.module_placed(m)) continue;
+    const ModuleId om = diff.module_to_old[m];
+    if (om == kNone || !old_dia.module_placed(om) ||
+        dia.module_rect(m) != old_dia.module_rect(om)) {
+      moved_rects.push_back(dia.module_rect(m));
+    }
+  }
+  std::vector<geom::Point> moved_points;  // system terminals that appeared/moved
+  for (TermId st : net.system_terms()) {
+    if (!dia.system_term_placed(st)) continue;
+    const TermId ot = diff.term_to_old[st];
+    if (ot == kNone || !old_dia.system_term_placed(ot) ||
+        dia.term_pos(st) != old_dia.term_pos(ot)) {
+      moved_points.push_back(dia.term_pos(st));
+    }
+  }
+  auto collides = [&](const NetRoute& r) {
+    for (const auto& pl : r.polylines) {
+      for (size_t i = 0; i < pl.size(); ++i) {
+        const geom::Segment seg{pl[i > 0 ? i - 1 : 0], pl[i]};
+        for (const geom::Rect& rect : moved_rects) {
+          if (seg.bounds().overlaps(rect)) return true;
+        }
+        for (const geom::Point p : moved_points) {
+          if (seg.contains(p)) return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  // ----- carry clean geometry over; scrub the rest ---------------------------
+  int old_cells = 0;
+  for (NetId on = 0; on < old_dia.network().net_count(); ++on) {
+    old_cells += geometry_cells(old_dia.route(on));
+  }
+  int kept_cells = 0;
+  std::vector<bool> kept(net.net_count(), false);
+  for (NetId n = 0; n < net.net_count(); ++n) {
+    if (!is_clean(dia, old_dia, diff, n, changed)) continue;
+    const NetRoute& old_route = old_dia.route(diff.net_to_old[n]);
+    if (collides(old_route)) continue;
+    NetRoute& r = dia.route(n);
+    r.polylines = old_route.polylines;
+    r.routed = true;
+    kept[n] = true;
+    ++result.nets_kept;
+    kept_cells += geometry_cells(old_route);
+  }
+  result.cells_scrubbed = old_cells - kept_cells;
+
+  // ----- route everything still open against the preserved plane -------------
+  result.report = route_all(dia, opt);
+  for (NetId n = 0; n < net.net_count(); ++n) {
+    if (!kept[n] && !dia.route(n).polylines.empty()) ++result.nets_rerouted;
+  }
+  return result;
+}
+
+}  // namespace na

@@ -1,0 +1,35 @@
+// Patch routing — layer 3 of the incremental regeneration engine.
+//
+// Keeps the drawn geometry of every *clean* net (same terminal set, every
+// terminal at the same absolute position, fully routed in the cached
+// diagram) and re-routes only the rest: nets the diff changed, nets of
+// re-placed modules, nets whose kept path would now collide with a module
+// that appeared or moved (the scrub), and nets that had failed before.
+//
+// The actual searching is the ordinary route_all driver (rip-up semantics
+// of route/ripup.cpp: surviving geometry acts as obstacles and as join
+// targets for its own net), so the patch pass inherits claimpoints, the
+// section-5.7 retry pass, and — via RouterOptions::threads — the PR-1
+// speculative parallel driver unchanged.
+#pragma once
+
+#include "incremental/netlist_diff.hpp"
+#include "route/router.hpp"
+
+namespace na {
+
+struct PatchRouteResult {
+  /// Whole-diagram report from the underlying route_all pass.  Note that
+  /// `nets_routed` counts kept nets too (they end the pass fully
+  /// connected); the patch-specific counters below separate the work.
+  RouteReport report;
+  int nets_kept = 0;      ///< clean nets whose geometry survived verbatim
+  int nets_rerouted = 0;  ///< nets (re)routed by this pass
+  int cells_scrubbed = 0; ///< grid track cells of stale geometry discarded
+};
+
+/// Patch-routes `dia` (placed, unrouted) against the cached `old_dia`.
+PatchRouteResult patch_route(Diagram& dia, const Diagram& old_dia,
+                             const NetlistDiff& diff, const RouterOptions& opt);
+
+}  // namespace na

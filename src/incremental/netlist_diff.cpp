@@ -1,0 +1,92 @@
+#include "incremental/netlist_diff.hpp"
+
+namespace na {
+namespace {
+
+/// Terminal shape equality — the placement-relevant properties.  Net
+/// membership is deliberately excluded (that is a net-level change).
+bool same_term_shape(const Terminal& a, const Terminal& b) {
+  return a.name == b.name && a.type == b.type && a.pos == b.pos;
+}
+
+bool same_module_shape(const Network& before, const Network& after,
+                       ModuleId om, ModuleId nm) {
+  const Module& a = before.module(om);
+  const Module& b = after.module(nm);
+  if (a.template_name != b.template_name || a.size != b.size) return false;
+  if (a.terms.size() != b.terms.size()) return false;
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    if (!same_term_shape(before.term(a.terms[i]), after.term(b.terms[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+NetlistDiff diff_networks(const Network& before, const Network& after) {
+  NetlistDiff d;
+  d.module_to_old.assign(after.module_count(), kNone);
+  d.module_to_new.assign(before.module_count(), kNone);
+  d.net_to_old.assign(after.net_count(), kNone);
+  d.net_to_new.assign(before.net_count(), kNone);
+  d.term_to_old.assign(after.term_count(), kNone);
+  d.term_to_new.assign(before.term_count(), kNone);
+
+  // ----- modules, matched by name -------------------------------------------
+  for (ModuleId nm = 0; nm < after.module_count(); ++nm) {
+    const auto om = before.module_by_name(after.module(nm).name);
+    if (!om) {
+      d.added_modules.push_back(nm);
+      continue;
+    }
+    d.module_to_old[nm] = *om;
+    d.module_to_new[*om] = nm;
+    if (!same_module_shape(before, after, *om, nm)) {
+      d.changed_modules.push_back(nm);
+    }
+  }
+  for (ModuleId om = 0; om < before.module_count(); ++om) {
+    if (d.module_to_new[om] == kNone) d.removed_modules.push_back(om);
+  }
+
+  // ----- terminals, matched by (module identity, name) ----------------------
+  for (TermId nt = 0; nt < after.term_count(); ++nt) {
+    const Terminal& term = after.term(nt);
+    ModuleId om = kNone;
+    if (!term.is_system()) {
+      om = d.module_to_old[term.module];
+      if (om == kNone) continue;  // terminal of an added module
+    }
+    if (const auto ot = before.term_by_name(om, term.name)) {
+      d.term_to_old[nt] = *ot;
+      d.term_to_new[*ot] = nt;
+    }
+  }
+
+  // ----- nets, matched by name; changed = terminal set differs --------------
+  for (NetId nn = 0; nn < after.net_count(); ++nn) {
+    const auto on = before.net_by_name(after.net(nn).name);
+    if (!on) {
+      d.added_nets.push_back(nn);
+      continue;
+    }
+    d.net_to_old[nn] = *on;
+    d.net_to_new[*on] = nn;
+    const Net& a = before.net(*on);
+    const Net& b = after.net(nn);
+    bool same = a.terms.size() == b.terms.size();
+    for (size_t i = 0; same && i < b.terms.size(); ++i) {
+      const TermId ot = d.term_to_old[b.terms[i]];
+      same = ot != kNone && before.term(ot).net == *on;
+    }
+    if (!same) d.changed_nets.push_back(nn);
+  }
+  for (NetId on = 0; on < before.net_count(); ++on) {
+    if (d.net_to_new[on] == kNone) d.removed_nets.push_back(on);
+  }
+  return d;
+}
+
+}  // namespace na

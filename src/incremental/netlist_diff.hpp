@@ -1,0 +1,55 @@
+// Structural netlist diff — layer 1 of the incremental regeneration engine.
+//
+// Two Network objects are compared by *stable identities*: modules and
+// nets by name, terminals by (owning module name, terminal name) — the
+// identities the ESCHER edit loop of paper section 6 preserves across
+// edits, while the dense integer ids may be renumbered arbitrarily by the
+// edit.  The diff classifies every element as kept, added, removed or
+// changed, and carries the id translation maps the dirty tracker and the
+// patch router need to relate the cached diagram to the edited network.
+//
+// Classification rules:
+//   * a module is "changed" when its template, size, or terminal shape
+//     (names, types, relative positions, count) differ — the properties
+//     placement depends on.  Net membership changes alone do NOT change a
+//     module; they change the *net*.
+//   * a net is "changed" when its terminal set differs (a terminal was
+//     re-pinned to or from it, or one of its terminals vanished).
+#pragma once
+
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace na {
+
+struct NetlistDiff {
+  // ----- identity maps (kNone where no counterpart exists) -----------------
+  std::vector<ModuleId> module_to_old;  ///< new module id -> old module id
+  std::vector<ModuleId> module_to_new;  ///< old module id -> new module id
+  std::vector<NetId> net_to_old;        ///< new net id -> old net id
+  std::vector<NetId> net_to_new;        ///< old net id -> new net id
+  std::vector<TermId> term_to_old;      ///< new term id -> old term id
+  std::vector<TermId> term_to_new;      ///< old term id -> new term id
+
+  // ----- deltas: added/changed hold NEW ids, removed holds OLD ids ----------
+  std::vector<ModuleId> added_modules;
+  std::vector<ModuleId> changed_modules;
+  std::vector<ModuleId> removed_modules;
+  std::vector<NetId> added_nets;
+  std::vector<NetId> changed_nets;
+  std::vector<NetId> removed_nets;
+
+  /// No structural difference at all (every element kept unchanged).
+  bool empty() const {
+    return added_modules.empty() && changed_modules.empty() &&
+           removed_modules.empty() && added_nets.empty() &&
+           changed_nets.empty() && removed_nets.empty();
+  }
+};
+
+/// Diffs `after` against `before`.  Symmetric in information content: every
+/// delta list together with the maps describes the edit completely.
+NetlistDiff diff_networks(const Network& before, const Network& after);
+
+}  // namespace na

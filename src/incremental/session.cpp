@@ -1,0 +1,157 @@
+#include "incremental/session.hpp"
+
+#include <stdexcept>
+
+#include "incremental/dirty.hpp"
+#include "incremental/inc_place.hpp"
+#include "incremental/inc_route.hpp"
+#include "place/partition.hpp"
+#include "place/boxes.hpp"
+#include "schematic/validate.hpp"
+
+namespace na {
+namespace {
+
+/// Copies placement and routing of `src` onto a diagram over `net` — the
+/// session's own network copy.  Ids must correspond 1:1 (same build order).
+Diagram clone_onto(const Network& net, const Diagram& src) {
+  Diagram dia(net);
+  for (ModuleId m = 0; m < net.module_count(); ++m) {
+    if (!src.module_placed(m)) continue;
+    const PlacedModule& pm = src.placed(m);
+    dia.place_module(m, pm.pos, pm.rot, pm.fixed);
+  }
+  for (TermId st : net.system_terms()) {
+    if (src.system_term_placed(st)) dia.place_system_term(st, src.term_pos(st));
+  }
+  for (NetId n = 0; n < net.net_count(); ++n) {
+    dia.route(n) = src.route(n);
+  }
+  return dia;
+}
+
+/// Partition/box structure for an adopted diagram: re-derive it with the
+/// session's own limits (partitioning is a pure function of the network,
+/// so this is exactly what a from-scratch placement would have used).
+PlacementInfo derive_structure(const Network& net, const PlacerOptions& opt) {
+  PlacementInfo info;
+  const PartitionLimits limits{opt.max_part_size, opt.max_connections};
+  info.partitions = partition_network(net, limits);
+  for (const auto& partition : info.partitions) {
+    info.boxes.push_back(form_boxes(net, partition, opt.max_box_size));
+  }
+  return info;
+}
+
+}  // namespace
+
+RegenSession::RegenSession(RegenOptions opt) : opt_(std::move(opt)) {}
+RegenSession::~RegenSession() = default;
+RegenSession::RegenSession(RegenSession&&) noexcept = default;
+RegenSession& RegenSession::operator=(RegenSession&&) noexcept = default;
+
+const Diagram& RegenSession::diagram() const {
+  if (!dia_) throw std::logic_error("RegenSession: no diagram yet");
+  return *dia_;
+}
+
+const Network& RegenSession::network() const {
+  if (!net_) throw std::logic_error("RegenSession: no network yet");
+  return *net_;
+}
+
+void RegenSession::account(const RegenCounters& one) {
+  last_ = one;
+  totals_.updates += one.updates;
+  totals_.incremental += one.incremental;
+  totals_.full_regens += one.full_regens;
+  totals_.modules_replaced += one.modules_replaced;
+  totals_.modules_frozen += one.modules_frozen;
+  totals_.nets_kept += one.nets_kept;
+  totals_.nets_rerouted += one.nets_rerouted;
+  totals_.cells_scrubbed += one.cells_scrubbed;
+  totals_.route_expansions += one.route_expansions;
+}
+
+void RegenSession::full_regen(const Network& next) {
+  auto net = std::make_unique<Network>(next);
+  auto dia = std::make_unique<Diagram>(*net);
+  GeneratorResult result = generate(*dia, opt_.generator);
+  info_ = std::move(result.placement);
+  net_ = std::move(net);
+  dia_ = std::move(dia);
+
+  RegenCounters one;
+  one.updates = 1;
+  one.full_regens = 1;
+  one.modules_replaced = next.module_count();
+  one.nets_rerouted = result.route.nets_routed;
+  one.route_expansions = result.route.total_expansions;
+  account(one);
+}
+
+void RegenSession::adopt(const Network& net, const Diagram& dia) {
+  auto copy = std::make_unique<Network>(net);
+  auto cloned = std::make_unique<Diagram>(clone_onto(*copy, dia));
+  info_ = derive_structure(*copy, opt_.generator.placer);
+  net_ = std::move(copy);
+  dia_ = std::move(cloned);
+}
+
+const Diagram& RegenSession::update(const Network& next) {
+  if (!net_ || !dia_ || net_->module_count() == 0 || !dia_->all_placed()) {
+    full_regen(next);
+    return *dia_;
+  }
+
+  const NetlistDiff diff = diff_networks(*net_, next);
+  if (diff.empty()) {
+    RegenCounters one;
+    one.updates = 1;
+    one.incremental = 1;
+    one.nets_kept = dia_->routed_count();
+    account(one);
+    return *dia_;
+  }
+
+  // Fallback rule, part 1: edit too large for patching.
+  const DirtyInfo dirty = map_dirty(diff, *net_, next, info_);
+  if (next.module_count() == 0 ||
+      dirty.dirty_fraction() > opt_.max_dirty_fraction) {
+    full_regen(next);
+    return *dia_;
+  }
+
+  auto net = std::make_unique<Network>(next);
+  auto dia = std::make_unique<Diagram>(*net);
+  IncPlaceResult placed =
+      incremental_place(*dia, *dia_, diff, dirty, info_, opt_.generator.placer);
+  if (!placed.feasible) {  // fallback rule, part 2
+    full_regen(next);
+    return *dia_;
+  }
+  PatchRouteResult routed =
+      patch_route(*dia, *dia_, diff, opt_.generator.router);
+  if (opt_.validate && !validate_diagram(*dia).empty()) {
+    full_regen(next);  // patched diagram broke a drawing rule
+    return *dia_;
+  }
+
+  info_ = std::move(placed.info);
+  net_ = std::move(net);
+  dia_ = std::move(dia);
+
+  RegenCounters one;
+  one.updates = 1;
+  one.incremental = 1;
+  one.modules_replaced = placed.modules_replaced;
+  one.modules_frozen = placed.modules_frozen;
+  one.nets_kept = routed.nets_kept;
+  one.nets_rerouted = routed.nets_rerouted;
+  one.cells_scrubbed = routed.cells_scrubbed;
+  one.route_expansions = routed.report.total_expansions;
+  account(one);
+  return *dia_;
+}
+
+}  // namespace na

@@ -1,0 +1,86 @@
+// RegenSession — the re-entrant facade of the incremental regeneration
+// engine: the piece the ESCHER-style edit loop (paper sections 2 and 6)
+// talks to.  It owns the cached network copy, diagram and partition
+// structure, and turns each edited Network handed to update() into a new
+// diagram by diffing, patching placement, and patch-routing — falling back
+// to a full regeneration when the edit is too large (dirty-partition share
+// above `max_dirty_fraction`), the frozen placement becomes infeasible, or
+// the patched diagram fails the geometric validity check.
+//
+//   RegenSession session(options);
+//   session.update(net);          // first call: full generation
+//   ...user edits net...
+//   session.update(edited_net);   // small delta => small work
+//   session.last().nets_rerouted; // what the update actually cost
+#pragma once
+
+#include <memory>
+
+#include "core/generator.hpp"
+#include "incremental/netlist_diff.hpp"
+
+namespace na {
+
+/// Work counters for one update (last()) or the session lifetime (totals()).
+struct RegenCounters {
+  int updates = 0;
+  int incremental = 0;    ///< updates served by the patch path
+  int full_regens = 0;    ///< updates that fell back to full generation
+  int modules_replaced = 0;
+  int modules_frozen = 0;
+  int nets_kept = 0;
+  int nets_rerouted = 0;
+  int cells_scrubbed = 0;
+  long route_expansions = 0;  ///< search work of the (patch) routing pass
+};
+
+struct RegenOptions {
+  GeneratorOptions generator;
+  /// Fallback rule, part 1: full re-place when more than this share of
+  /// partitions is dirtied by the edit.
+  double max_dirty_fraction = 0.5;
+  /// Run validate_diagram on every patched result and fall back to a full
+  /// regeneration when it reports problems.  Costs one O(geometry) check;
+  /// disable only when the caller validates anyway.
+  bool validate = true;
+};
+
+class RegenSession {
+ public:
+  explicit RegenSession(RegenOptions opt = {});
+  ~RegenSession();
+  RegenSession(RegenSession&&) noexcept;
+  RegenSession& operator=(RegenSession&&) noexcept;
+
+  /// Regenerates the cached diagram for `next` and returns it.  The first
+  /// call (or any too-large edit) is a full generation; small edits take
+  /// the incremental path.  The returned reference stays valid until the
+  /// next update()/adopt() call.
+  const Diagram& update(const Network& next);
+
+  /// Re-seeds the session from an externally produced diagram — e.g. one
+  /// reloaded through escher_reader after an editor restart, or a careful
+  /// hand placement.  `dia` must wrap a network equal to `net`.
+  void adopt(const Network& net, const Diagram& dia);
+
+  bool has_diagram() const { return dia_ != nullptr; }
+  const Diagram& diagram() const;
+  const Network& network() const;
+  const PlacementInfo& placement() const { return info_; }
+  const RegenCounters& totals() const { return totals_; }
+  /// Counters of the most recent update() only.
+  const RegenCounters& last() const { return last_; }
+
+ private:
+  void full_regen(const Network& next);
+  void account(const RegenCounters& one);
+
+  RegenOptions opt_;
+  std::unique_ptr<Network> net_;  ///< owned copy; dia_ points into it
+  std::unique_ptr<Diagram> dia_;
+  PlacementInfo info_;
+  RegenCounters totals_;
+  RegenCounters last_;
+};
+
+}  // namespace na

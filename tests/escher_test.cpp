@@ -6,6 +6,8 @@
 #include "core/generator.hpp"
 #include "gen/chain.hpp"
 #include "gen/controller.hpp"
+#include "gen/life.hpp"
+#include "route/net_order.hpp"
 #include "schematic/escher_reader.hpp"
 #include "schematic/escher_writer.hpp"
 #include "schematic/validate.hpp"
@@ -46,6 +48,34 @@ TEST(EscherRoundTrip, RoutedGeometryPreserved) {
     EXPECT_TRUE(back.route(n).prerouted);
   }
   // The restored diagram is still geometrically valid.
+  EXPECT_TRUE(validate_diagram(back).empty());
+}
+
+// The full LIFE workload (27 modules, 222 nets, hand placement + routing)
+// survives a write/read cycle position- and path-exact — the property
+// RegenSession::adopt relies on when an editor session reloads its cached
+// diagram from disk.
+TEST(EscherRoundTrip, RoutedLifeDiagramSurvives) {
+  const Network net = gen::life_network();
+  Diagram dia(net);
+  gen::life_hand_placement(dia);
+  RouterOptions ropt;
+  ropt.margin = 12;
+  ropt.order_criterion = static_cast<int>(NetOrderCriterion::LongestFirst);
+  route_all(dia, ropt);
+
+  const Diagram back = parse_escher_diagram(net, to_escher_diagram(dia, "life"));
+  for (ModuleId m = 0; m < net.module_count(); ++m) {
+    ASSERT_EQ(back.placed(m).pos, dia.placed(m).pos) << net.module(m).name;
+    ASSERT_EQ(back.placed(m).rot, dia.placed(m).rot) << net.module(m).name;
+  }
+  for (TermId st : net.system_terms()) {
+    ASSERT_EQ(back.term_pos(st), dia.term_pos(st));
+  }
+  for (NetId n = 0; n < net.net_count(); ++n) {
+    ASSERT_EQ(back.route(n).polylines, dia.route(n).polylines)
+        << net.net(n).name;
+  }
   EXPECT_TRUE(validate_diagram(back).empty());
 }
 

@@ -1,0 +1,254 @@
+// End-to-end tests for the incremental regeneration engine: edit scripts
+// through RegenSession, with every incremental result run through the
+// geometric validator and its metrics compared against a from-scratch
+// regeneration of the same edited netlist.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/datapath.hpp"
+#include "gen/chain.hpp"
+#include "gen/life.hpp"
+#include "incremental/edit.hpp"
+#include "incremental/session.hpp"
+#include "route/net_order.hpp"
+#include "route/router.hpp"
+#include "schematic/metrics.hpp"
+#include "schematic/validate.hpp"
+
+namespace na {
+namespace {
+
+RegenOptions datapath_options() {
+  RegenOptions opt;
+  opt.generator.placer.max_part_size = 5;
+  opt.generator.placer.max_box_size = 3;
+  return opt;
+}
+
+RegenOptions life_options() {
+  RegenOptions opt;
+  opt.generator.placer.max_part_size = 3;  // one partition per LIFE cell
+  opt.generator.placer.max_box_size = 3;
+  opt.generator.placer.module_spacing = 1;
+  opt.generator.placer.partition_spacing = 2;
+  opt.generator.router.margin = 12;
+  opt.generator.router.order_criterion =
+      static_cast<int>(NetOrderCriterion::LongestFirst);
+  return opt;
+}
+
+/// Satellite contract: incremental metrics within 10% of the from-scratch
+/// metrics on the same edited netlist.  The bound is one-sided — an
+/// incremental result may be *better* than from-scratch (it keeps a
+/// carefully routed baseline), it just must not be more than 10% worse.
+/// Small counters get a small absolute floor so one rerouted corner does
+/// not register as a relative blow-up.
+void expect_within_10pct(const DiagramStats& inc, const DiagramStats& scratch) {
+  auto close = [](int worse, int base, const char* what) {
+    const double tol = std::max(6.0, 0.10 * std::abs(base));
+    EXPECT_LE(worse - base, tol)
+        << what << ": incremental " << worse << " vs from-scratch " << base;
+  };
+  EXPECT_EQ(inc.unrouted, scratch.unrouted);
+  close(inc.wire_length, scratch.wire_length, "wire_length");
+  close(inc.bends, scratch.bends, "bends");
+  close(inc.crossings, scratch.crossings, "crossings");
+}
+
+TEST(Incremental, FirstUpdateIsFullGeneration) {
+  const Network net = gen::datapath_network({6});
+  RegenSession session(datapath_options());
+  EXPECT_FALSE(session.has_diagram());
+  const Diagram& dia = session.update(net);
+  EXPECT_TRUE(session.has_diagram());
+  EXPECT_EQ(session.last().full_regens, 1);
+  EXPECT_EQ(session.last().incremental, 0);
+  EXPECT_EQ(session.last().modules_replaced, net.module_count());
+  EXPECT_TRUE(validate_diagram(dia).empty());
+}
+
+TEST(Incremental, NoOpUpdateKeepsEverything) {
+  const Network net = gen::datapath_network({6});
+  RegenSession session(datapath_options());
+  session.update(net);
+  const int routed = session.diagram().routed_count();
+
+  const Diagram& dia = session.update(gen::datapath_network({6}));
+  EXPECT_EQ(session.last().incremental, 1);
+  EXPECT_EQ(session.last().full_regens, 0);
+  EXPECT_EQ(session.last().nets_rerouted, 0);
+  EXPECT_EQ(session.last().nets_kept, routed);
+  EXPECT_EQ(session.last().modules_replaced, 0);
+  EXPECT_TRUE(validate_diagram(dia).empty());
+}
+
+TEST(Incremental, AddedModuleTakesPatchPath) {
+  const Network net = gen::datapath_network({8});
+  RegenSession session(datapath_options());
+  session.update(net);
+
+  // Edit script: attach a probe module to one accumulator net.
+  NetworkEditor ed(net);
+  ed.add_module("probe", "probe", {4, 4});
+  ed.add_module_terminal("probe", "i", TermType::In, {0, 2});
+  ed.connect("b2_acc", "probe", "i");
+  const Network edited = ed.build();
+
+  const Diagram& inc = session.update(edited);
+  EXPECT_EQ(session.last().incremental, 1) << "edit should be patchable";
+  EXPECT_EQ(session.last().full_regens, 0);
+  EXPECT_GT(session.last().modules_frozen, 0);
+  EXPECT_LT(session.last().nets_rerouted, edited.net_count());
+  EXPECT_GT(session.last().nets_kept, 0);
+  EXPECT_TRUE(validate_diagram(inc).empty());
+
+  RegenSession scratch(datapath_options());
+  expect_within_10pct(compute_stats(inc), compute_stats(scratch.update(edited)));
+}
+
+TEST(Incremental, DeletedNetIsPureRoutingChange) {
+  const Network net = gen::datapath_network({8});
+  RegenSession session(datapath_options());
+  session.update(net);
+  std::vector<geom::Point> before_pos;
+  for (ModuleId m = 0; m < net.module_count(); ++m) {
+    before_pos.push_back(session.diagram().placed(m).pos);
+  }
+
+  NetworkEditor ed(net);
+  ed.remove_net("stat");  // controller status line goes away
+  const Network edited = ed.build();
+  ASSERT_EQ(edited.net_count(), net.net_count() - 1);
+
+  const Diagram& inc = session.update(edited);
+  EXPECT_EQ(session.last().incremental, 1);
+  // Removing a net dirties no partition: placement untouched, nothing
+  // rerouted, only the dead geometry scrubbed.
+  EXPECT_EQ(session.last().modules_replaced, 0);
+  EXPECT_EQ(session.last().nets_rerouted, 0);
+  EXPECT_EQ(session.last().nets_kept, edited.net_count());
+  EXPECT_GT(session.last().cells_scrubbed, 0);
+  EXPECT_TRUE(validate_diagram(inc).empty());
+  for (ModuleId m = 0; m < edited.module_count(); ++m) {
+    EXPECT_EQ(inc.placed(m).pos, before_pos[m]) << edited.module(m).name;
+  }
+
+  RegenSession scratch(datapath_options());
+  expect_within_10pct(compute_stats(inc), compute_stats(scratch.update(edited)));
+}
+
+TEST(Incremental, LargeEditFallsBackToFullRegen) {
+  // A 6-module chain under -p 7 is a single partition: any placement-
+  // relevant edit dirties 100% of partitions and must trip the fallback.
+  const Network net = gen::chain_network({});
+  RegenOptions opt;
+  opt.generator.placer.max_part_size = 7;
+  opt.generator.placer.max_box_size = 7;
+  RegenSession session(opt);
+  session.update(net);
+
+  NetworkEditor ed(net);
+  ed.remove_module("m2");  // breaks the chain's one partition
+  const Network edited = ed.build();
+
+  const Diagram& dia = session.update(edited);
+  EXPECT_EQ(session.last().full_regens, 1);
+  EXPECT_EQ(session.last().incremental, 0);
+  EXPECT_EQ(session.totals().full_regens, 2);
+  EXPECT_TRUE(validate_diagram(dia).empty());
+}
+
+TEST(Incremental, AdoptSeedsTheSession) {
+  const Network net = gen::life_network();
+  const RegenOptions opt = life_options();
+  Diagram hand(net);
+  gen::life_hand_placement(hand);
+  ASSERT_EQ(route_all(hand, opt.generator.router).nets_failed, 0);
+
+  RegenSession session(opt);
+  session.adopt(net, hand);
+  EXPECT_TRUE(session.has_diagram());
+  EXPECT_EQ(session.placement().partitions.size(), 9u)  // one per LIFE cell
+      << "adopt must re-derive the partition structure";
+
+  // A no-op update after adopt keeps all 222 nets.
+  session.update(gen::life_network());
+  EXPECT_EQ(session.last().incremental, 1);
+  EXPECT_EQ(session.last().nets_kept, net.net_count());
+  EXPECT_EQ(session.last().nets_rerouted, 0);
+}
+
+// The ISSUE acceptance scenario: a single-module edit on the LIFE diagram
+// re-routes < 25% of the 222 nets, passes the validator, and lands within
+// 10% of a from-scratch regeneration of the same edited netlist.
+TEST(Incremental, LifeSingleModuleEditReroutesUnderQuarter) {
+  const Network net = gen::life_network();
+  const RegenOptions opt = life_options();
+  Diagram hand(net);
+  gen::life_hand_placement(hand);
+  ASSERT_EQ(route_all(hand, opt.generator.router).nets_failed, 0);
+
+  RegenSession session(opt);
+  session.adopt(net, hand);
+
+  // Edit script: re-pin the write-enable output of the centre cell's rule
+  // module two tracks down its right edge.
+  NetworkEditor ed(net);
+  ed.move_terminal("rule11", "we", {6, 11});
+  const Network edited = ed.build();
+
+  const Diagram& inc = session.update(edited);
+  ASSERT_EQ(session.last().incremental, 1) << "edit must take the patch path";
+  EXPECT_TRUE(validate_diagram(inc).empty());
+  EXPECT_LT(session.last().nets_rerouted, edited.net_count() / 4)
+      << "single-module edit must keep > 75% of the routing";
+  EXPECT_EQ(session.last().nets_kept + session.last().nets_rerouted,
+            edited.net_count());
+  EXPECT_GT(session.last().modules_frozen, 20);
+
+  // From-scratch baseline: the same hand placement + full route of the
+  // edited netlist.
+  Diagram scratch(edited);
+  gen::life_hand_placement(scratch);
+  ASSERT_EQ(route_all(scratch, opt.generator.router).nets_failed, 0);
+  expect_within_10pct(compute_stats(inc), compute_stats(scratch));
+}
+
+// Cross-thread determinism of the patch path: the kept-net scrub plus the
+// PR-1 speculative parallel driver must produce byte-identical geometry for
+// any thread count.  (Also the TSan entry point for the patch router.)
+TEST(IncrementalParallel, PatchRouteIsThreadCountInvariant) {
+  const Network net = gen::datapath_network({10});
+  NetworkEditor ed(net);
+  ed.add_module("probe", "probe", {4, 4});
+  ed.add_module_terminal("probe", "i", TermType::In, {0, 2});
+  ed.connect("b4_acc", "probe", "i");
+  ed.remove_net("stat");
+  const Network edited = ed.build();
+
+  RegenOptions opt1 = datapath_options();
+  opt1.generator.router.threads = 1;
+  RegenOptions opt4 = datapath_options();
+  opt4.generator.router.threads = 4;
+  RegenSession s1(opt1);
+  RegenSession s4(opt4);
+  s1.update(net);
+  s4.update(net);
+
+  const Diagram& seq = s1.update(edited);
+  const Diagram& par = s4.update(edited);
+  ASSERT_EQ(s1.last().incremental, 1);
+  ASSERT_EQ(s4.last().incremental, 1);
+  for (ModuleId m = 0; m < edited.module_count(); ++m) {
+    ASSERT_EQ(seq.placed(m).pos, par.placed(m).pos) << edited.module(m).name;
+  }
+  for (NetId n = 0; n < edited.net_count(); ++n) {
+    ASSERT_EQ(seq.route(n).polylines, par.route(n).polylines)
+        << edited.net(n).name;
+  }
+  EXPECT_TRUE(validate_diagram(par).empty());
+}
+
+}  // namespace
+}  // namespace na

@@ -1,0 +1,158 @@
+// Unit tests for the structural netlist diff and the NetworkEditor edit
+// scripts — the foundation the incremental regeneration engine stands on.
+#include <gtest/gtest.h>
+
+#include "gen/chain.hpp"
+#include "gen/datapath.hpp"
+#include "incremental/edit.hpp"
+#include "incremental/netlist_diff.hpp"
+
+namespace na {
+namespace {
+
+Network two_module_net() {
+  Network net;
+  const ModuleId a = net.add_module("a", "buf", {4, 4});
+  net.add_terminal(a, "o", TermType::Out, {4, 2});
+  const ModuleId b = net.add_module("b", "buf", {4, 4});
+  net.add_terminal(b, "i", TermType::In, {0, 2});
+  const NetId n = net.add_net("ab");
+  net.connect(n, *net.term_by_name(a, "o"));
+  net.connect(n, *net.term_by_name(b, "i"));
+  return net;
+}
+
+TEST(NetlistDiff, IdenticalNetworksDiffEmpty) {
+  const Network before = gen::chain_network({});
+  const Network after = gen::chain_network({});
+  const NetlistDiff d = diff_networks(before, after);
+  EXPECT_TRUE(d.empty());
+  for (ModuleId m = 0; m < after.module_count(); ++m) {
+    EXPECT_EQ(d.module_to_old[m], m);
+  }
+  for (NetId n = 0; n < after.net_count(); ++n) {
+    EXPECT_EQ(d.net_to_old[n], n);
+  }
+}
+
+TEST(NetlistDiff, EditorRoundTripIsIdentity) {
+  const Network base = gen::datapath_network({4});
+  const Network rebuilt = NetworkEditor(base).build();
+  EXPECT_TRUE(diff_networks(base, rebuilt).empty());
+  EXPECT_EQ(rebuilt.module_count(), base.module_count());
+  EXPECT_EQ(rebuilt.net_count(), base.net_count());
+  EXPECT_EQ(rebuilt.term_count(), base.term_count());
+}
+
+TEST(NetlistDiff, AddedModuleAndNet) {
+  const Network before = two_module_net();
+  NetworkEditor ed(before);
+  ed.add_module("c", "buf", {4, 4});
+  ed.add_module_terminal("c", "i", TermType::In, {0, 2});
+  ed.connect("tap", "a", "o");  // existing terminal: "ab" keeps b only
+  ed.connect("tap", "c", "i");
+  const Network after = ed.build();
+
+  const NetlistDiff d = diff_networks(before, after);
+  ASSERT_EQ(d.added_modules.size(), 1u);
+  EXPECT_EQ(after.module(d.added_modules[0]).name, "c");
+  ASSERT_EQ(d.added_nets.size(), 1u);
+  EXPECT_EQ(after.net(d.added_nets[0]).name, "tap");
+  // "ab" lost a terminal => changed, not removed.
+  ASSERT_EQ(d.changed_nets.size(), 1u);
+  EXPECT_EQ(after.net(d.changed_nets[0]).name, "ab");
+  EXPECT_TRUE(d.removed_modules.empty());
+  EXPECT_TRUE(d.changed_modules.empty());
+}
+
+TEST(NetlistDiff, RemovedModuleRemovesItsTerminalsFromNets) {
+  const Network before = two_module_net();
+  NetworkEditor ed(before);
+  ed.remove_module("b");
+  const Network after = ed.build();
+
+  const NetlistDiff d = diff_networks(before, after);
+  ASSERT_EQ(d.removed_modules.size(), 1u);
+  EXPECT_EQ(before.module(d.removed_modules[0]).name, "b");
+  // "ab" keeps a's terminal, so it survives — as a changed net.
+  ASSERT_EQ(d.changed_nets.size(), 1u);
+  EXPECT_EQ(after.net(d.changed_nets[0]).name, "ab");
+  EXPECT_EQ(after.net(d.changed_nets[0]).terms.size(), 1u);
+  EXPECT_TRUE(d.removed_nets.empty());
+
+  // Dropping a's terminal too removes the net outright.
+  NetworkEditor ed2(before);
+  ed2.remove_module("b");
+  ed2.disconnect("a", "o");
+  const NetlistDiff d2 = diff_networks(before, ed2.build());
+  ASSERT_EQ(d2.removed_nets.size(), 1u);
+  EXPECT_EQ(before.net(d2.removed_nets[0]).name, "ab");
+}
+
+TEST(NetlistDiff, RepinnedTerminalChangesModuleNotNet) {
+  const Network before = two_module_net();
+  NetworkEditor ed(before);
+  ed.move_terminal("a", "o", {4, 3});
+  const Network after = ed.build();
+
+  const NetlistDiff d = diff_networks(before, after);
+  ASSERT_EQ(d.changed_modules.size(), 1u);
+  EXPECT_EQ(after.module(d.changed_modules[0]).name, "a");
+  EXPECT_TRUE(d.changed_nets.empty()) << "membership did not change";
+  EXPECT_TRUE(d.added_modules.empty());
+  EXPECT_TRUE(d.removed_modules.empty());
+}
+
+TEST(NetlistDiff, ResizeChangesModule) {
+  const Network before = two_module_net();
+  NetworkEditor ed(before);
+  ed.resize_module("b", {6, 4});
+  const Network after = ed.build();
+  const NetlistDiff d = diff_networks(before, after);
+  ASSERT_EQ(d.changed_modules.size(), 1u);
+  EXPECT_EQ(after.module(d.changed_modules[0]).name, "b");
+}
+
+TEST(NetlistDiff, ReconnectChangesBothNets) {
+  Network before = two_module_net();
+  {  // third module so both nets survive the reconnect
+    const ModuleId c = before.add_module("c", "buf", {4, 4});
+    before.add_terminal(c, "i", TermType::In, {0, 2});
+    before.add_terminal(c, "i2", TermType::In, {0, 3});
+    const NetId n = before.add_net("ac");
+    before.connect(n, *before.term_by_name(c, "i"));
+    before.connect(*before.net_by_name("ab"), *before.term_by_name(c, "i2"));
+  }
+  NetworkEditor ed(before);
+  ed.connect("ac", "b", "i");  // b:i moves from "ab" to "ac"
+  const Network after = ed.build();
+
+  const NetlistDiff d = diff_networks(before, after);
+  std::vector<std::string> changed;
+  for (NetId n : d.changed_nets) changed.push_back(after.net(n).name);
+  EXPECT_EQ(changed, (std::vector<std::string>{"ab", "ac"}));
+  EXPECT_TRUE(d.changed_modules.empty());
+}
+
+TEST(NetlistDiff, IdMapsSurviveReordering) {
+  // Same structure built in a different declaration order: everything maps,
+  // nothing is added or removed.
+  Network before = two_module_net();
+  Network after;
+  const ModuleId b = after.add_module("b", "buf", {4, 4});
+  after.add_terminal(b, "i", TermType::In, {0, 2});
+  const ModuleId a = after.add_module("a", "buf", {4, 4});
+  after.add_terminal(a, "o", TermType::Out, {4, 2});
+  const NetId n = after.add_net("ab");
+  after.connect(n, *after.term_by_name(a, "o"));
+  after.connect(n, *after.term_by_name(b, "i"));
+
+  const NetlistDiff d = diff_networks(before, after);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(after.module(0).name, "b");
+  EXPECT_EQ(d.module_to_old[0], 1);  // "b" was module 1 before
+  EXPECT_EQ(d.module_to_new[0], 1);  // "a" is module 1 now
+}
+
+}  // namespace
+}  // namespace na
