@@ -14,6 +14,8 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "place/placer.hpp"
@@ -114,29 +116,53 @@ int main(int argc, char** argv) {
   }
 
   // Sequential vs speculative-parallel routing on the hand placement (the
-  // fig 6.6 workload), best of three runs each.
+  // fig 6.6 workload), best of three runs each; the parallel thread counts
+  // run both with the default re-speculation budget and with re-speculation
+  // disabled (respec=0) so the JSON records isolate its effect.
   {
     Diagram placed(life());
     gen::life_hand_placement(placed);
     GeneratorOptions opt = life_router_options();
-    for (int threads : {1, 4}) {
-      opt.router.threads = threads;
-      double best = 1e18;
-      long expansions = 0;
-      for (int rep = 0; rep < 3; ++rep) {
-        Diagram dia = placed;
-        const auto t0 = std::chrono::steady_clock::now();
-        const RouteReport r = route_all(dia, opt.router);
-        const auto t1 = std::chrono::steady_clock::now();
-        const double ms =
-            std::chrono::duration<double, std::milli>(t1 - t0).count();
-        if (ms < best) best = ms;
-        expansions = r.total_expansions;
+    const int default_respec = opt.router.respec_budget;
+    for (int threads : {1, 2, 4}) {
+      std::vector<int> budgets = {default_respec};
+      if (threads > 1) budgets.push_back(0);  // isolate re-speculation's effect
+      for (int respec : budgets) {
+        opt.router.threads = threads;
+        opt.router.respec_budget = respec;
+        double best = 1e18;
+        long expansions = 0;
+        ParallelRouteStats spec;
+        for (int rep = 0; rep < 3; ++rep) {
+          Diagram dia = placed;
+          const auto t0 = std::chrono::steady_clock::now();
+          const RouteReport r = route_all(dia, opt.router, &spec);
+          const auto t1 = std::chrono::steady_clock::now();
+          const double ms =
+              std::chrono::duration<double, std::milli>(t1 - t0).count();
+          if (ms < best) best = ms;
+          expansions = r.total_expansions;
+        }
+        std::string config = "threads=" + std::to_string(threads);
+        if (threads > 1 && respec != default_respec) {
+          config += ",respec=" + std::to_string(respec);
+        }
+        std::string extra;
+        if (threads > 1) {
+          extra = ", \"nets_respeculated\": " +
+                  std::to_string(spec.nets_respeculated) +
+                  ", \"respec_hits\": " + std::to_string(spec.respec_hits) +
+                  ", \"respec_stale\": " + std::to_string(spec.respec_stale) +
+                  ", \"reroutes\": " + std::to_string(spec.reroutes);
+        }
+        std::printf(
+            "    fig 6.6 route %s: %.0fms (%ld expansions, %d respeculated, "
+            "%d hits)\n",
+            config.c_str(), best, expansions, spec.nets_respeculated,
+            spec.respec_hits);
+        bench_json_add("fig66_67_life", config, best, expansions,
+                       std::move(extra));
       }
-      std::printf("    fig 6.6 route threads=%d: %.0fms (%ld expansions)\n",
-                  threads, best, expansions);
-      bench_json_add("fig66_67_life", "threads=" + std::to_string(threads),
-                     best, expansions);
     }
   }
   bench_json_write();

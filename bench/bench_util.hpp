@@ -112,6 +112,9 @@ struct BenchRecord {
   std::string config;  ///< measured configuration, e.g. "threads=4"
   double ms = 0;       ///< wall-clock of the timed run
   long expansions = 0; ///< RouteReport::total_expansions (0 when untracked)
+  /// Extra JSON fields spliced into the record verbatim, starting with a
+  /// comma (e.g. ", \"nets_respeculated\": 12"); empty for plain records.
+  std::string extra;
 };
 
 inline std::vector<BenchRecord>& bench_json_records() {
@@ -120,9 +123,9 @@ inline std::vector<BenchRecord>& bench_json_records() {
 }
 
 inline void bench_json_add(std::string bench, std::string config, double ms,
-                           long expansions) {
+                           long expansions, std::string extra = {}) {
   bench_json_records().push_back(
-      {std::move(bench), std::move(config), ms, expansions});
+      {std::move(bench), std::move(config), ms, expansions, std::move(extra)});
 }
 
 /// Writes every record collected so far as a JSON array.  Plain fprintf —
@@ -139,9 +142,9 @@ inline void bench_json_write(const char* path = "BENCH_routing.json") {
     const BenchRecord& r = records[i];
     std::fprintf(f,
                  "  {\"bench\": \"%s\", \"config\": \"%s\", \"ms\": %.3f, "
-                 "\"expansions\": %ld}%s\n",
+                 "\"expansions\": %ld%s}%s\n",
                  r.bench.c_str(), r.config.c_str(), r.ms, r.expansions,
-                 i + 1 < records.size() ? "," : "");
+                 r.extra.c_str(), i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);

@@ -56,9 +56,18 @@ int main(int argc, char** argv) {
     const Network net = parse_network(lib, slurp(files[1]), io, slurp(files[2]));
     Diagram dia = parse_escher_diagram(net, slurp(files[0]));
 
-    const RouteReport report = route_all(dia, opt.router);
+    ParallelRouteStats spec;
+    const RouteReport report = route_all(dia, opt.router, &spec);
     for (NetId n : report.failed_nets) {
       std::cerr << "warning: net '" << net.net(n).name << "' unroutable\n";
+    }
+    if (spec.nets_speculated > 0) {
+      std::cout << "speculation: " << spec.nets_speculated << " speculated ("
+                << spec.commits_clean << " clean, " << spec.reroutes
+                << " rerouted), " << spec.nets_gated << " gated, "
+                << spec.nets_respeculated << " respeculated ("
+                << spec.respec_hits << " hits, " << spec.respec_stale
+                << " stale)\n";
     }
     std::cout << compute_stats(dia).summary() << '\n';
     for (const auto& p : validate_diagram(dia)) std::cerr << "PROBLEM: " << p << '\n';

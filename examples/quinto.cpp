@@ -8,6 +8,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "core/options.hpp"
 #include "netlist/module_library.hpp"
 #include "schematic/escher_writer.hpp"
 
@@ -15,15 +16,15 @@ int main(int argc, char** argv) {
   using namespace na;
   int pitch = 1;
   std::string path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "-pitch" && i + 1 < argc) {
-      pitch = std::stoi(argv[++i]);
-    } else {
-      path = a;
-    }
-  }
   try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "-pitch" && i + 1 < argc) {
+        pitch = parse_int_arg(argv[++i], a, 1);
+      } else {
+        path = a;
+      }
+    }
     ModuleTemplate tmpl;
     if (path.empty()) {
       tmpl = parse_module_description(std::cin, pitch);

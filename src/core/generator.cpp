@@ -20,7 +20,7 @@ GeneratorResult generate(Diagram& dia, const GeneratorOptions& opt) {
   }
   {
     const auto t0 = std::chrono::steady_clock::now();
-    result.route = route_all(dia, opt.router);
+    result.route = route_all(dia, opt.router, &result.speculation);
     result.route_seconds = seconds_since(t0);
   }
   result.stats = compute_stats(dia);

@@ -1,18 +1,37 @@
 #include "core/options.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <stdexcept>
 
 namespace na {
 
+int parse_int_arg(const std::string& value, const std::string& flag,
+                  int min_value) {
+  int v = 0;
+  const char* first = value.data();
+  const char* last = first + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last || value.empty()) {
+    throw std::runtime_error("bad value '" + value + "' for " + flag);
+  }
+  if (v < min_value) {
+    throw std::runtime_error("bad value '" + value + "' for " + flag +
+                             " (must be >= " + std::to_string(min_value) + ")");
+  }
+  return v;
+}
+
 std::vector<std::string> parse_generator_args(const std::vector<std::string>& args,
                                               GeneratorOptions& opt) {
   std::vector<std::string> positional;
-  auto next_int = [&](size_t& i, const std::string& flag) {
+  // Size, spacing and margin flags must be non-negative; a stray "-5"
+  // would otherwise silently disable partitioning or invert a margin.
+  auto next_int = [&](size_t& i, const std::string& flag, int min_value = 0) {
     if (i + 1 >= args.size()) {
       throw std::runtime_error("missing value after " + flag);
     }
-    return std::stoi(args[++i]);
+    return parse_int_arg(args[++i], flag, min_value);
   };
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -53,9 +72,10 @@ std::vector<std::string> parse_generator_args(const std::vector<std::string>& ar
       // (default), 0 = hardware concurrency.  Any value produces a
       // byte-identical diagram and report.
       opt.router.threads = next_int(i, a);
-      if (opt.router.threads < 0) {
-        throw std::runtime_error("--threads needs a value >= 0");
-      }
+    } else if (a == "--respec" || a == "-respec") {
+      // Re-speculation budget of the parallel driver (0 = speculate once,
+      // serialize on miss).  Also byte-identical for any value.
+      opt.router.respec_budget = next_int(i, a);
     } else if (a == "-u" || a == "-d" || a == "-l" || a == "-r") {
       // Border-pinning flags of Appendix F; the grid always reserves a
       // margin on all four sides, so these are accepted no-ops.
@@ -70,7 +90,8 @@ std::string generator_usage() {
   return "options: -p <part-size> -b <box-size> -c <max-conns> -e <part-space>\n"
          "         -i <box-space> -s <module-space|length-first> -m <margin>\n"
          "         -L (Lee) -H (Hightower) -S (segment expansion) -noclaim\n"
-         "         -noretry -u -d -l -r --threads <n (0 = all cores, default 1)>";
+         "         -noretry -u -d -l -r --threads <n (0 = all cores, default 1)>\n"
+         "         --respec <retries (re-speculations per invalidated net, default 2)>";
 }
 
 }  // namespace na

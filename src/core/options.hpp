@@ -6,6 +6,7 @@
 //   eureka [-u -d -l -r] [-s] [-L|-H]   (engine letters are an extension)
 #pragma once
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -14,10 +15,19 @@
 namespace na {
 
 /// Parses PABLO-style placement flags into `opt.placer` and EUREKA-style
-/// routing flags into `opt.router`.  Unknown flags raise std::runtime_error
-/// naming the flag.  Returns the non-flag (positional) arguments.
+/// routing flags into `opt.router`.  Unknown flags and malformed values
+/// raise std::runtime_error naming the flag (e.g. "bad value 'foo' for
+/// -p"); size, spacing and margin flags reject negative values.  Returns
+/// the non-flag (positional) arguments.
 std::vector<std::string> parse_generator_args(const std::vector<std::string>& args,
                                               GeneratorOptions& opt);
+
+/// Strict full-string integer parse for a flag value: rejects empty
+/// strings, trailing garbage ("5x"), overflow, and — when `min_value` is
+/// given — anything below it.  Throws std::runtime_error with a one-line
+/// diagnostic naming `flag` and the offending text.
+int parse_int_arg(const std::string& value, const std::string& flag,
+                  int min_value = std::numeric_limits<int>::min());
 
 /// One-line usage text for the examples.
 std::string generator_usage();

@@ -35,6 +35,15 @@ void ThreadPool::submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
+void ThreadPool::submit_urgent(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    urgent_.push_back(std::move(task));
+    ++queued_;
+  }
+  work_cv_.notify_one();
+}
+
 int ThreadPool::worker_index() { return tl_worker_index; }
 
 void ThreadPool::worker_loop(int index) {
@@ -42,7 +51,10 @@ void ThreadPool::worker_loop(int index) {
   std::unique_lock lock(mu_);
   for (;;) {
     std::function<void()> task;
-    if (!queues_[index].empty()) {
+    if (!urgent_.empty()) {
+      task = std::move(urgent_.front());
+      urgent_.pop_front();
+    } else if (!queues_[index].empty()) {
       task = std::move(queues_[index].front());
       queues_[index].pop_front();
     } else {

@@ -5,6 +5,9 @@
 // neighbour when it runs dry.  Oldest-first stealing matters here: the
 // speculative router submits net tasks in commit order, and the closer the
 // execution order tracks it, the fewer commits a speculation races with.
+// A shared urgent lane (submit_urgent) jumps every per-worker queue: the
+// router uses it for re-speculations of invalidated nets, which sit on the
+// committer's critical path and must not wait behind far-future tasks.
 // Synchronisation is one mutex + condition variables — the tasks this pool
 // exists for (net routings) run for milliseconds, so queue contention is
 // noise and the simple scheme stays ThreadSanitizer-clean.
@@ -30,6 +33,11 @@ class ThreadPool {
   /// Enqueues a task.  Tasks must not throw.
   void submit(std::function<void()> task);
 
+  /// Enqueues a task on the urgent lane: the next free worker runs it
+  /// before anything submitted with submit(), in submission order among
+  /// urgent tasks.  Tasks must not throw.
+  void submit_urgent(std::function<void()> task);
+
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
@@ -43,6 +51,7 @@ class ThreadPool {
   void worker_loop(int index);
 
   std::vector<std::deque<std::function<void()>>> queues_;
+  std::deque<std::function<void()>> urgent_;
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;

@@ -1,5 +1,6 @@
 #include "netlist/module_library.hpp"
 
+#include <charconv>
 #include <sstream>
 #include <stdexcept>
 
@@ -129,11 +130,15 @@ std::vector<std::string> fields_of(const std::string& line) {
                            ": " + why);
 }
 
+/// Strict full-string integer parse: corrupted descriptions produce a
+/// line/token diagnostic instead of a crash, and trailing garbage ("5x")
+/// is rejected rather than silently truncated to 5.
 int parse_coord(const std::string& s, int pitch, int line_no) {
   int v = 0;
-  try {
-    v = std::stoi(s);
-  } catch (const std::exception&) {
+  const char* first = s.data();
+  const char* last = first + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last || s.empty()) {
     fail(line_no, "expected integer, got '" + s + "'");
   }
   if (pitch > 1) {

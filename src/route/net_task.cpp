@@ -81,6 +81,17 @@ void apply_ops(RoutingGrid& grid, const std::vector<CellOp>& ops) {
   }
 }
 
+bool speculation_exact(const ObservedMask& observed,
+                       const std::vector<std::vector<CellOp>>& journal,
+                       int from, int to) {
+  for (int i = from; i < to; ++i) {
+    for (const CellOp& op : journal[i]) {
+      if (observed.covers(op.p)) return false;
+    }
+  }
+  return true;
+}
+
 NetTaskResult route_single_net(RoutingGrid& grid, const Diagram& dia, NetId n,
                                std::vector<TermId> todo, const RouterOptions& opt,
                                bool has_geometry, SearchWorkspace& ws,

@@ -35,6 +35,17 @@ struct CellOp {
 
 void apply_ops(RoutingGrid& grid, const std::vector<CellOp>& ops);
 
+/// Exactness check of the speculative drivers: true iff no commit in
+/// journal[from..to) touched a cell the speculation's searches read.  A
+/// speculation routed after replaying journal[0..e) must be validated
+/// over [e, p) before committing at position p; a re-speculation may have
+/// had a prefix validated incrementally, in which case `from` is the
+/// position it was already cleared against — it must never exceed the
+/// entries actually checked, or a stale path could be committed.
+bool speculation_exact(const ObservedMask& observed,
+                       const std::vector<std::vector<CellOp>>& journal,
+                       int from, int to);
+
 /// What routing one net produced: the connections committed to the grid
 /// (in order — their paths become the diagram polylines) and the terminals
 /// still unconnected.

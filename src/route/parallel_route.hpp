@@ -11,10 +11,17 @@
 // speculation missed touched a read cell, a re-run of the same searches
 // on the live grid would take identical decisions at every step — so the
 // speculative paths, costs and expansion counts are committed as-is.
-// Otherwise the committer re-routes the net sequentially.  Either way
-// every net observes exactly the grid state the sequential driver would
-// have shown it, which is why any thread count produces a byte-identical
-// diagram and RouteReport.
+// Otherwise the net is *re-speculated*: as soon as a published commit
+// dooms a deposited outcome, the committer re-dispatches the net on the
+// pool's urgent lane as a fresh speculation against the newest epoch
+// (bounded by RouterOptions::respec_budget, skipped when an earlier
+// still-unknown commit's hull overlaps the net's — it would likely doom
+// it again).  Only when the budget is exhausted, the heuristic declines,
+// or the re-speculation is itself invalidated does the committer fall
+// back to the serial re-route.  Every committed result still observes
+// exactly the grid state the sequential driver would have shown it,
+// which is why any thread count and any re-speculation budget produce a
+// byte-identical diagram and RouteReport.
 //
 // Claimpoint bookkeeping (release on routing start, re-claim for failed
 // terminals) happens on the live grid at commit time, and the section-5.7
@@ -25,15 +32,6 @@
 #include "route/router.hpp"
 
 namespace na {
-
-/// Effectiveness counters (not part of RouteReport — the report must be
-/// identical across thread counts).
-struct ParallelRouteStats {
-  int nets_speculated = 0;  ///< pass-1 nets routed by workers
-  int commits_clean = 0;    ///< speculations committed without re-routing
-  int reroutes = 0;         ///< speculations invalidated by earlier commits
-  int nets_gated = 0;       ///< plane-spanning nets routed by the committer only
-};
 
 /// Routes every unrouted net of `dia` with `threads` workers (>= 2).
 /// Requires a grid-search engine (LineExpansion or Lee); route_all

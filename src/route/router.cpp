@@ -27,7 +27,9 @@ std::optional<SearchResult> find_path(Engine e, const RoutingGrid& grid,
   return std::nullopt;
 }
 
-RouteReport route_all(Diagram& dia, const RouterOptions& opt) {
+RouteReport route_all(Diagram& dia, const RouterOptions& opt,
+                      ParallelRouteStats* spec_stats) {
+  if (spec_stats) *spec_stats = {};
   int threads = opt.threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -36,7 +38,7 @@ RouteReport route_all(Diagram& dia, const RouterOptions& opt) {
   // baselines always route sequentially.
   if (threads > 1 &&
       (opt.engine == Engine::LineExpansion || opt.engine == Engine::Lee)) {
-    return parallel_route_all(dia, opt, threads);
+    return parallel_route_all(dia, opt, threads, spec_stats);
   }
 
   detail::DriverSetup setup = detail::prepare_driver(dia, opt);

@@ -1,5 +1,6 @@
 #include "schematic/escher_reader.hpp"
 
+#include <charconv>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -26,12 +27,18 @@ std::vector<std::string> fields_of(const std::string& line) {
   return out;
 }
 
+/// Strict full-string integer parse: a malformed or truncated file yields
+/// a diagnostic naming the line and token, never a crash, and trailing
+/// garbage ("5x") is rejected rather than silently truncated.
 int to_int(const std::string& s, int line_no) {
-  try {
-    return std::stoi(s);
-  } catch (const std::exception&) {
+  int v = 0;
+  const char* first = s.data();
+  const char* last = first + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last || s.empty()) {
     fail(line_no, "expected integer, got '" + s + "'");
   }
+  return v;
 }
 
 }  // namespace

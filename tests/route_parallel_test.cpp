@@ -1,18 +1,24 @@
 // Tests for the speculative parallel routing driver and its supporting
 // machinery: byte-identical determinism across thread counts (the central
-// contract of parallel_route_all), the speculation-effectiveness counters,
-// search-workspace reuse, windowed searches and the work-stealing pool.
+// contract of parallel_route_all), the re-speculation retry pipeline, the
+// speculation-effectiveness counters, search-workspace reuse, windowed
+// searches and the work-stealing pool.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "core/thread_pool.hpp"
 #include "gen/life.hpp"
 #include "netlist/module_library.hpp"
 #include "route/dijkstra.hpp"
 #include "route/net_order.hpp"
+#include "route/net_task.hpp"
 #include "route/parallel_route.hpp"
 #include "route/router.hpp"
 #include "schematic/validate.hpp"
@@ -116,6 +122,130 @@ TEST(ParallelRoute, SpeculationStatsAddUp) {
   // Nets on a schematic plane are mostly local, so the bulk of the
   // speculations must survive validation or the parallel driver is useless.
   EXPECT_GT(stats.commits_clean, stats.nets_speculated / 2);
+}
+
+// ----- re-speculation of invalidated nets ---------------------------------------
+
+TEST(Respeculation, StaleValidationCursorWouldMissConflicts) {
+  // Unit regression for the exactness check shared by the commit step and
+  // the re-speculation scan.  A re-speculated outcome carries a
+  // validated_to cursor; if that cursor ever ran ahead of the entries
+  // actually checked, the conflict in journal[1] below would be skipped
+  // and a stale path committed.
+  detail::ObservedMask obs;
+  obs.reset(geom::Rect{{0, 0}, {10, 10}});
+  obs.mark({3, 3});
+  obs.mark_segment({5, 1}, {5, 6});
+  std::vector<std::vector<detail::CellOp>> journal(4);
+  journal[0] = {{{9, 9}, detail::CellOp::kSetH, 7}};  // unobserved: harmless
+  journal[1] = {{{5, 4}, detail::CellOp::kSetV, 8}};  // observed cell
+  journal[3] = {{{0, 0}, detail::CellOp::kClearClaim, 9}};
+  EXPECT_TRUE(detail::speculation_exact(obs, journal, 0, 1));
+  EXPECT_FALSE(detail::speculation_exact(obs, journal, 0, 4));
+  EXPECT_FALSE(detail::speculation_exact(obs, journal, 1, 2));
+  // The hazard the cursor invariant guards against: validating only past
+  // the conflicting entry would accept the stale speculation.
+  EXPECT_TRUE(detail::speculation_exact(obs, journal, 2, 4));
+}
+
+/// Sets NA_PAR_FORCE_RESPEC for one test: every first outcome is
+/// re-dispatched once, making the retry pipeline deterministic to reach
+/// on workloads where organic invalidation timing varies.
+struct ForceRespecEnv {
+  ForceRespecEnv() { ::setenv("NA_PAR_FORCE_RESPEC", "1", 1); }
+  ~ForceRespecEnv() { ::unsetenv("NA_PAR_FORCE_RESPEC"); }
+};
+
+TEST(Respeculation, ForcedRespeculationStaysByteIdentical) {
+  // The satellite regression: a re-speculated net validates against a
+  // fresher epoch via its validated_to cursor; forcing re-dispatch of
+  // every outcome exercises that path for all ~200 nets and the result
+  // must still be byte-identical to the sequential route.
+  Diagram seq = placed_life();
+  const RouteReport r1 = route_all(seq, life_options(1));
+  ForceRespecEnv force;
+  Diagram par = placed_life();
+  ParallelRouteStats stats;
+  const RouteReport r4 =
+      parallel_route_all(par, life_options(4), 4, &stats);
+  expect_reports_equal(r1, r4);
+  EXPECT_TRUE(RoutedSnapshot(seq) == RoutedSnapshot(par));
+  EXPECT_GT(stats.nets_respeculated, 0);
+  // Counter algebra: every committed position is exactly one of
+  // clean/reroute, and the respec_* splits count the subset of those
+  // whose last attempt was a re-speculation.
+  EXPECT_EQ(stats.nets_speculated, stats.commits_clean + stats.reroutes);
+  EXPECT_LE(stats.respec_hits, stats.commits_clean);
+  EXPECT_LE(stats.respec_stale, stats.reroutes);
+  EXPECT_LE(stats.respec_hits + stats.respec_stale, stats.nets_respeculated);
+  // A forced re-speculation of an already-valid outcome re-routes against
+  // a fresher epoch, so most re-dispatches must survive validation.
+  EXPECT_GT(stats.respec_hits, 0);
+}
+
+TEST(Respeculation, ByteIdenticalAcrossBudgets) {
+  Diagram seq = placed_life();
+  const RouteReport r1 = route_all(seq, life_options(1));
+  const RoutedSnapshot base(seq);
+  for (int budget : {0, 1, 8}) {
+    Diagram par = placed_life();
+    RouterOptions opt = life_options(4);
+    opt.respec_budget = budget;
+    const RouteReport r = route_all(par, opt);
+    expect_reports_equal(r1, r);
+    EXPECT_TRUE(base == RoutedSnapshot(par)) << "respec_budget=" << budget;
+  }
+}
+
+TEST(Respeculation, BudgetZeroDisablesRespeculation) {
+  ForceRespecEnv force;
+  Diagram par = placed_life();
+  RouterOptions opt = life_options(4);
+  opt.respec_budget = 0;
+  ParallelRouteStats stats;
+  parallel_route_all(par, opt, 4, &stats);
+  EXPECT_EQ(stats.nets_respeculated, 0);
+  EXPECT_EQ(stats.respec_hits, 0);
+  EXPECT_EQ(stats.respec_stale, 0);
+}
+
+TEST(Respeculation, UrgentLaneRunsBeforeQueuedWork) {
+  // Re-speculations ride the pool's urgent lane: with the single worker
+  // parked on the gate task, tasks submitted later via submit_urgent must
+  // still run before the earlier plain submissions, in order.
+  ThreadPool pool(1);
+  std::mutex m;
+  std::condition_variable cv;
+  bool go = false;
+  std::vector<int> ran;
+  pool.submit([&] {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return go; });
+  });
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([&, i] {
+      std::lock_guard lock(m);
+      ran.push_back(i);
+    });
+  }
+  pool.submit_urgent([&] {
+    std::lock_guard lock(m);
+    ran.push_back(100);
+  });
+  pool.submit_urgent([&] {
+    std::lock_guard lock(m);
+    ran.push_back(101);
+  });
+  {
+    std::lock_guard lock(m);
+    go = true;
+  }
+  cv.notify_all();
+  pool.wait_idle();
+  ASSERT_EQ(ran.size(), 5u);
+  EXPECT_EQ(ran[0], 100);
+  EXPECT_EQ(ran[1], 101);
+  EXPECT_EQ(ran[2], 0);
 }
 
 // ----- workspace reuse ----------------------------------------------------------
