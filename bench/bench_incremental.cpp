@@ -89,10 +89,14 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 /// Times session.update(edited) on a session freshly adopted from the
 /// routed LIFE baseline.  Adoption happens outside the timed region: the
 /// editor pays it once per loaded diagram, not once per edit.
-Timing time_life_incremental(const Network& edited) {
+/// `validate_full` forces the pre-region whole-diagram check — the
+/// baseline the region-scoped validation share is measured against.
+Timing time_life_incremental(const Network& edited, bool validate_full = false) {
   Timing best;
   for (int rep = 0; rep < 5; ++rep) {
-    RegenSession session(life_session_options());
+    RegenOptions opt = life_session_options();
+    opt.validate_full = validate_full;
+    RegenSession session(opt);
     session.adopt(life(), life_baseline());
     const auto t0 = std::chrono::steady_clock::now();
     session.update(edited);
@@ -122,16 +126,34 @@ Timing time_life_full(const Network& edited) {
   return best;
 }
 
+/// Validation share and patch-keep counters of one incremental update,
+/// spliced into its JSON record.
+std::string validation_extra(const Timing& t) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                ", \"validate_ms\": %.3f, \"validate_share\": %.3f, "
+                "\"region_validations\": %d, \"full_validations\": %d, "
+                "\"nets_extended\": %d",
+                t.counters.validate_ms, t.counters.validate_ms / t.ms,
+                t.counters.region_validations, t.counters.full_validations,
+                t.counters.nets_extended);
+  return buf;
+}
+
 void report_scenario(const char* name, const Timing& inc, const Timing& full,
                      int net_count) {
   std::printf(
       "    %-16s incremental %6.1fms  full %6.1fms  speedup %4.1fx  "
-      "rerouted %d/%d kept %d scrubbed %d replaced %d frozen %d\n",
+      "rerouted %d/%d kept %d extended %d scrubbed %d replaced %d frozen %d  "
+      "validate %.2fms (%s)\n",
       name, inc.ms, full.ms, full.ms / inc.ms, inc.counters.nets_rerouted,
-      net_count, inc.counters.nets_kept, inc.counters.cells_scrubbed,
-      inc.counters.modules_replaced, inc.counters.modules_frozen);
+      net_count, inc.counters.nets_kept, inc.counters.nets_extended,
+      inc.counters.cells_scrubbed, inc.counters.modules_replaced,
+      inc.counters.modules_frozen,
+      inc.counters.validate_ms,
+      inc.counters.full_validations ? "full" : "region");
   bench_json_add("incremental", std::string(name) + "_incremental", inc.ms,
-                 inc.expansions);
+                 inc.expansions, validation_extra(inc));
   bench_json_add("incremental", std::string(name) + "_full", full.ms,
                  full.expansions);
 }
@@ -218,6 +240,24 @@ int main(int argc, char** argv) {
       std::abort();
     }
   }
+
+  // Validation-share comparison on the repin scenario: the same patch
+  // checked by the whole-diagram validator (pre-region behaviour) vs the
+  // region-scoped one RegenSession now uses by default.
+  const Network repin = life_repin();
+  const Timing check_full = time_life_incremental(repin, /*validate_full=*/true);
+  const Timing check_region = time_life_incremental(repin);
+  std::printf(
+      "    %-16s full check %.2fms of %.1fms (%.0f%%)  region check %.2fms of "
+      "%.1fms (%.0f%%)\n",
+      "repin_validation", check_full.counters.validate_ms, check_full.ms,
+      100.0 * check_full.counters.validate_ms / check_full.ms,
+      check_region.counters.validate_ms, check_region.ms,
+      100.0 * check_region.counters.validate_ms / check_region.ms);
+  bench_json_add("incremental", "life_repin_validate_full", check_full.ms,
+                 check_full.expansions, validation_extra(check_full));
+  bench_json_add("incremental", "life_repin_validate_region", check_region.ms,
+                 check_region.expansions, validation_extra(check_region));
   bench_json_write("BENCH_incremental.json");
 
   benchmark::Initialize(&argc, argv);

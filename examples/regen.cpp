@@ -6,29 +6,82 @@
 // routing actually recomputed.  This example walks a datapath through
 // three edits and prints what each update really cost.
 //
-//   $ ./regen
+//   $ ./regen [--threads <n>] [--validate region|full|off]
+//
+// --threads sets the patch router's worker count; --validate picks how each
+// patched diagram is checked: "region" (default) validates only the dirty
+// hull and escalates on any issue, "full" forces the pre-region whole-
+// diagram check, "off" skips the check entirely.
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
+#include "core/options.hpp"
 #include "gen/datapath.hpp"
 #include "incremental/edit.hpp"
 #include "incremental/session.hpp"
 #include "schematic/metrics.hpp"
 #include "schematic/validate.hpp"
 
-int main() {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: regen [--threads <n>] [--validate region|full|off]\n";
+
+void parse_args(int argc, char** argv, na::RegenOptions& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      opt.generator.router.threads = na::parse_int_arg(value(), "--threads", 1);
+    } else if (arg == "--validate") {
+      const std::string mode = value();
+      if (mode == "region") {
+        opt.validate = true;
+        opt.validate_full = false;
+      } else if (mode == "full") {
+        opt.validate = true;
+        opt.validate_full = true;
+      } else if (mode == "off") {
+        opt.validate = false;
+      } else {
+        throw std::runtime_error("bad value '" + mode + "' for --validate");
+      }
+    } else {
+      throw std::runtime_error("unknown flag '" + arg + "'");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace na;
 
   RegenOptions opt;
   opt.generator.placer.max_part_size = 5;
   opt.generator.placer.max_box_size = 3;
+  try {
+    parse_args(argc, argv, opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), kUsage);
+    return 2;
+  }
   RegenSession session(opt);
 
   auto show = [&](const char* what) {
     const RegenCounters& c = session.last();
     const DiagramStats s = compute_stats(session.diagram());
-    std::printf("%-28s %s  replaced %2d  frozen %2d  rerouted %3d  kept %3d\n",
-                what, c.full_regens ? "FULL" : "incr", c.modules_replaced,
-                c.modules_frozen, c.nets_rerouted, c.nets_kept);
+    std::printf(
+        "%-28s %s  replaced %2d  frozen %2d  rerouted %3d  extended %d  "
+        "kept %3d  validate %.2fms\n",
+        what, c.full_regens ? "FULL" : "incr", c.modules_replaced,
+        c.modules_frozen, c.nets_rerouted, c.nets_extended, c.nets_kept,
+        c.validate_ms);
     if (!validate_diagram(session.diagram()).empty()) {
       std::printf("INVALID DIAGRAM\n");
       std::exit(1);
@@ -68,5 +121,7 @@ int main() {
   const RegenCounters& t = session.totals();
   std::printf("totals: %d updates, %d incremental, %d full regenerations\n",
               t.updates, t.incremental, t.full_regens);
+  std::printf("validation: %d region-scoped, %d whole-diagram, %.2f ms\n",
+              t.region_validations, t.full_validations, t.validate_ms);
   return t.incremental >= 3 ? 0 : 1;
 }

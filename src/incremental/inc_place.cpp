@@ -1,9 +1,13 @@
 #include "incremental/inc_place.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <unordered_set>
 
 #include "place/box_place.hpp"
 #include "place/boxes.hpp"
+#include "place/gravity.hpp"
 #include "place/module_place.hpp"
 #include "place/partition.hpp"
 #include "place/partition_place.hpp"
@@ -49,6 +53,144 @@ PartitionLayout refresh_layout(const Diagram& old_dia, const NetlistDiff& diff,
   }
   part.size = {hull.width(), hull.height()};
   return part;
+}
+
+/// Gravity centre of a dirty partition's nets over the endpoints whose
+/// positions are already known — frozen module terminals (placed in `dia`)
+/// and system terminals surviving from the old diagram.  This is the
+/// partition-level GRAVITY_PLACED_BOXES sum of section 4.6.6, taken over
+/// the preplaced part instead of over previously placed partitions, so an
+/// *added* module is pulled toward the modules it talks to (readability
+/// rule 2) instead of toward whatever edge of the frozen hull is nearest.
+std::optional<geom::Point> net_gravity_center(
+    const Diagram& dia, const Diagram& old_dia, const NetlistDiff& diff,
+    const std::vector<ModuleId>& partition) {
+  const Network& net = dia.network();
+  std::unordered_set<ModuleId> members(partition.begin(), partition.end());
+  std::unordered_set<NetId> nets;
+  for (ModuleId m : partition) {
+    for (TermId t : net.module(m).terms) {
+      if (net.term(t).net != kNone) nets.insert(net.term(t).net);
+    }
+  }
+  std::int64_t sx = 0, sy = 0, cnt = 0;
+  for (NetId n : nets) {
+    for (TermId t : net.net(n).terms) {
+      const Terminal& term = net.term(t);
+      geom::Point p;
+      if (term.is_system()) {
+        const TermId ot = diff.term_to_old[t];
+        if (ot == kNone || !old_dia.system_term_placed(ot)) continue;
+        p = old_dia.term_pos(ot);
+      } else {
+        if (members.contains(term.module) || !dia.module_placed(term.module)) {
+          continue;
+        }
+        p = dia.term_pos(t);
+      }
+      sx += p.x;
+      sy += p.y;
+      ++cnt;
+    }
+  }
+  if (cnt == 0) return std::nullopt;
+  return geom::Point{static_cast<int>(sx / cnt), static_cast<int>(sy / cnt)};
+}
+
+/// Grid points occupied by the cached diagram's routed nets — the "is this
+/// vacancy really vacant" oracle for the gravity-seeded insertion below.
+struct RoutedCells {
+  std::unordered_set<std::uint64_t> cells;
+
+  static std::uint64_t key(geom::Point p) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x)) << 32) |
+           static_cast<std::uint32_t>(p.y);
+  }
+
+  explicit RoutedCells(const Diagram& dia) {
+    const Network& net = dia.network();
+    for (NetId n = 0; n < net.net_count(); ++n) {
+      for (const auto& pl : dia.route(n).polylines) {
+        if (pl.size() == 1) cells.insert(key(pl[0]));
+        for (size_t i = 1; i < pl.size(); ++i) {
+          const geom::Point a = pl[i - 1];
+          const geom::Point b = pl[i];
+          if (a.x != b.x && a.y != b.y) continue;
+          const geom::Point step = {(b.x > a.x) - (b.x < a.x),
+                                    (b.y > a.y) - (b.y < a.y)};
+          for (geom::Point p = a;; p += step) {
+            cells.insert(key(p));
+            if (p == b) break;
+          }
+        }
+      }
+    }
+  }
+
+  /// Routed track cells under `r` — each one a net the insertion would
+  /// displace (scrub + re-route) if a symbol landed here.
+  int covered(geom::Rect r) const {
+    int hits = 0;
+    for (int x = r.lo.x; x <= r.hi.x; ++x) {
+      for (int y = r.lo.y; y <= r.hi.y; ++y) {
+        hits += cells.contains(key({x, y})) ? 1 : 0;
+      }
+    }
+    return hits;
+  }
+};
+
+/// The gravity-seeded vacancy search: the position for a `size` rectangle
+/// near `ideal` minimising squared gravity distance plus a displacement
+/// penalty per routed cell the footprint would sit on.  "Hole-pinned
+/// vacancies first" — a spot a few tracks further that tears up no routing
+/// beats one directly on a channel — "then local hull expansion": ring by
+/// ring until the score bound proves no better cell exists, out to
+/// `max_radius`.
+std::optional<geom::Point> gravity_vacancy(geom::Point ideal, geom::Point size,
+                                           std::span<const geom::Rect> placed,
+                                           int spacing, int max_radius,
+                                           const RoutedCells& routed) {
+  // One displaced routed cell weighs like four extra tracks of distance:
+  // proximity still dominates, but dense channels repel the insertion.
+  constexpr std::int64_t kCellPenalty = 16;
+  auto feasible = [&](geom::Point pos) {
+    const geom::Rect candidate = geom::Rect::from_size(pos, size).expanded(spacing);
+    for (const geom::Rect& r : placed) {
+      if (candidate.overlaps(r)) return false;
+    }
+    return true;
+  };
+  auto score = [&](geom::Point pos) {
+    return geom::dist2(pos, ideal) +
+           kCellPenalty * routed.covered(geom::Rect::from_size(pos, size));
+  };
+
+  std::optional<geom::Point> best;
+  std::int64_t best_score = std::numeric_limits<std::int64_t>::max();
+  auto consider = [&](geom::Point pos) {
+    if (geom::dist2(pos, ideal) >= best_score || !feasible(pos)) return;
+    const std::int64_t s = score(pos);
+    if (s < best_score) {
+      best = pos;
+      best_score = s;
+    }
+  };
+  consider(ideal);
+  for (int r = 1; r <= max_radius; ++r) {
+    // Every position on ring r is at least r tracks out, so its score is
+    // at least r*r; once that exceeds the best score, no later ring wins.
+    if (best_score < static_cast<std::int64_t>(r) * r) break;
+    for (int dx = -r; dx <= r; ++dx) {
+      consider(ideal + geom::Point{dx, r});
+      consider(ideal + geom::Point{dx, -r});
+    }
+    for (int dy = -r + 1; dy < r; ++dy) {
+      consider(ideal + geom::Point{r, dy});
+      consider(ideal + geom::Point{-r, dy});
+    }
+  }
+  return best;
 }
 
 }  // namespace
@@ -101,6 +243,7 @@ IncPlaceResult incremental_place(Diagram& dia, const Diagram& old_dia,
     }
 
     std::vector<geom::Rect> pinned;  // holes already promised to a partition
+    std::optional<RoutedCells> routed_cells;  // built on first gravity seed
     for (const auto& partition : new_partitions) {
       // In-place refresh: when the partition's membership and module sizes
       // are unchanged (the edit moved a terminal pin or rewired a net), the
@@ -185,6 +328,38 @@ IncPlaceResult incremental_place(Diagram& dia, const Diagram& old_dia,
         if (clear) {
           pin = hole.lo;
           pinned.push_back(target);
+        }
+      }
+
+      // Gravity seeding: a partition without a vacated hole (added modules,
+      // or a refreshed group that outgrew its hole) is pulled toward the
+      // gravity centre of its nets' already-placed endpoints and dropped on
+      // the nearest vacancy — testing against the *individual* frozen
+      // module rectangles, so holes inside the frozen hull are usable and
+      // the ring search expands the hull locally when they are not.  Only
+      // when no legal cell exists within the bounded radius does the
+      // partition fall through to place_partitions, which treats the
+      // frozen part as one solid rectangle and lines it up at the edge.
+      if (!pin && !frozen.empty()) {
+        if (const auto center =
+                net_gravity_center(dia, old_dia, diff, partition)) {
+          const geom::Point ideal = *center - geom::Point{layout.size.x / 2,
+                                                          layout.size.y / 2};
+          const int spacing = std::max(opt.module_spacing, 1);
+          const int max_radius =
+              std::max(frozen_hull.width(), frozen_hull.height()) / 2 +
+              std::max(layout.size.x, layout.size.y) + spacing + 1;
+          std::vector<geom::Rect> obstacles;
+          obstacles.reserve(frozen.size() + pinned.size());
+          for (ModuleId m : frozen) obstacles.push_back(dia.module_rect(m));
+          obstacles.insert(obstacles.end(), pinned.begin(), pinned.end());
+          if (!routed_cells) routed_cells.emplace(old_dia);
+          if (const auto spot =
+                  gravity_vacancy(ideal, layout.size, obstacles, spacing,
+                                  max_radius, *routed_cells)) {
+            pin = *spot;
+            pinned.push_back(geom::Rect::from_size(*spot, layout.size));
+          }
         }
       }
       layouts.push_back(std::move(layout));

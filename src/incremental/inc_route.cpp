@@ -1,5 +1,9 @@
 #include "incremental/inc_route.hpp"
 
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace na {
@@ -30,10 +34,93 @@ bool is_clean(const Diagram& dia, const Diagram& old_dia, const NetlistDiff& dif
   return true;
 }
 
+int polyline_cells(const std::vector<geom::Point>& pl) {
+  int length = 0;
+  for (size_t i = 1; i < pl.size(); ++i) {
+    length += geom::manhattan(pl[i - 1], pl[i]);
+  }
+  return length + static_cast<int>(pl.size());
+}
+
 int geometry_cells(const NetRoute& r) {
   int cells = 0;
-  for (const auto& pl : r.polylines) cells += static_cast<int>(pl.size());
-  return r.total_length() + cells;  // track slots ~ unit steps + node points
+  for (const auto& pl : r.polylines) cells += polyline_cells(pl);
+  return cells;
+}
+
+std::uint64_t key_of(geom::Point p) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x)) << 32) |
+         static_cast<std::uint32_t>(p.y);
+}
+
+geom::Point point_of(std::uint64_t k) {
+  return {static_cast<std::int32_t>(k >> 32),
+          static_cast<std::int32_t>(k & 0xffffffffu)};
+}
+
+/// Every grid point a polyline chain occupies.
+template <typename F>
+void for_each_point(const std::vector<geom::Point>& pl, F f) {
+  if (pl.size() == 1) {
+    f(pl[0]);
+    return;
+  }
+  for (size_t i = 1; i < pl.size(); ++i) {
+    const geom::Point a = pl[i - 1];
+    const geom::Point b = pl[i];
+    if (a.x != b.x && a.y != b.y) continue;
+    const geom::Point step = {(b.x > a.x) - (b.x < a.x), (b.y > a.y) - (b.y < a.y)};
+    for (geom::Point p = a;; p += step) {
+      f(p);
+      if (p == b) break;
+    }
+  }
+}
+
+/// Of the polylines in `pls`, the indices forming the largest connected
+/// figure (unit adjacency over occupied points — the same notion the
+/// validator's connectivity check uses, so whatever survives here is one
+/// figure by its rules).
+std::vector<size_t> largest_figure(
+    const std::vector<std::vector<geom::Point>>& pls) {
+  std::unordered_map<std::uint64_t, int> comp;  // point -> component id
+  std::unordered_set<std::uint64_t> points;
+  for (const auto& pl : pls) {
+    for_each_point(pl, [&](geom::Point p) { points.insert(key_of(p)); });
+  }
+  int next_comp = 0;
+  std::vector<int> comp_cells;
+  for (const std::uint64_t seed : points) {
+    if (comp.contains(seed)) continue;
+    const int id = next_comp++;
+    comp_cells.push_back(0);
+    std::queue<std::uint64_t> frontier;
+    frontier.push(seed);
+    comp.emplace(seed, id);
+    while (!frontier.empty()) {
+      const geom::Point p = point_of(frontier.front());
+      frontier.pop();
+      ++comp_cells[id];
+      for (geom::Dir d : geom::kAllDirs) {
+        const std::uint64_t q = key_of(p + geom::delta(d));
+        if (points.contains(q) && comp.emplace(q, id).second) frontier.push(q);
+      }
+    }
+  }
+  int best = 0;
+  for (int id = 1; id < next_comp; ++id) {
+    if (comp_cells[id] > comp_cells[best]) best = id;
+  }
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < pls.size(); ++i) {
+    if (!pls[i].empty() && comp.at(key_of(pls[i][0])) == best) kept.push_back(i);
+  }
+  return kept;
+}
+
+geom::Rect polyline_hull(geom::Rect hull, const std::vector<geom::Point>& pl) {
+  for (geom::Point p : pl) hull = hull.hull(p);
+  return hull;
 }
 
 }  // namespace
@@ -41,6 +128,7 @@ int geometry_cells(const NetRoute& r) {
 PatchRouteResult patch_route(Diagram& dia, const Diagram& old_dia,
                              const NetlistDiff& diff, const RouterOptions& opt) {
   const Network& net = dia.network();
+  const Network& old_net = old_dia.network();
   PatchRouteResult result;
 
   std::vector<bool> changed(net.net_count(), false);
@@ -65,32 +153,47 @@ PatchRouteResult patch_route(Diagram& dia, const Diagram& old_dia,
       moved_points.push_back(dia.term_pos(st));
     }
   }
-  auto collides = [&](const NetRoute& r) {
-    for (const auto& pl : r.polylines) {
-      for (size_t i = 0; i < pl.size(); ++i) {
-        const geom::Segment seg{pl[i > 0 ? i - 1 : 0], pl[i]};
-        for (const geom::Rect& rect : moved_rects) {
-          if (seg.bounds().overlaps(rect)) return true;
-        }
-        for (const geom::Point p : moved_points) {
-          if (seg.contains(p)) return true;
-        }
-      }
+  auto segment_dirty = [&](const geom::Segment& seg,
+                           const std::vector<geom::Point>& stale) {
+    for (const geom::Rect& rect : moved_rects) {
+      if (seg.bounds().overlaps(rect)) return true;
+    }
+    for (const geom::Point p : moved_points) {
+      if (seg.contains(p)) return true;
+    }
+    for (const geom::Point p : stale) {
+      if (seg.contains(p)) return true;
+    }
+    return false;
+  };
+  auto polyline_dirty = [&](const std::vector<geom::Point>& pl,
+                            const std::vector<geom::Point>& stale) {
+    for (size_t i = 0; i < pl.size(); ++i) {
+      if (segment_dirty({pl[i > 0 ? i - 1 : 0], pl[i]}, stale)) return true;
     }
     return false;
   };
 
-  // ----- carry clean geometry over; scrub the rest ---------------------------
+  geom::Rect region;
+  for (const geom::Rect& r : moved_rects) region = region.hull(r);
+  for (const geom::Point p : moved_points) region = region.hull(p);
+
+  // ----- carry clean geometry over verbatim ----------------------------------
   int old_cells = 0;
-  for (NetId on = 0; on < old_dia.network().net_count(); ++on) {
+  for (NetId on = 0; on < old_net.net_count(); ++on) {
     old_cells += geometry_cells(old_dia.route(on));
   }
   int kept_cells = 0;
   std::vector<bool> kept(net.net_count(), false);
+  static const std::vector<geom::Point> kNoStale;
   for (NetId n = 0; n < net.net_count(); ++n) {
     if (!is_clean(dia, old_dia, diff, n, changed)) continue;
     const NetRoute& old_route = old_dia.route(diff.net_to_old[n]);
-    if (collides(old_route)) continue;
+    bool dirty = false;
+    for (const auto& pl : old_route.polylines) {
+      if (polyline_dirty(pl, kNoStale)) dirty = true;
+    }
+    if (dirty) continue;
     NetRoute& r = dia.route(n);
     r.polylines = old_route.polylines;
     r.routed = true;
@@ -98,13 +201,97 @@ PatchRouteResult patch_route(Diagram& dia, const Diagram& old_dia,
     ++result.nets_kept;
     kept_cells += geometry_cells(old_route);
   }
+
+  // ----- partial keep: surviving figures of the nets to be (re)routed --------
+  // Only the polylines under an appeared/moved symbol or touching a stale
+  // terminal position are really invalid; everything else is legal drawn
+  // geometry.  Keep the largest still-connected figure of it as prerouted
+  // partial geometry — the route pass then merely attaches the open
+  // terminals (join_own_net), so e.g. a global net that gained one pin is
+  // extended near that pin instead of being re-searched across the plane.
+  std::vector<int> carried(net.net_count(), 0);  // kept polylines per net
+  for (NetId n = 0; n < net.net_count(); ++n) {
+    if (kept[n]) continue;
+    const NetId on = diff.net_to_old[n];
+    if (on == kNone) continue;
+    if (!old_dia.route(on).routed) {
+      // A net that had failed before is re-searched whole; its partial old
+      // geometry (if any) is scrubbed and belongs to the dirty region.
+      for (const auto& pl : old_dia.route(on).polylines) {
+        region = polyline_hull(region, pl);
+      }
+      continue;
+    }
+
+    // Stale endpoints: old terminal positions that no longer carry a
+    // terminal of this net at the same spot.  A kept polyline ending there
+    // would dangle against a module wall (or a foreign pin) — drop it.
+    std::vector<geom::Point> stale;
+    for (TermId ot : old_net.net(on).terms) {
+      const TermId t = diff.term_to_new[ot];
+      bool survives = t != kNone && net.term(t).net == n;
+      if (survives) {
+        const Terminal& term = net.term(t);
+        const bool placed = term.is_system() ? dia.system_term_placed(t)
+                                             : dia.module_placed(term.module);
+        survives = placed && dia.term_pos(t) == old_dia.term_pos(ot);
+      }
+      if (!survives) stale.push_back(old_dia.term_pos(ot));
+    }
+
+    const NetRoute& old_route = old_dia.route(on);
+    std::vector<std::vector<geom::Point>> candidates;
+    for (const auto& pl : old_route.polylines) {
+      if (!polyline_dirty(pl, stale)) {
+        candidates.push_back(pl);
+      } else {
+        region = polyline_hull(region, pl);  // scrubbed: part of the patch
+      }
+    }
+    if (candidates.empty()) continue;  // nothing survives: full re-route
+    NetRoute& r = dia.route(n);
+    std::vector<bool> in_figure(candidates.size(), false);
+    for (size_t i : largest_figure(candidates)) in_figure[i] = true;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (!in_figure[i]) {  // disconnected leftover: scrubbed too
+        region = polyline_hull(region, candidates[i]);
+        continue;
+      }
+      kept_cells += polyline_cells(candidates[i]);
+      r.polylines.push_back(std::move(candidates[i]));
+      ++carried[n];
+    }
+    r.routed = false;  // open terminals attach during the route pass
+    ++result.nets_extended;
+  }
   result.cells_scrubbed = old_cells - kept_cells;
 
   // ----- route everything still open against the preserved plane -------------
   result.report = route_all(dia, opt);
   for (NetId n = 0; n < net.net_count(); ++n) {
-    if (!kept[n] && !dia.route(n).polylines.empty()) ++result.nets_rerouted;
+    if (kept[n] || dia.route(n).polylines.empty()) continue;
+    ++result.nets_rerouted;
+    const NetId on = diff.net_to_old[n];
+    if (on != kNone && carried[n] == 0) {
+      // Fully scrubbed: all old geometry was discarded, hull it whole.
+      for (const auto& pl : old_dia.route(on).polylines) {
+        region = polyline_hull(region, pl);
+      }
+    }
+    // New geometry: everything beyond the carried-over prefix.  (For a
+    // fully re-routed net that prefix is empty, so this is all of it.)
+    const auto& pls = dia.route(n).polylines;
+    for (size_t i = carried[n]; i < pls.size(); ++i) {
+      region = polyline_hull(region, pls[i]);
+    }
   }
+  for (NetId on : diff.removed_nets) {  // dead geometry scrubbed silently
+    for (const auto& pl : old_dia.route(on).polylines) {
+      region = polyline_hull(region, pl);
+    }
+  }
+  if (!region.empty()) region = region.expanded(1);
+  result.dirty_region = region;
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "incremental/session.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "incremental/dirty.hpp"
@@ -69,8 +70,13 @@ void RegenSession::account(const RegenCounters& one) {
   totals_.modules_frozen += one.modules_frozen;
   totals_.nets_kept += one.nets_kept;
   totals_.nets_rerouted += one.nets_rerouted;
+  totals_.nets_extended += one.nets_extended;
   totals_.cells_scrubbed += one.cells_scrubbed;
   totals_.route_expansions += one.route_expansions;
+  totals_.region_validations += one.region_validations;
+  totals_.full_validations += one.full_validations;
+  totals_.validate_ms += one.validate_ms;
+  totals_.dirty_region = totals_.dirty_region.hull(one.dirty_region);
 }
 
 void RegenSession::full_regen(const Network& next) {
@@ -132,9 +138,35 @@ const Diagram& RegenSession::update(const Network& next) {
   }
   PatchRouteResult routed =
       patch_route(*dia, *dia_, diff, opt_.generator.router);
-  if (opt_.validate && !validate_diagram(*dia).empty()) {
-    full_regen(next);  // patched diagram broke a drawing rule
-    return *dia_;
+
+  // Region-scoped validity check: only the union of the patched-net hulls
+  // and the moved-module footprints (the patch router's dirty_region) is
+  // re-checked.  Any in-region issue escalates to the whole-diagram check
+  // — the region verdict is trusted only when it is clean.
+  int region_validations = 0;
+  int full_validations = 0;
+  double validate_ms = 0.0;
+  if (opt_.validate) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::string> issues;
+    if (opt_.validate_full) {
+      issues = validate_diagram(*dia);
+      ++full_validations;
+    } else {
+      issues = validate_region(*dia, routed.dirty_region);
+      ++region_validations;
+      if (!issues.empty()) {
+        issues = validate_diagram(*dia);
+        ++full_validations;
+      }
+    }
+    validate_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    if (!issues.empty()) {
+      full_regen(next);  // patched diagram broke a drawing rule
+      return *dia_;
+    }
   }
 
   info_ = std::move(placed.info);
@@ -148,8 +180,13 @@ const Diagram& RegenSession::update(const Network& next) {
   one.modules_frozen = placed.modules_frozen;
   one.nets_kept = routed.nets_kept;
   one.nets_rerouted = routed.nets_rerouted;
+  one.nets_extended = routed.nets_extended;
   one.cells_scrubbed = routed.cells_scrubbed;
   one.route_expansions = routed.report.total_expansions;
+  one.region_validations = region_validations;
+  one.full_validations = full_validations;
+  one.validate_ms = validate_ms;
+  one.dirty_region = routed.dirty_region;
   account(one);
   return *dia_;
 }

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "core/generator.hpp"
+#include "geom/rect.hpp"
 #include "incremental/netlist_diff.hpp"
 
 namespace na {
@@ -30,8 +31,15 @@ struct RegenCounters {
   int modules_frozen = 0;
   int nets_kept = 0;
   int nets_rerouted = 0;
+  int nets_extended = 0;  ///< rerouted nets that kept partial geometry
   int cells_scrubbed = 0;
   long route_expansions = 0;  ///< search work of the (patch) routing pass
+  int region_validations = 0;  ///< patches checked by validate_region only
+  int full_validations = 0;    ///< whole-diagram checks (forced or fallback)
+  double validate_ms = 0.0;    ///< wall time spent validating the patch
+  /// Dirty hull the last patch validated (empty for full regens and no-op
+  /// updates); in totals() the hull of every patch's region.
+  geom::Rect dirty_region;
 };
 
 struct RegenOptions {
@@ -39,10 +47,16 @@ struct RegenOptions {
   /// Fallback rule, part 1: full re-place when more than this share of
   /// partitions is dirtied by the edit.
   double max_dirty_fraction = 0.5;
-  /// Run validate_diagram on every patched result and fall back to a full
-  /// regeneration when it reports problems.  Costs one O(geometry) check;
-  /// disable only when the caller validates anyway.
+  /// Check every patched result against the drawing rules and fall back to
+  /// a full regeneration when it reports problems.  The check is region-
+  /// scoped (validate_region over the patch's dirty hull, escalating to a
+  /// whole-diagram validate_diagram only when the region reports an
+  /// issue); disable only when the caller validates anyway.
   bool validate = true;
+  /// Force the whole-diagram check on every patch instead of the region-
+  /// scoped one — the pre-region behavior, kept for measurement and as an
+  /// escape hatch.
+  bool validate_full = false;
 };
 
 class RegenSession {

@@ -6,8 +6,10 @@
 
 namespace na {
 
-geom::Point nearest_free_position(geom::Point ideal, geom::Point size,
-                                  std::span<const geom::Rect> placed, int spacing) {
+std::optional<geom::Point> bounded_free_position(geom::Point ideal,
+                                                 geom::Point size,
+                                                 std::span<const geom::Rect> placed,
+                                                 int spacing, int max_radius) {
   auto feasible = [&](geom::Point pos) {
     const geom::Rect candidate = geom::Rect::from_size(pos, size).expanded(spacing);
     for (const geom::Rect& r : placed) {
@@ -20,10 +22,9 @@ geom::Point nearest_free_position(geom::Point ideal, geom::Point size,
   // Ring search by Chebyshev radius; a ring of radius r contains offsets
   // with Euclidean norm in [r, r*sqrt(2)], so once a feasible position at
   // squared distance d2 is known, rings with r*r > d2 cannot improve it.
-  geom::Point best = ideal;
+  std::optional<geom::Point> best;
   std::int64_t best_d2 = std::numeric_limits<std::int64_t>::max();
-  constexpr int kMaxRadius = 100000;
-  for (int r = 1; r <= kMaxRadius; ++r) {
+  for (int r = 1; r <= max_radius; ++r) {
     if (best_d2 < static_cast<std::int64_t>(r) * r) break;
     auto consider = [&](int dx, int dy) {
       const geom::Point pos = ideal + geom::Point{dx, dy};
@@ -43,6 +44,13 @@ geom::Point nearest_free_position(geom::Point ideal, geom::Point size,
     }
   }
   return best;
+}
+
+geom::Point nearest_free_position(geom::Point ideal, geom::Point size,
+                                  std::span<const geom::Rect> placed, int spacing) {
+  constexpr int kMaxRadius = 100000;
+  return bounded_free_position(ideal, size, placed, spacing, kMaxRadius)
+      .value_or(ideal);
 }
 
 std::vector<geom::Point> gravity_place(std::span<const GravityItem> items,

@@ -1,6 +1,7 @@
 #include "schematic/validate.hpp"
 
 #include <cstdint>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -18,14 +19,22 @@ geom::Point point_of(std::uint64_t k) {
           static_cast<std::int32_t>(k & 0xffffffffu)};
 }
 
-}  // namespace
-
-std::vector<std::string> validate_diagram(const Diagram& dia, bool require_all_routed) {
+/// Shared checker body.  `region == nullptr` validates the whole diagram;
+/// otherwise only geometry intersecting `*region` is examined (see the
+/// scope rules on validate_region in the header).  The per-point work is
+/// identical in both modes, so an in-region violation produces the same
+/// message either way.
+std::vector<std::string> validate_impl(const Diagram& dia,
+                                       bool require_all_routed,
+                                       const geom::Rect* region) {
   const Network& net = dia.network();
   std::vector<std::string> problems;
   auto report = [&](std::string msg) { problems.push_back(std::move(msg)); };
+  auto in_scope = [&](geom::Point p) { return !region || region->contains(p); };
 
   // --- placement: everything placed, no symbol overlap ----------------------
+  // Completeness is global (a property of the diagram, no geometry to
+  // scope); the geometric checks run over the symbols touching the region.
   for (int m = 0; m < net.module_count(); ++m) {
     if (!dia.module_placed(m)) report("module '" + net.module(m).name + "' unplaced");
   }
@@ -34,29 +43,40 @@ std::vector<std::string> validate_diagram(const Diagram& dia, bool require_all_r
       report("system terminal '" + net.term(t).name + "' unplaced");
     }
   }
-  for (int a = 0; a < net.module_count(); ++a) {
-    if (!dia.module_placed(a)) continue;
-    for (int b = a + 1; b < net.module_count(); ++b) {
-      if (!dia.module_placed(b)) continue;
+  std::vector<int> scoped_mods;  // placed modules whose rect touches the scope
+  for (int m = 0; m < net.module_count(); ++m) {
+    if (!dia.module_placed(m)) continue;
+    if (region && !region->overlaps(dia.module_rect(m))) continue;
+    scoped_mods.push_back(m);
+  }
+  std::vector<TermId> scoped_terms;  // placed system terminals in scope
+  for (TermId t : net.system_terms()) {
+    if (!dia.system_term_placed(t)) continue;
+    if (!in_scope(dia.term_pos(t))) continue;
+    scoped_terms.push_back(t);
+  }
+  for (size_t i = 0; i < scoped_mods.size(); ++i) {
+    const int a = scoped_mods[i];
+    for (size_t j = i + 1; j < scoped_mods.size(); ++j) {
+      const int b = scoped_mods[j];
       if (dia.module_rect(a).overlaps(dia.module_rect(b))) {
         report("modules '" + net.module(a).name + "' and '" + net.module(b).name +
                "' overlap");
       }
     }
   }
-  for (size_t i = 0; i < net.system_terms().size(); ++i) {
-    const TermId ti = net.system_terms()[i];
-    if (!dia.system_term_placed(ti)) continue;
+  for (size_t i = 0; i < scoped_terms.size(); ++i) {
+    const TermId ti = scoped_terms[i];
     const geom::Point pi = dia.term_pos(ti);
-    for (int m = 0; m < net.module_count(); ++m) {
-      if (dia.module_placed(m) && dia.module_rect(m).contains(pi)) {
+    for (const int m : scoped_mods) {
+      if (dia.module_rect(m).contains(pi)) {
         report("system terminal '" + net.term(ti).name + "' overlaps module '" +
                net.module(m).name + "'");
       }
     }
-    for (size_t j = i + 1; j < net.system_terms().size(); ++j) {
-      const TermId tj = net.system_terms()[j];
-      if (dia.system_term_placed(tj) && dia.term_pos(tj) == pi) {
+    for (size_t j = i + 1; j < scoped_terms.size(); ++j) {
+      const TermId tj = scoped_terms[j];
+      if (dia.term_pos(tj) == pi) {
         report("system terminals '" + net.term(ti).name + "' and '" +
                net.term(tj).name + "' coincide");
       }
@@ -69,6 +89,7 @@ std::vector<std::string> validate_diagram(const Diagram& dia, bool require_all_r
   for (int t = 0; t < net.term_count(); ++t) {
     const Terminal& term = net.term(t);
     if (term.net == kNone) continue;
+    if (!in_scope(dia.term_pos(t))) continue;
     term_cell[key_of(dia.term_pos(t))] = term.net;
   }
 
@@ -78,45 +99,79 @@ std::vector<std::string> validate_diagram(const Diagram& dia, bool require_all_r
   // Points where a net has a corner, branch, or endpoint ("nodes"): no other
   // net may touch these at all.
   std::unordered_map<std::uint64_t, NetId> node_of;
+  std::vector<bool> touches(net.net_count(), region == nullptr);
 
   for (NetId n = 0; n < net.net_count(); ++n) {
     const NetRoute& r = dia.route(n);
-    if (require_all_routed && !r.routed && !net.net(n).terms.empty()) {
+    if (require_all_routed && region == nullptr && !r.routed &&
+        !net.net(n).terms.empty()) {
       report("net '" + net.net(n).name + "' unrouted");
     }
     for (const auto& pl : r.polylines) {
       if (pl.size() < 2) {
         // A single point is only meaningful when joining at a terminal that
         // already lies on the net; treat as node.
-        if (!pl.empty()) node_of[key_of(pl[0])] = n;
+        if (!pl.empty() && in_scope(pl[0])) {
+          node_of[key_of(pl[0])] = n;
+          touches[n] = true;
+        }
         continue;
       }
       for (size_t i = 1; i < pl.size(); ++i) {
         const geom::Point a = pl[i - 1];
         const geom::Point b = pl[i];
         if (a.x != b.x && a.y != b.y) {
-          report("net '" + net.net(n).name + "' has a non-orthogonal segment " +
-                 geom::to_string(a) + "-" + geom::to_string(b));
+          if (!region || region->overlaps(geom::Segment{a, b}.bounds())) {
+            report("net '" + net.net(n).name + "' has a non-orthogonal segment " +
+                   geom::to_string(a) + "-" + geom::to_string(b));
+          }
           continue;
         }
         if (a == b) continue;
+        // Clip the segment to the scope, preserving its walk direction so
+        // overlap reports come out in the same order as a full validation.
+        geom::Point from = a;
+        geom::Point to = b;
+        if (region) {
+          const geom::Rect clipped = [&] {
+            const geom::Rect sb = geom::Segment{a, b}.bounds();
+            return geom::Rect{{std::max(sb.lo.x, region->lo.x),
+                               std::max(sb.lo.y, region->lo.y)},
+                              {std::min(sb.hi.x, region->hi.x),
+                               std::min(sb.hi.y, region->hi.y)}};
+          }();
+          if (clipped.empty()) continue;
+          if (b.x >= a.x && b.y >= a.y) {
+            from = clipped.lo;
+            to = clipped.hi;
+          } else {
+            from = clipped.hi;
+            to = clipped.lo;
+          }
+        }
+        touches[n] = true;
         const bool horizontal = a.y == b.y;
-        const geom::Point step = {(b.x > a.x) - (b.x < a.x), (b.y > a.y) - (b.y < a.y)};
-        for (geom::Point p = a;; p += step) {
+        const geom::Point step = {(to.x > from.x) - (to.x < from.x),
+                                  (to.y > from.y) - (to.y < from.y)};
+        for (geom::Point p = from;; p += step) {
           auto& occ = horizontal ? h_occ : v_occ;
           auto [it, inserted] = occ.emplace(key_of(p), n);
           if (!inserted && it->second != n) {
             report("nets '" + net.net(n).name + "' and '" + net.net(it->second).name +
                    "' overlap at " + geom::to_string(p));
           }
-          if (p == b) break;
+          if (p == to) break;
         }
       }
-      node_of[key_of(pl.front())] = n;
-      node_of[key_of(pl.back())] = n;
+      if (in_scope(pl.front())) node_of[key_of(pl.front())] = n;
+      if (in_scope(pl.back())) node_of[key_of(pl.back())] = n;
       for (size_t i = 1; i + 1 < pl.size(); ++i) {
-        node_of[key_of(pl[i])] = n;  // corner
+        if (in_scope(pl[i])) node_of[key_of(pl[i])] = n;  // corner
       }
+    }
+    if (require_all_routed && region != nullptr && !r.routed && touches[n] &&
+        !net.net(n).terms.empty()) {
+      report("net '" + net.net(n).name + "' unrouted");
     }
   }
 
@@ -130,14 +185,14 @@ std::vector<std::string> validate_diagram(const Diagram& dia, bool require_all_r
       return;
     }
     if (own_terminal) return;
-    for (int m = 0; m < net.module_count(); ++m) {
+    for (const int m : scoped_mods) {
       if (dia.module_rect(m).contains(p)) {
         report("net '" + net.net(n).name + "' enters module '" + net.module(m).name +
                "' at " + geom::to_string(p));
         return;
       }
     }
-    for (TermId t : net.system_terms()) {
+    for (TermId t : scoped_terms) {
       if (dia.term_pos(t) == p && net.term(t).net != n) {
         report("net '" + net.net(n).name + "' covers system terminal '" +
                net.term(t).name + "'");
@@ -164,9 +219,12 @@ std::vector<std::string> validate_diagram(const Diagram& dia, bool require_all_r
   }
 
   // --- connectivity: each routed net is one figure containing all terminals --
+  // In region mode only the nets with in-scope geometry are re-checked, but
+  // always over their *full* geometry: being one figure is not a local
+  // property, and a patch can only disconnect a net at an edited point.
   for (NetId n = 0; n < net.net_count(); ++n) {
     const NetRoute& r = dia.route(n);
-    if (!r.routed) continue;
+    if (!r.routed || !touches[n]) continue;
     std::unordered_set<std::uint64_t> points;
     for (const auto& pl : r.polylines) {
       for (size_t i = 1; i < pl.size(); ++i) {
@@ -210,6 +268,18 @@ std::vector<std::string> validate_diagram(const Diagram& dia, bool require_all_r
   }
 
   return problems;
+}
+
+}  // namespace
+
+std::vector<std::string> validate_diagram(const Diagram& dia, bool require_all_routed) {
+  return validate_impl(dia, require_all_routed, nullptr);
+}
+
+std::vector<std::string> validate_region(const Diagram& dia, geom::Rect region,
+                                         bool require_all_routed) {
+  if (region.empty()) return {};
+  return validate_impl(dia, require_all_routed, &region);
 }
 
 }  // namespace na

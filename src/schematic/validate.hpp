@@ -33,4 +33,28 @@ namespace na {
 std::vector<std::string> validate_diagram(const Diagram& dia,
                                           bool require_all_routed = false);
 
+/// Region-scoped validation: checks only the geometry intersecting
+/// `region` — the incremental engine's "re-check only the changed part"
+/// entry point (RegenSession hands it the dirty hull of a patch).
+///
+/// Scope rules:
+///   * placement completeness (everything placed) stays global — it is a
+///     property of the diagram, costs O(symbols), and needs no geometry;
+///   * symbol overlap / coincidence is checked among the symbols whose
+///     rectangles intersect the region;
+///   * net segments are clipped to the region before the occupancy,
+///     crossing, node-contact, symbol-entry and foreign-terminal rules
+///     run, so only in-region track cells are examined;
+///   * connectivity (one figure reaching every terminal) is re-checked for
+///     exactly the nets with at least one in-region point, over their full
+///     geometry — a patch that disconnects a net does so at an edited
+///     point, and the rule itself is not a local property.
+///
+/// Guarantee: a violation whose witness point(s) lie inside `region` is
+/// reported with the same message full validation would produce; issues
+/// entirely outside the region are not looked for.  An empty region
+/// validates nothing and returns no issues.
+std::vector<std::string> validate_region(const Diagram& dia, geom::Rect region,
+                                         bool require_all_routed = false);
+
 }  // namespace na

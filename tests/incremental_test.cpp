@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "gen/datapath.hpp"
 #include "gen/chain.hpp"
@@ -213,6 +214,59 @@ TEST(Incremental, LifeSingleModuleEditReroutesUnderQuarter) {
   gen::life_hand_placement(scratch);
   ASSERT_EQ(route_all(scratch, opt.generator.router).nets_failed, 0);
   expect_within_10pct(compute_stats(inc), compute_stats(scratch));
+}
+
+// Gravity-seeded add-module placement: a module the editor attaches to the
+// global mode net (10 endpoints spread over the whole LIFE array) must be
+// placed near the net's gravity centre, not appended at the array edge —
+// and because it then sits next to its pins, the mode net is *extended* in
+// place instead of being scrubbed and re-searched across the plane.
+TEST(Incremental, AddedModulePlacesNearNetGravity) {
+  const Network net = gen::life_network();
+  const RegenOptions opt = life_options();
+  Diagram hand(net);
+  gen::life_hand_placement(hand);
+  ASSERT_EQ(route_all(hand, opt.generator.router).nets_failed, 0);
+
+  RegenSession session(opt);
+  session.adopt(net, hand);
+
+  NetworkEditor ed(net);
+  ed.add_module("probe", "probe", {4, 4});
+  ed.add_module_terminal("probe", "i", TermType::In, {0, 2});
+  ed.connect("mode", "probe", "i");
+  const Network edited = ed.build();
+
+  const Diagram& inc = session.update(edited);
+  ASSERT_EQ(session.last().incremental, 1) << "edit must take the patch path";
+  EXPECT_TRUE(validate_diagram(inc).empty());
+
+  // Gravity centre of the probe's net over the already-placed endpoints.
+  int sx = 0, sy = 0, cnt = 0;
+  for (TermId t : net.net(*net.net_by_name("mode")).terms) {
+    sx += hand.term_pos(t).x;
+    sy += hand.term_pos(t).y;
+    ++cnt;
+  }
+  const geom::Point center{sx / cnt, sy / cnt};
+
+  const geom::Rect r = inc.module_rect(*inc.network().module_by_name("probe"));
+  const geom::Point placed{(r.lo.x + r.hi.x) / 2, (r.lo.y + r.hi.y) / 2};
+  const int dist = std::max(std::abs(placed.x - center.x),
+                            std::abs(placed.y - center.y));
+  // Edge placement puts the probe outside the frozen hull, half an array
+  // (> 60 tracks) away from this centre; gravity seeding lands close by.
+  EXPECT_LE(dist, 20) << "probe centre " << geom::to_string(placed)
+                      << " vs net gravity " << geom::to_string(center);
+
+  // Reroute cost must be far below the edge-placement behaviour, which
+  // scrubbed the whole mode net (~1300 cells, > 100k search expansions).
+  EXPECT_GE(session.last().nets_extended, 1) << "mode net must be extended";
+  EXPECT_LE(session.last().nets_rerouted, 3);
+  EXPECT_LT(session.last().cells_scrubbed, 200);
+  EXPECT_LT(session.last().route_expansions, 20000);
+  EXPECT_EQ(session.last().nets_kept + session.last().nets_rerouted,
+            edited.net_count());
 }
 
 // Cross-thread determinism of the patch path: the kept-net scrub plus the

@@ -1,0 +1,42 @@
+# Repository hygiene check, run as the `repo_hygiene` ctest: fails when any
+# *tracked* file is a build tree or generated artifact.  Guards the cleanup
+# of the accidentally committed build-review/ tree — `git ls-files` must
+# never again match build*/ or binary outputs.
+#
+# Usage: cmake -DREPO_ROOT=<source dir> -P repo_hygiene.cmake
+
+find_package(Git QUIET)
+if(NOT GIT_FOUND)
+  message(STATUS "repo_hygiene: git not available, nothing to check")
+  return()
+endif()
+
+execute_process(
+  COMMAND "${GIT_EXECUTABLE}" -C "${REPO_ROOT}" ls-files
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE tracked
+  ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(STATUS "repo_hygiene: ${REPO_ROOT} is not a git checkout, nothing to check")
+  return()
+endif()
+
+string(REPLACE "\n" ";" tracked "${tracked}")
+set(offenders "")
+foreach(path IN LISTS tracked)
+  if(path MATCHES "^build[^/]*/"                             # any build tree
+     OR path MATCHES "\\.(o|obj|a|so|dylib|exe|bin|out)$"    # binary artifacts
+     OR path MATCHES "(^|/)BENCH_[^/]*\\.json$"              # benchmark output
+     OR path MATCHES "(^|/)bench_output\\.txt$")
+    list(APPEND offenders "${path}")
+  endif()
+endforeach()
+
+if(offenders)
+  list(LENGTH offenders count)
+  string(REPLACE ";" "\n  " offenders "${offenders}")
+  message(FATAL_ERROR
+    "repo_hygiene: ${count} build artifact(s) are committed — "
+    "git rm --cached them and extend .gitignore:\n  ${offenders}")
+endif()
+message(STATUS "repo_hygiene: no tracked build artifacts")
