@@ -147,13 +147,12 @@ int main(int argc, char** argv) {
         if (threads > 1 && respec != default_respec) {
           config += ",respec=" + std::to_string(respec);
         }
-        std::string extra;
+        std::vector<bench::BenchField> extra;
         if (threads > 1) {
-          extra = ", \"nets_respeculated\": " +
-                  std::to_string(spec.nets_respeculated) +
-                  ", \"respec_hits\": " + std::to_string(spec.respec_hits) +
-                  ", \"respec_stale\": " + std::to_string(spec.respec_stale) +
-                  ", \"reroutes\": " + std::to_string(spec.reroutes);
+          extra = {{"nets_respeculated", spec.nets_respeculated},
+                   {"respec_hits", spec.respec_hits},
+                   {"respec_stale", spec.respec_stale},
+                   {"reroutes", spec.reroutes}};
         }
         std::printf(
             "    fig 6.6 route %s: %.0fms (%ld expansions, %d respeculated, "

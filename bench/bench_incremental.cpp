@@ -127,17 +127,13 @@ Timing time_life_full(const Network& edited) {
 }
 
 /// Validation share and patch-keep counters of one incremental update,
-/// spliced into its JSON record.
-std::string validation_extra(const Timing& t) {
-  char buf[160];
-  std::snprintf(buf, sizeof buf,
-                ", \"validate_ms\": %.3f, \"validate_share\": %.3f, "
-                "\"region_validations\": %d, \"full_validations\": %d, "
-                "\"nets_extended\": %d",
-                t.counters.validate_ms, t.counters.validate_ms / t.ms,
-                t.counters.region_validations, t.counters.full_validations,
-                t.counters.nets_extended);
-  return buf;
+/// attached to its JSON record.
+std::vector<bench::BenchField> validation_extra(const Timing& t) {
+  return {{"validate_ms", t.counters.validate_ms},
+          {"validate_share", t.counters.validate_ms / t.ms},
+          {"region_validations", t.counters.region_validations},
+          {"full_validations", t.counters.full_validations},
+          {"nets_extended", t.counters.nets_extended}};
 }
 
 void report_scenario(const char* name, const Timing& inc, const Timing& full,

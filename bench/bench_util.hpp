@@ -9,9 +9,11 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/generator.hpp"
+#include "obs/metrics.hpp"
 #include "gen/chain.hpp"
 #include "gen/controller.hpp"
 #include "gen/life.hpp"
@@ -107,14 +109,16 @@ inline void print_row(const std::string& name, const DiagramStats& s) {
 
 // ----- machine-readable timing records ---------------------------------------
 
+/// One extra named counter attached to a record.
+using BenchField = std::pair<std::string, obs::MetricValue>;
+
 struct BenchRecord {
   std::string bench;   ///< source bench executable, e.g. "fig66_67_life"
   std::string config;  ///< measured configuration, e.g. "threads=4"
   double ms = 0;       ///< wall-clock of the timed run
   long expansions = 0; ///< RouteReport::total_expansions (0 when untracked)
-  /// Extra JSON fields spliced into the record verbatim, starting with a
-  /// comma (e.g. ", \"nets_respeculated\": 12"); empty for plain records.
-  std::string extra;
+  /// Extra per-record counters, emitted after the fixed fields in order.
+  std::vector<BenchField> fields;
 };
 
 inline std::vector<BenchRecord>& bench_json_records() {
@@ -123,30 +127,39 @@ inline std::vector<BenchRecord>& bench_json_records() {
 }
 
 inline void bench_json_add(std::string bench, std::string config, double ms,
-                           long expansions, std::string extra = {}) {
+                           long expansions,
+                           std::vector<BenchField> fields = {}) {
   bench_json_records().push_back(
-      {std::move(bench), std::move(config), ms, expansions, std::move(extra)});
+      {std::move(bench), std::move(config), ms, expansions, std::move(fields)});
 }
 
-/// Writes every record collected so far as a JSON array.  Plain fprintf —
-/// the fields are identifiers and numbers, nothing needs escaping.
+/// Writes every record collected so far through the shared obs::JsonWriter:
+/// {"schema_version": N, "records": [...]} — the same versioned envelope
+/// (and the same emitter) as the --stats json emission.
 inline void bench_json_write(const char* path = "BENCH_routing.json") {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("schema_version", obs::MetricsRegistry::kSchemaVersion)
+      .key("records")
+      .begin_array();
+  const auto& records = bench_json_records();
+  for (const BenchRecord& r : records) {
+    w.begin_object()
+        .field("bench", std::string_view(r.bench))
+        .field("config", std::string_view(r.config))
+        .field("ms", r.ms)
+        .field("expansions", static_cast<long long>(r.expansions));
+    for (const BenchField& f : r.fields) w.field(f.first, f.second);
+    w.end_object();
+  }
+  w.end_array().end_object();
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "warning: cannot write %s\n", path);
     return;
   }
-  std::fprintf(f, "[\n");
-  const auto& records = bench_json_records();
-  for (size_t i = 0; i < records.size(); ++i) {
-    const BenchRecord& r = records[i];
-    std::fprintf(f,
-                 "  {\"bench\": \"%s\", \"config\": \"%s\", \"ms\": %.3f, "
-                 "\"expansions\": %ld%s}%s\n",
-                 r.bench.c_str(), r.config.c_str(), r.ms, r.expansions,
-                 r.extra.c_str(), i + 1 < records.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
+  std::fputs(w.str().c_str(), f);
+  std::fputc('\n', f);
   std::fclose(f);
   std::printf("wrote %s (%zu records)\n", path, records.size());
 }

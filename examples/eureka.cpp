@@ -12,6 +12,7 @@
 
 #include "core/options.hpp"
 #include "netlist/netlist_io.hpp"
+#include "obs/stats_absorb.hpp"
 #include "schematic/escher_reader.hpp"
 #include "schematic/escher_writer.hpp"
 #include "schematic/metrics.hpp"
@@ -42,9 +43,10 @@ int main(int argc, char** argv) {
     }
   }
   GeneratorOptions opt;
+  obs::ObsOptions obs;
   std::vector<std::string> files;
   try {
-    files = parse_generator_args(args, opt);
+    files = parse_generator_args(args, opt, &obs);
     if (files.size() < 3) {
       std::cerr << "usage: eureka [options] <graphic.es> <call-file>"
                 << " <netlist-file> [io-file] [-o out.es]\n"
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
     const Network net = parse_network(lib, slurp(files[1]), io, slurp(files[2]));
     Diagram dia = parse_escher_diagram(net, slurp(files[0]));
 
+    obs::obs_begin(obs);
     ParallelRouteStats spec;
     const RouteReport report = route_all(dia, opt.router, &spec);
     for (NetId n : report.failed_nets) {
@@ -69,10 +72,17 @@ int main(int argc, char** argv) {
                 << spec.respec_hits << " hits, " << spec.respec_stale
                 << " stale)\n";
     }
-    std::cout << compute_stats(dia).summary() << '\n';
+    const DiagramStats stats = compute_stats(dia);
+    std::cout << stats.summary() << '\n';
     for (const auto& p : validate_diagram(dia)) std::cerr << "PROBLEM: " << p << '\n';
     std::ofstream(out_path) << to_escher_diagram(dia, "eureka");
     std::cout << "wrote " << out_path << '\n';
+
+    obs::MetricsRegistry reg;
+    obs::absorb(reg, report);
+    obs::absorb(reg, spec);
+    obs::absorb(reg, stats);
+    if (!obs::obs_finish(obs, reg)) return 1;
   } catch (const std::exception& e) {
     std::cerr << "eureka: " << e.what() << '\n';
     return 1;

@@ -5,12 +5,17 @@
 // reports the routing statistics the paper quotes ("there are 222 nets and
 // only two nets were routed unsuccessfully").
 //
-//   $ ./life_game [out_dir]
+//   $ ./life_game [out_dir] [--threads n] [--trace file] [--stats text|json|off]
+//
+// With --stats json the emission holds both figures' counters under the
+// fig66./fig67. prefixes — the breakdown behind the paper's Table 6.1.
 #include <fstream>
 #include <iostream>
 
 #include "core/generator.hpp"
+#include "core/options.hpp"
 #include "gen/life.hpp"
+#include "obs/stats_absorb.hpp"
 #include "route/net_order.hpp"
 #include "schematic/metrics.hpp"
 #include "schematic/svg_writer.hpp"
@@ -19,15 +24,31 @@
 
 int main(int argc, char** argv) {
   using namespace na;
-  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  obs::ObsOptions obs;
+  GeneratorOptions cli;  // only --threads/--respec are forwarded to the runs
+  std::string out_dir = ".";
+  try {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const std::vector<std::string> positional =
+        parse_generator_args(args, cli, &obs);
+    if (!positional.empty()) out_dir = positional[0];
+  } catch (const std::exception& e) {
+    std::cerr << "life_game: " << e.what() << '\n';
+    return 2;
+  }
+  obs::obs_begin(obs);
+  obs::MetricsRegistry reg;
   const Network net = gen::life_network();
   std::cout << "LIFE network: " << net.module_count() << " modules, "
             << net.net_count() << " nets\n\n";
 
   int failures = 0;
-  auto run = [&](const char* title, const char* file, bool hand_placed) {
+  auto run = [&](const char* title, const char* file, bool hand_placed,
+                 const char* prefix) {
     Diagram dia(net);
     GeneratorOptions opt;
+    opt.router.threads = cli.router.threads;
+    opt.router.respec_budget = cli.router.respec_budget;
     if (hand_placed) {
       gen::life_hand_placement(dia);
     } else {
@@ -53,13 +74,19 @@ int main(int argc, char** argv) {
     for (const auto& p : problems) std::cout << "PROBLEM: " << p << '\n';
     failures += static_cast<int>(problems.size());
 
+    obs::MetricsRegistry one;
+    obs::absorb(one, result);
+    reg.merge_prefixed(one, prefix);
+
     std::ofstream svg(out_dir + "/" + file);
     write_svg(svg, dia);
     std::cout << "wrote " << out_dir << "/" << file << "\n\n";
   };
 
-  run("figure 6.6: hand placement, automatic routing", "life_hand.svg", true);
-  run("figure 6.7: fully automatic generation", "life_auto.svg", false);
+  run("figure 6.6: hand placement, automatic routing", "life_hand.svg", true,
+      "fig66.");
+  run("figure 6.7: fully automatic generation", "life_auto.svg", false,
+      "fig67.");
 
   // The paper's acceptance test: "the schematic diagram has been simulated
   // ... the results were positive."  The validator above proved the drawn
@@ -73,5 +100,7 @@ int main(int argc, char** argv) {
                       "LIFE — results positive\n"
                     : "simulation FAILED\n");
   failures += static_cast<int>(sim_problems.size());
+  reg.set("life.validation_failures", failures);
+  if (!obs::obs_finish(obs, reg)) return 1;
   return failures == 0 ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 #include "core/generator.hpp"
 #include "core/options.hpp"
 #include "netlist/netlist_io.hpp"
+#include "obs/stats_absorb.hpp"
 #include "schematic/ascii_writer.hpp"
 #include "schematic/eps_writer.hpp"
 #include "schematic/escher_writer.hpp"
@@ -50,9 +51,10 @@ int main(int argc, char** argv) {
   }
 
   GeneratorOptions opt;
+  obs::ObsOptions obs;
   std::vector<std::string> files;
   try {
-    files = parse_generator_args(args, opt);
+    files = parse_generator_args(args, opt, &obs);
   } catch (const std::exception& e) {
     std::cerr << e.what() << '\n';
     return 2;
@@ -72,6 +74,7 @@ int main(int argc, char** argv) {
     const std::string io = files.size() > 2 ? slurp(files[2]) : std::string{};
     const Network net = parse_network(lib, slurp(files[0]), io, slurp(files[1]));
 
+    obs::obs_begin(obs);
     GeneratorResult result;
     const Diagram dia = generate_diagram(net, opt, &result);
     std::cout << result.stats.summary() << '\n';
@@ -92,6 +95,10 @@ int main(int argc, char** argv) {
     std::ofstream(out_prefix + ".es") << to_escher_diagram(dia, out_prefix);
     std::ofstream(out_prefix + ".eps") << to_eps(dia);
     std::cout << "wrote " << out_prefix << ".svg/.txt/.es/.eps\n";
+
+    obs::MetricsRegistry reg;
+    obs::absorb(reg, result);
+    if (!obs::obs_finish(obs, reg)) return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -14,8 +14,10 @@
 
 #include "core/options.hpp"
 #include "netlist/netlist_io.hpp"
+#include "obs/stats_absorb.hpp"
 #include "schematic/escher_reader.hpp"
 #include "schematic/escher_writer.hpp"
+#include "schematic/metrics.hpp"
 #include "schematic/validate.hpp"
 
 namespace {
@@ -46,9 +48,10 @@ int main(int argc, char** argv) {
     }
   }
   GeneratorOptions opt;
+  obs::ObsOptions obs;
   std::vector<std::string> files;
   try {
-    files = parse_generator_args(args, opt);
+    files = parse_generator_args(args, opt, &obs);
     if (files.size() < 2) {
       std::cerr << "usage: pablo [options] <call-file> <netlist-file> [io-file]"
                 << " [-o out.es] [-g preplaced.es]\n"
@@ -63,12 +66,18 @@ int main(int argc, char** argv) {
     if (!preplaced_path.empty()) {
       dia = parse_escher_diagram(net, slurp(preplaced_path));
     }
+    obs::obs_begin(obs);
     const PlacementInfo info = place(dia, opt.placer);
     std::cout << "placed " << net.module_count() << " modules in "
               << info.partitions.size() << " partitions\n";
     for (const auto& p : validate_diagram(dia)) std::cerr << "PROBLEM: " << p << '\n';
     std::ofstream(out_path) << to_escher_diagram(dia, "pablo");
     std::cout << "wrote " << out_path << '\n';
+
+    obs::MetricsRegistry reg;
+    reg.set("place.partitions", static_cast<long long>(info.partitions.size()));
+    obs::absorb(reg, compute_stats(dia));
+    if (!obs::obs_finish(obs, reg)) return 1;
   } catch (const std::exception& e) {
     std::cerr << "pablo: " << e.what() << '\n';
     return 1;

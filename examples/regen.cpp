@@ -7,11 +7,13 @@
 // three edits and prints what each update really cost.
 //
 //   $ ./regen [--threads <n>] [--validate region|full|off]
+//           [--trace <file>] [--stats text|json|off]
 //
 // --threads sets the patch router's worker count; --validate picks how each
 // patched diagram is checked: "region" (default) validates only the dirty
 // hull and escalates on any issue, "full" forces the pre-region whole-
-// diagram check, "off" skips the check entirely.
+// diagram check, "off" skips the check entirely.  --trace records the
+// regen.* stage spans of every update; --stats emits the session totals.
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -21,15 +23,18 @@
 #include "gen/datapath.hpp"
 #include "incremental/edit.hpp"
 #include "incremental/session.hpp"
+#include "obs/stats_absorb.hpp"
 #include "schematic/metrics.hpp"
 #include "schematic/validate.hpp"
 
 namespace {
 
 constexpr const char* kUsage =
-    "usage: regen [--threads <n>] [--validate region|full|off]\n";
+    "usage: regen [--threads <n>] [--validate region|full|off]\n"
+    "             [--trace <file>] [--stats text|json|off]\n";
 
-void parse_args(int argc, char** argv, na::RegenOptions& opt) {
+void parse_args(int argc, char** argv, na::RegenOptions& opt,
+                na::obs::ObsOptions& obs) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -38,6 +43,10 @@ void parse_args(int argc, char** argv, na::RegenOptions& opt) {
     };
     if (arg == "--threads") {
       opt.generator.router.threads = na::parse_int_arg(value(), "--threads", 1);
+    } else if (arg == "--trace") {
+      obs.trace_path = value();
+    } else if (arg == "--stats") {
+      obs.stats = na::obs::parse_stats_mode(value());
     } else if (arg == "--validate") {
       const std::string mode = value();
       if (mode == "region") {
@@ -63,14 +72,16 @@ int main(int argc, char** argv) {
   using namespace na;
 
   RegenOptions opt;
+  obs::ObsOptions obs;
   opt.generator.placer.max_part_size = 5;
   opt.generator.placer.max_box_size = 3;
   try {
-    parse_args(argc, argv, opt);
+    parse_args(argc, argv, opt, obs);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n%s", e.what(), kUsage);
     return 2;
   }
+  obs::obs_begin(obs);
   RegenSession session(opt);
 
   auto show = [&](const char* what) {
@@ -123,5 +134,11 @@ int main(int argc, char** argv) {
               t.updates, t.incremental, t.full_regens);
   std::printf("validation: %d region-scoped, %d whole-diagram, %.2f ms\n",
               t.region_validations, t.full_validations, t.validate_ms);
+
+  obs::MetricsRegistry reg;
+  obs::absorb(reg, t);
+  obs::absorb(reg, session.speculation());
+  obs::absorb(reg, compute_stats(session.diagram()));
+  if (!obs::obs_finish(obs, reg)) return 1;
   return t.incremental >= 3 ? 0 : 1;
 }

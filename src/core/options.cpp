@@ -23,7 +23,8 @@ int parse_int_arg(const std::string& value, const std::string& flag,
 }
 
 std::vector<std::string> parse_generator_args(const std::vector<std::string>& args,
-                                              GeneratorOptions& opt) {
+                                              GeneratorOptions& opt,
+                                              obs::ObsOptions* obs) {
   std::vector<std::string> positional;
   // Size, spacing and margin flags must be non-negative; a stray "-5"
   // would otherwise silently disable partitioning or invert a margin.
@@ -32,6 +33,12 @@ std::vector<std::string> parse_generator_args(const std::vector<std::string>& ar
       throw std::runtime_error("missing value after " + flag);
     }
     return parse_int_arg(args[++i], flag, min_value);
+  };
+  auto next_str = [&](size_t& i, const std::string& flag) -> const std::string& {
+    if (i + 1 >= args.size()) {
+      throw std::runtime_error("missing value after " + flag);
+    }
+    return args[++i];
   };
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -76,6 +83,10 @@ std::vector<std::string> parse_generator_args(const std::vector<std::string>& ar
       // Re-speculation budget of the parallel driver (0 = speculate once,
       // serialize on miss).  Also byte-identical for any value.
       opt.router.respec_budget = next_int(i, a);
+    } else if (obs != nullptr && a == "--trace") {
+      obs->trace_path = next_str(i, a);
+    } else if (obs != nullptr && a == "--stats") {
+      obs->stats = obs::parse_stats_mode(next_str(i, a));
     } else if (a == "-u" || a == "-d" || a == "-l" || a == "-r") {
       // Border-pinning flags of Appendix F; the grid always reserves a
       // margin on all four sides, so these are accepted no-ops.
@@ -91,7 +102,9 @@ std::string generator_usage() {
          "         -i <box-space> -s <module-space|length-first> -m <margin>\n"
          "         -L (Lee) -H (Hightower) -S (segment expansion) -noclaim\n"
          "         -noretry -u -d -l -r --threads <n (0 = all cores, default 1)>\n"
-         "         --respec <retries (re-speculations per invalidated net, default 2)>";
+         "         --respec <retries (re-speculations per invalidated net, default 2)>\n"
+         "         " +
+         std::string(obs::obs_usage());
 }
 
 }  // namespace na

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/generator.hpp"
+#include "obs/obs_options.hpp"
 
 namespace na {
 
@@ -19,8 +20,13 @@ namespace na {
 /// raise std::runtime_error naming the flag (e.g. "bad value 'foo' for
 /// -p"); size, spacing and margin flags reject negative values.  Returns
 /// the non-flag (positional) arguments.
+///
+/// When `obs` is given, the observability flags `--trace <file>` and
+/// `--stats <text|json|off>` are accepted too (rejected as unknown
+/// otherwise) — pass the result to obs::obs_begin/obs_finish.
 std::vector<std::string> parse_generator_args(const std::vector<std::string>& args,
-                                              GeneratorOptions& opt);
+                                              GeneratorOptions& opt,
+                                              obs::ObsOptions* obs = nullptr);
 
 /// Strict full-string integer parse for a flag value: rejects empty
 /// strings, trailing garbage ("5x"), overflow, and — when `min_value` is

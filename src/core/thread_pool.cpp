@@ -31,6 +31,7 @@ void ThreadPool::submit(std::function<void()> task) {
     queues_[next_queue_].push_back(std::move(task));
     next_queue_ = (next_queue_ + 1) % queues_.size();
     ++queued_;
+    stats_.peak_queued = std::max(stats_.peak_queued, queued_);
   }
   work_cv_.notify_one();
 }
@@ -40,8 +41,15 @@ void ThreadPool::submit_urgent(std::function<void()> task) {
     std::lock_guard lock(mu_);
     urgent_.push_back(std::move(task));
     ++queued_;
+    stats_.peak_queued = std::max(stats_.peak_queued, queued_);
+    ++stats_.urgent_submitted;
   }
   work_cv_.notify_one();
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
 }
 
 int ThreadPool::worker_index() { return tl_worker_index; }
@@ -54,6 +62,7 @@ void ThreadPool::worker_loop(int index) {
     if (!urgent_.empty()) {
       task = std::move(urgent_.front());
       urgent_.pop_front();
+      ++stats_.urgent_drained;
     } else if (!queues_[index].empty()) {
       task = std::move(queues_[index].front());
       queues_[index].pop_front();

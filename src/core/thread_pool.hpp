@@ -41,6 +41,16 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
+  /// Scheduling counters for the metrics registry: how deep the queues
+  /// got and how much the urgent lane was used.  Snapshot under the pool
+  /// lock — callable at any time, cheap enough to read once per run.
+  struct Stats {
+    int peak_queued = 0;           ///< high-water mark of waiting tasks
+    long long urgent_submitted = 0;
+    long long urgent_drained = 0;  ///< urgent tasks run by pool workers
+  };
+  Stats stats() const;
+
   int size() const { return static_cast<int>(workers_.size()); }
 
   /// Index of the calling thread within its pool, -1 off-pool.  Lets task
@@ -52,7 +62,7 @@ class ThreadPool {
 
   std::vector<std::deque<std::function<void()>>> queues_;
   std::deque<std::function<void()>> urgent_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::vector<std::thread> workers_;
@@ -60,6 +70,7 @@ class ThreadPool {
   int queued_ = 0;
   int active_ = 0;
   bool stop_ = false;
+  Stats stats_;
 };
 
 }  // namespace na

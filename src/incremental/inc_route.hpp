@@ -30,6 +30,8 @@ struct PatchRouteResult {
   /// `nets_routed` counts kept nets too (they end the pass fully
   /// connected); the patch-specific counters below separate the work.
   RouteReport report;
+  /// Speculation counters of that pass (all zero when it ran sequentially).
+  ParallelRouteStats speculation;
   int nets_kept = 0;      ///< clean nets whose geometry survived verbatim
   int nets_rerouted = 0;  ///< nets (re)routed by this pass
   int nets_extended = 0;  ///< rerouted nets that kept partial geometry

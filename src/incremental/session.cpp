@@ -1,11 +1,13 @@
 #include "incremental/session.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
 #include "incremental/dirty.hpp"
 #include "incremental/inc_place.hpp"
 #include "incremental/inc_route.hpp"
+#include "obs/trace.hpp"
 #include "place/partition.hpp"
 #include "place/boxes.hpp"
 #include "schematic/validate.hpp"
@@ -79,7 +81,22 @@ void RegenSession::account(const RegenCounters& one) {
   totals_.dirty_region = totals_.dirty_region.hull(one.dirty_region);
 }
 
+void RegenSession::account_speculation(const ParallelRouteStats& one) {
+  spec_totals_.nets_speculated += one.nets_speculated;
+  spec_totals_.commits_clean += one.commits_clean;
+  spec_totals_.reroutes += one.reroutes;
+  spec_totals_.nets_gated += one.nets_gated;
+  spec_totals_.nets_respeculated += one.nets_respeculated;
+  spec_totals_.respec_hits += one.respec_hits;
+  spec_totals_.respec_stale += one.respec_stale;
+  spec_totals_.pool_peak_queued =
+      std::max(spec_totals_.pool_peak_queued, one.pool_peak_queued);
+  spec_totals_.pool_urgent_drains += one.pool_urgent_drains;
+}
+
 void RegenSession::full_regen(const Network& next) {
+  NA_TRACE_SPAN(span, "regen.full_regen");
+  span.arg("modules", next.module_count());
   auto net = std::make_unique<Network>(next);
   auto dia = std::make_unique<Diagram>(*net);
   GeneratorResult result = generate(*dia, opt_.generator);
@@ -94,6 +111,7 @@ void RegenSession::full_regen(const Network& next) {
   one.nets_rerouted = result.route.nets_routed;
   one.route_expansions = result.route.total_expansions;
   account(one);
+  account_speculation(result.speculation);
 }
 
 void RegenSession::adopt(const Network& net, const Diagram& dia) {
@@ -110,7 +128,19 @@ const Diagram& RegenSession::update(const Network& next) {
     return *dia_;
   }
 
-  const NetlistDiff diff = diff_networks(*net_, next);
+  const NetlistDiff diff = [&] {
+    NA_TRACE_SPAN(span, "regen.diff");
+    NetlistDiff d = diff_networks(*net_, next);
+    span.arg("modules_changed",
+             static_cast<long long>(d.added_modules.size() +
+                                    d.changed_modules.size() +
+                                    d.removed_modules.size()));
+    span.arg("nets_changed",
+             static_cast<long long>(d.added_nets.size() +
+                                    d.changed_nets.size() +
+                                    d.removed_nets.size()));
+    return d;
+  }();
   if (diff.empty()) {
     RegenCounters one;
     one.updates = 1;
@@ -130,14 +160,28 @@ const Diagram& RegenSession::update(const Network& next) {
 
   auto net = std::make_unique<Network>(next);
   auto dia = std::make_unique<Diagram>(*net);
-  IncPlaceResult placed =
-      incremental_place(*dia, *dia_, diff, dirty, info_, opt_.generator.placer);
+  IncPlaceResult placed = [&] {
+    NA_TRACE_SPAN(span, "regen.patch_place");
+    IncPlaceResult r = incremental_place(*dia, *dia_, diff, dirty, info_,
+                                         opt_.generator.placer);
+    span.arg("feasible", r.feasible ? 1 : 0);
+    span.arg("modules_replaced", r.modules_replaced);
+    span.arg("modules_frozen", r.modules_frozen);
+    return r;
+  }();
   if (!placed.feasible) {  // fallback rule, part 2
     full_regen(next);
     return *dia_;
   }
-  PatchRouteResult routed =
-      patch_route(*dia, *dia_, diff, opt_.generator.router);
+  PatchRouteResult routed = [&] {
+    NA_TRACE_SPAN(span, "regen.patch_route");
+    PatchRouteResult r = patch_route(*dia, *dia_, diff, opt_.generator.router);
+    span.arg("nets_kept", r.nets_kept);
+    span.arg("nets_rerouted", r.nets_rerouted);
+    span.arg("nets_extended", r.nets_extended);
+    span.arg("cells_scrubbed", r.cells_scrubbed);
+    return r;
+  }();
 
   // Region-scoped validity check: only the union of the patched-net hulls
   // and the moved-module footprints (the patch router's dirty_region) is
@@ -147,6 +191,7 @@ const Diagram& RegenSession::update(const Network& next) {
   int full_validations = 0;
   double validate_ms = 0.0;
   if (opt_.validate) {
+    NA_TRACE_SPAN(span, "regen.validate");
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::string> issues;
     if (opt_.validate_full) {
@@ -163,6 +208,9 @@ const Diagram& RegenSession::update(const Network& next) {
     validate_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
+    span.arg("region", region_validations);
+    span.arg("full", full_validations);
+    span.arg("issues", static_cast<long long>(issues.size()));
     if (!issues.empty()) {
       full_regen(next);  // patched diagram broke a drawing rule
       return *dia_;
@@ -188,6 +236,7 @@ const Diagram& RegenSession::update(const Network& next) {
   one.validate_ms = validate_ms;
   one.dirty_region = routed.dirty_region;
   account(one);
+  account_speculation(routed.speculation);
   return *dia_;
 }
 

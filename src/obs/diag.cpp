@@ -1,0 +1,78 @@
+#include "obs/diag.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace na::obs {
+namespace {
+
+struct DiagState {
+  std::mutex mu;
+  std::map<std::string, int> counts;  ///< lines attempted per category
+  std::FILE* sink = nullptr;          ///< nullptr = stderr
+
+  static DiagState& instance() {
+    static DiagState* s = new DiagState;
+    return *s;
+  }
+};
+
+}  // namespace
+
+void diagf(const char* category, int limit, const char* fmt, ...) {
+  char body[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(body, sizeof body, fmt, ap);
+  va_end(ap);
+
+  DiagState& st = DiagState::instance();
+  std::lock_guard lock(st.mu);
+  const int n = ++st.counts[category];
+  std::FILE* out = st.sink != nullptr ? st.sink : stderr;
+  if (n <= limit) {
+    // One stream call per line: no interleaving between threads.
+    char line[600];
+    std::snprintf(line, sizeof line, "na[%s] %s\n", category, body);
+    std::fputs(line, out);
+    std::fflush(out);
+    NA_TRACE_INSTANT(category, {"line", static_cast<long long>(n)});
+  } else if (n == limit + 1) {
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "na[%s] (rate limit %d reached, further lines suppressed)\n",
+                  category, limit);
+    std::fputs(line, out);
+    std::fflush(out);
+  }
+}
+
+int diag_emitted(const char* category) {
+  DiagState& st = DiagState::instance();
+  std::lock_guard lock(st.mu);
+  const auto it = st.counts.find(category);
+  return it == st.counts.end() ? 0 : it->second;
+}
+
+void diag_reset() {
+  DiagState& st = DiagState::instance();
+  std::lock_guard lock(st.mu);
+  st.counts.clear();
+}
+
+void diag_set_sink_for_testing(const char* path) {
+  DiagState& st = DiagState::instance();
+  std::lock_guard lock(st.mu);
+  if (st.sink != nullptr) {
+    std::fclose(st.sink);
+    st.sink = nullptr;
+  }
+  if (path != nullptr) st.sink = std::fopen(path, "w");
+}
+
+}  // namespace na::obs

@@ -1,0 +1,178 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace na::obs {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+// ----- JsonWriter ------------------------------------------------------------
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_items_.empty()) {
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back('{');
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back('[');
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (!has_items_.empty()) {
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+  }
+  out_ += '"';
+  append_escaped(out_, k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  before_value();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ += '"';
+  append_escaped(out_, v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const MetricValue& v) {
+  return v.is_int ? value(v.i) : value(v.d);
+}
+
+// ----- MetricsRegistry -------------------------------------------------------
+
+void MetricsRegistry::set(std::string name, MetricValue v) {
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      e.value = v;
+      return;
+    }
+  }
+  entries_.push_back({std::move(name), v});
+}
+
+void MetricsRegistry::add(std::string name, long long delta) {
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      e.value.i += delta;
+      return;
+    }
+  }
+  entries_.push_back({std::move(name), MetricValue(delta)});
+}
+
+void MetricsRegistry::merge_prefixed(const MetricsRegistry& other,
+                                     std::string_view prefix) {
+  for (const Entry& e : other.entries_) {
+    set(std::string(prefix) + e.name, e.value);
+  }
+}
+
+const MetricValue* MetricsRegistry::find(std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e.value;
+  }
+  return nullptr;
+}
+
+std::string MetricsRegistry::to_text() const {
+  size_t width = 0;
+  for (const Entry& e : entries_) width = std::max(width, e.name.size());
+  std::string out;
+  char buf[64];
+  for (const Entry& e : entries_) {
+    out += e.name;
+    out.append(width + 2 - e.name.size(), ' ');
+    if (e.value.is_int) {
+      std::snprintf(buf, sizeof buf, "%lld", e.value.i);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.3f", e.value.d);
+    }
+    out += buf;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  w.begin_object().field("schema_version", kSchemaVersion).key("metrics").begin_object();
+  for (const Entry& e : entries_) w.field(e.name, e.value);
+  w.end_object().end_object();
+  std::string out = w.take();
+  out += '\n';
+  return out;
+}
+
+}  // namespace na::obs

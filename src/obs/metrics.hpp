@@ -1,0 +1,106 @@
+// Named-counter/timer registry and the one JSON emitter the CLIs, benches
+// and tests share.
+//
+// The registry replaces the three independent, hand-printed stats structs
+// (ParallelRouteStats, RegenCounters, DiagramStats) with a single ordered
+// name -> value table that can be emitted as an aligned text block or a
+// JSON object — one `--stats json` run yields every pipeline counter the
+// paper's Table 6.1-style breakdowns need.  Absorbers that translate the
+// pipeline structs into registry entries live in obs/stats_absorb.hpp
+// (header-only, so na_obs itself stays dependency-free).
+//
+// JsonWriter is the low-level emitter underneath: a comma/escape-correct
+// JSON builder used by MetricsRegistry, the bench BENCH_*.json records and
+// anything else that used to hand-roll fprintf JSON.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace na::obs {
+
+/// A metric value: integer counter or floating timer/ratio.  Implicit
+/// construction keeps absorber code terse.
+struct MetricValue {
+  bool is_int = true;
+  long long i = 0;
+  double d = 0.0;
+
+  MetricValue() = default;
+  MetricValue(int v) : is_int(true), i(v) {}                  // NOLINT
+  MetricValue(long v) : is_int(true), i(v) {}                 // NOLINT
+  MetricValue(long long v) : is_int(true), i(v) {}            // NOLINT
+  MetricValue(double v) : is_int(false), d(v) {}              // NOLINT
+};
+
+/// Incrementally built JSON document.  Handles commas, nesting and string
+/// escaping; numbers are emitted with a fixed format so output is
+/// byte-stable for a fixed input.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(long long v);
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(long v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(double v);  ///< %.3f — timers are milliseconds
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const MetricValue& v);
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void before_value();
+  std::string out_;
+  std::vector<char> stack_;   ///< '{' or '['
+  bool after_key_ = false;
+  std::vector<bool> has_items_;
+};
+
+/// Ordered name -> value table.  set() keeps first-insertion order (so
+/// emission order is the absorption order, stable and diff-friendly) and
+/// overwrites on re-set; add() accumulates into an integer counter.
+class MetricsRegistry {
+ public:
+  void set(std::string name, MetricValue v);
+  void add(std::string name, long long delta);
+  /// Copies every entry of `other` into this registry as `prefix + name`.
+  /// Lets a binary that runs the pipeline twice (life_game's figures 6.6
+  /// and 6.7) keep both runs' counters apart in one emission.
+  void merge_prefixed(const MetricsRegistry& other, std::string_view prefix);
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  /// Lookup for tests; nullptr when absent.
+  const MetricValue* find(std::string_view name) const;
+
+  /// Aligned `name  value` lines.
+  std::string to_text() const;
+  /// One JSON object: {"schema_version": N, "metrics": {...}}.
+  std::string to_json() const;
+
+  /// Format version of to_json() (and of the bench records built on the
+  /// same emitter) — bump when fields change meaning.
+  static constexpr int kSchemaVersion = 2;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricValue value;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace na::obs

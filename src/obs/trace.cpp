@@ -1,0 +1,228 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace na::obs {
+namespace {
+
+/// One recorded event.  Fixed-size — the thread buffers are plain vectors
+/// of these, so recording is a push_back and nothing else.
+struct Event {
+  const char* name;
+  std::uint64_t ts;
+  std::uint64_t dur;
+  char ph;  // 'X' or 'i'
+  std::uint8_t nargs;
+  TraceArg args[kMaxTraceArgs] = {};
+};
+
+/// Per-thread event buffer.  Appended to only by its owning thread; read
+/// by the flushing thread after the owner has quiesced (see the contract
+/// in trace.hpp).  Owned by the registry so it survives thread exit.
+struct ThreadBuffer {
+  int tid = 0;
+  std::vector<Event> events;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::uint64_t epoch = 0;  ///< steady_clock ns at first enable; 0 = unset
+
+  static Registry& instance() {
+    static Registry* r = new Registry;  // leaked: outlives thread exit
+    return *r;
+  }
+};
+
+thread_local ThreadBuffer* tl_buffer = nullptr;
+
+ThreadBuffer& local_buffer() {
+  if (tl_buffer == nullptr) {
+    Registry& reg = Registry::instance();
+    std::lock_guard lock(reg.mu);
+    auto buf = std::make_unique<ThreadBuffer>();
+    buf->tid = static_cast<int>(reg.buffers.size());
+    tl_buffer = buf.get();
+    reg.buffers.push_back(std::move(buf));
+  }
+  return *tl_buffer;
+}
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Chrome trace `ts`/`dur` are microseconds; emit ns-precise decimals.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t now_ns() {
+  const std::uint64_t epoch = Registry::instance().epoch;
+  const std::uint64_t now = steady_ns();
+  return now >= epoch ? now - epoch : 0;
+}
+
+void record_complete(const char* name, std::uint64_t ts, std::uint64_t dur,
+                     const TraceArg* args, int nargs) {
+  ThreadBuffer& buf = local_buffer();
+  Event e{name, ts, dur, 'X', static_cast<std::uint8_t>(nargs), {}};
+  for (int i = 0; i < nargs && i < kMaxTraceArgs; ++i) e.args[i] = args[i];
+  buf.events.push_back(e);
+}
+
+void record_instant(const char* name, const TraceArg* args, int nargs) {
+  ThreadBuffer& buf = local_buffer();
+  Event e{name, now_ns(), 0, 'i', static_cast<std::uint8_t>(nargs), {}};
+  for (int i = 0; i < nargs && i < kMaxTraceArgs; ++i) e.args[i] = args[i];
+  buf.events.push_back(e);
+}
+
+}  // namespace detail
+
+bool trace_compiled_in() { return NA_TRACE_ENABLED != 0; }
+
+void trace_enable() {
+  Registry& reg = Registry::instance();
+  {
+    std::lock_guard lock(reg.mu);
+    if (reg.epoch == 0) reg.epoch = steady_ns();
+  }
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void trace_disable() {
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool trace_enabled() { return detail::on(); }
+
+void trace_reset() {
+  Registry& reg = Registry::instance();
+  std::lock_guard lock(reg.mu);
+  for (auto& buf : reg.buffers) buf->events.clear();
+  reg.epoch = 0;
+}
+
+std::vector<TraceEventView> trace_events() {
+  Registry& reg = Registry::instance();
+  std::vector<TraceEventView> out;
+  {
+    std::lock_guard lock(reg.mu);
+    for (const auto& buf : reg.buffers) {
+      for (std::uint64_t i = 0; i < buf->events.size(); ++i) {
+        const Event& e = buf->events[i];
+        TraceEventView v{e.name, e.ts, e.dur, buf->tid, i, e.ph, {}};
+        v.args.assign(e.args, e.args + e.nargs);
+        out.push_back(std::move(v));
+      }
+    }
+  }
+  // Merge sort: global timestamp order, ties broken by (tid, seq) so the
+  // result is deterministic for a fixed event set.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEventView& a, const TraceEventView& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.seq < b.seq;
+                   });
+  return out;
+}
+
+std::string trace_to_json() {
+  const std::vector<TraceEventView> events = trace_events();
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"traceEvents\":[\n";
+  char buf[64];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEventView& e = events[i];
+    out += "{\"name\":\"";
+    append_json_escaped(out, e.name);
+    out += "\",\"cat\":\"na\",\"ph\":\"";
+    out += e.ph;
+    out += "\",\"ts\":";
+    append_us(out, e.ts);
+    if (e.ph == 'X') {
+      out += ",\"dur\":";
+      append_us(out, e.dur);
+    } else {
+      out += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    std::snprintf(buf, sizeof buf, ",\"pid\":1,\"tid\":%d", e.tid);
+    out += buf;
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      for (size_t a = 0; a < e.args.size(); ++a) {
+        if (a > 0) out += ',';
+        out += '"';
+        append_json_escaped(out, e.args[a].key);
+        out += "\":";
+        if (e.args[a].str != nullptr) {
+          out += '"';
+          append_json_escaped(out, e.args[a].str);
+          out += '"';
+        } else {
+          std::snprintf(buf, sizeof buf, "%lld", e.args[a].value);
+          out += buf;
+        }
+      }
+      out += '}';
+    }
+    out += '}';
+    if (i + 1 < events.size()) out += ',';
+    out += '\n';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool trace_write(const std::string& path) {
+  const std::string json = trace_to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
+}  // namespace na::obs

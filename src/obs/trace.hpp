@@ -1,0 +1,205 @@
+// Low-overhead tracing for the generator pipeline.
+//
+// Design (the measurement substrate every perf PR reports against):
+//   * recording appends fixed-size events to a lock-free thread-local
+//     buffer — no allocation on the hot path beyond the buffer's own
+//     amortised growth, no synchronisation between recording threads;
+//   * a global registry owns every thread buffer (created under a mutex on
+//     a thread's first event, kept alive after the thread exits) so a
+//     flush after the instrumented work has quiesced sees everything;
+//   * flush merges the buffers, stable-sorts by (timestamp, thread,
+//     sequence) — byte-stable for a fixed event set — and serialises to
+//     Chrome trace-event JSON ("X" complete spans, "i" instants), viewable
+//     in chrome://tracing and Perfetto;
+//   * timestamps come from steady_clock, expressed in nanoseconds since
+//     the recorder was enabled.
+//
+// Cost model:
+//   * NA_TRACE=OFF (CMake): the macros expand to nothing — zero code in
+//     the instrumented functions; the recorder API itself stays linkable
+//     so CLI wiring compiles unchanged (it just records nothing).
+//   * compiled in, tracing disabled (the default at runtime): one relaxed
+//     atomic load and a predictable branch per span or instant.
+//   * compiled in and enabled: a steady_clock read per span edge plus one
+//     vector push_back on the thread's private buffer.
+//
+// Thread-safety contract: recording is safe from any number of threads
+// concurrently; trace_to_json()/trace_write()/trace_reset() must be called
+// only when no instrumented work is in flight (after ThreadPool
+// wait_idle()/join — both establish the needed happens-before edge).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef NA_TRACE_ENABLED
+#define NA_TRACE_ENABLED 1
+#endif
+
+namespace na::obs {
+
+/// One span/instant argument: a static-string key with either an integer
+/// or a static-string value.  Keys and string values must outlive the
+/// recorder (string literals in practice) — events store the pointers.
+struct TraceArg {
+  const char* key;
+  long long value;
+  const char* str;  ///< non-null: string argument, `value` ignored
+
+  constexpr TraceArg() : key(nullptr), value(0), str(nullptr) {}
+  constexpr TraceArg(const char* k, long long v) : key(k), value(v), str(nullptr) {}
+  constexpr TraceArg(const char* k, int v) : key(k), value(v), str(nullptr) {}
+  constexpr TraceArg(const char* k, const char* s) : key(k), value(0), str(s) {}
+};
+
+/// True when the tracing macros were compiled in (NA_TRACE=ON).
+bool trace_compiled_in();
+
+/// Runtime switch.  Enabling (re)sets the trace epoch only on the first
+/// enable or after trace_reset(), so disable/enable pairs keep one
+/// continuous timeline.
+void trace_enable();
+void trace_disable();
+bool trace_enabled();
+
+/// Drops every recorded event and clears the epoch.  Buffers of live
+/// threads stay registered.
+void trace_reset();
+
+/// A merged, sorted view of one recorded event — the introspection hook
+/// the tests use to check per-thread monotonicity and nesting without
+/// parsing JSON.
+struct TraceEventView {
+  const char* name;
+  std::uint64_t ts;   ///< ns since epoch
+  std::uint64_t dur;  ///< ns; 0 for instants
+  int tid;            ///< registry-assigned small id (registration order)
+  std::uint64_t seq;  ///< per-thread recording sequence number
+  char ph;            ///< 'X' complete span, 'i' instant
+  std::vector<TraceArg> args;
+};
+
+/// Merge-sorted snapshot of everything recorded so far.
+std::vector<TraceEventView> trace_events();
+
+/// Serialises the merged events as Chrome trace-event JSON.  Byte-stable:
+/// two calls over the same recorded events return identical strings.
+std::string trace_to_json();
+
+/// Writes trace_to_json() to `path`; false (with errno intact) on failure.
+bool trace_write(const std::string& path);
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+
+inline bool on() { return g_enabled.load(std::memory_order_relaxed); }
+
+/// Current ns-since-epoch timestamp (epoch = first enable).
+std::uint64_t now_ns();
+
+void record_complete(const char* name, std::uint64_t ts, std::uint64_t dur,
+                     const TraceArg* args, int nargs);
+void record_instant(const char* name, const TraceArg* args, int nargs);
+
+}  // namespace detail
+
+/// Maximum arguments one span or instant can carry.
+inline constexpr int kMaxTraceArgs = 6;
+
+#if NA_TRACE_ENABLED
+
+/// RAII span: records one complete ("X") event covering its lifetime.
+/// When tracing is disabled at construction the span is inert (one branch
+/// per method).  Arguments added via arg() land on the event.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (detail::on()) {
+      name_ = name;
+      start_ = detail::now_ns();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      detail::record_complete(name_, start_, detail::now_ns() - start_, args_,
+                              nargs_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void arg(const char* key, long long v) {
+    if (name_ != nullptr && nargs_ < kMaxTraceArgs) args_[nargs_++] = {key, v};
+  }
+  void arg(const char* key, int v) { arg(key, static_cast<long long>(v)); }
+  void arg(const char* key, long v) { arg(key, static_cast<long long>(v)); }
+  void arg(const char* key, unsigned v) { arg(key, static_cast<long long>(v)); }
+  void arg(const char* key, size_t v) { arg(key, static_cast<long long>(v)); }
+  void arg(const char* key, const char* s) {
+    if (name_ != nullptr && nargs_ < kMaxTraceArgs) args_[nargs_++] = {key, s};
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+  TraceArg args_[kMaxTraceArgs] = {};
+  int nargs_ = 0;
+};
+
+#define NA_OBS_CONCAT2(a, b) a##b
+#define NA_OBS_CONCAT(a, b) NA_OBS_CONCAT2(a, b)
+
+/// Anonymous span covering the rest of the enclosing scope.
+#define NA_TRACE_SCOPE(name) \
+  ::na::obs::TraceSpan NA_OBS_CONCAT(na_trace_span_, __LINE__)(name)
+
+/// Named span — use when arguments are attached later via `var.arg(...)`.
+#define NA_TRACE_SPAN(var, name) ::na::obs::TraceSpan var(name)
+
+/// Instant event with optional TraceArg-style arguments:
+///   NA_TRACE_INSTANT("route.respec", {"pos", q}, {"net", (long long)n});
+#define NA_TRACE_INSTANT(name, ...)                                     \
+  do {                                                                  \
+    if (::na::obs::detail::on()) {                                      \
+      const ::na::obs::TraceArg na_trace_args_[] = {__VA_ARGS__};       \
+      ::na::obs::detail::record_instant(                                \
+          name, na_trace_args_,                                         \
+          static_cast<int>(sizeof(na_trace_args_) /                     \
+                           sizeof(na_trace_args_[0])));                 \
+    }                                                                   \
+  } while (0)
+
+/// Instant event with no arguments.
+#define NA_TRACE_MARK(name)                                   \
+  do {                                                        \
+    if (::na::obs::detail::on()) {                            \
+      ::na::obs::detail::record_instant(name, nullptr, 0);    \
+    }                                                         \
+  } while (0)
+
+#else  // !NA_TRACE_ENABLED — every macro compiles to nothing.
+
+/// Inert stand-in so `NA_TRACE_SPAN(span, ...); span.arg(...)` still
+/// compiles; the optimiser erases it entirely.
+struct NullTraceSpan {
+  void arg(const char*, long long) {}
+  void arg(const char*, int) {}
+  void arg(const char*, long) {}
+  void arg(const char*, unsigned) {}
+  void arg(const char*, size_t) {}
+  void arg(const char*, const char*) {}
+};
+
+#define NA_TRACE_SCOPE(name) ((void)0)
+#define NA_TRACE_SPAN(var, name) \
+  ::na::obs::NullTraceSpan var;  \
+  (void)var
+#define NA_TRACE_INSTANT(name, ...) ((void)0)
+#define NA_TRACE_MARK(name) ((void)0)
+
+#endif  // NA_TRACE_ENABLED
+
+}  // namespace na::obs

@@ -1,5 +1,6 @@
 #include "place/placer.hpp"
 
+#include "obs/trace.hpp"
 #include "place/partition.hpp"
 #include "place/partition_place.hpp"
 #include "place/terminal_place.hpp"
@@ -69,24 +70,53 @@ PlacementInfo place(Diagram& dia, const PlacerOptions& opt) {
   }
 
   if (free_count > 0) {
-    const PartitionLimits limits{opt.max_part_size, opt.max_connections};
-    auto partitions = partition_network(net, limits, free_mask);
-    for (auto& partition : partitions) {
-      auto boxes = form_boxes(net, partition, opt.max_box_size);
+    // Pipeline steps 1-4 (see the header comment): each carries a trace
+    // span named after the paper's phase so one traced run yields the
+    // Table 6.1-style per-phase breakdown.
+    std::vector<std::vector<ModuleId>> partitions;
+    {
+      NA_TRACE_SPAN(span, "place.partition");
+      const PartitionLimits limits{opt.max_part_size, opt.max_connections};
+      partitions = partition_network(net, limits, free_mask);
+      span.arg("partitions", static_cast<long long>(partitions.size()));
+      span.arg("free_modules", free_count);
+    }
+    for (size_t pi = 0; pi < partitions.size(); ++pi) {
+      auto& partition = partitions[pi];
+      const int part_idx = static_cast<int>(pi);
+      std::vector<Box> boxes;
+      {
+        NA_TRACE_SPAN(span, "place.box_form");
+        span.arg("partition", part_idx);
+        boxes = form_boxes(net, partition, opt.max_box_size);
+        span.arg("boxes", static_cast<long long>(boxes.size()));
+      }
       std::vector<BoxLayout> box_layouts;
       box_layouts.reserve(boxes.size());
-      for (const Box& b : boxes) {
-        box_layouts.push_back(place_box_modules(net, b, opt.module_spacing));
+      {
+        NA_TRACE_SPAN(span, "place.module_place");
+        span.arg("partition", part_idx);
+        for (const Box& b : boxes) {
+          box_layouts.push_back(place_box_modules(net, b, opt.module_spacing));
+        }
       }
-      layouts.push_back(place_boxes(net, std::move(box_layouts), opt.box_spacing));
+      {
+        NA_TRACE_SPAN(span, "place.box_place");
+        span.arg("partition", part_idx);
+        layouts.push_back(
+            place_boxes(net, std::move(box_layouts), opt.box_spacing));
+      }
       fixed_pos.emplace_back(std::nullopt);
       info.boxes.push_back(std::move(boxes));
       info.partitions.push_back(std::move(partition));
     }
   }
 
-  FullLayout full =
-      place_partitions(net, std::move(layouts), opt.partition_spacing, fixed_pos);
+  FullLayout full = [&] {
+    NA_TRACE_SCOPE("place.partition_place");
+    return place_partitions(net, std::move(layouts), opt.partition_spacing,
+                            fixed_pos);
+  }();
 
   // Commit absolute module positions.
   for (size_t p = 0; p < full.partitions.size(); ++p) {
@@ -102,7 +132,10 @@ PlacementInfo place(Diagram& dia, const PlacerOptions& opt) {
     }
   }
 
-  place_system_terminals(dia);
+  {
+    NA_TRACE_SCOPE("place.terminal_place");
+    place_system_terminals(dia);
+  }
   if (fixed_modules.empty()) dia.normalize();
   return info;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/thread_pool.hpp"
+#include "obs/trace.hpp"
 #include "route/dijkstra.hpp"
 #include "route/net_order.hpp"
 
@@ -92,11 +94,13 @@ bool speculation_exact(const ObservedMask& observed,
   return true;
 }
 
-NetTaskResult route_single_net(RoutingGrid& grid, const Diagram& dia, NetId n,
-                               std::vector<TermId> todo, const RouterOptions& opt,
-                               bool has_geometry, SearchWorkspace& ws,
-                               ObservedMask* observed,
-                               std::vector<RoutingGrid::TrackWrite>* occupancy) {
+namespace {
+
+NetTaskResult route_single_net_impl(RoutingGrid& grid, const Diagram& dia, NetId n,
+                                    std::vector<TermId> todo, const RouterOptions& opt,
+                                    bool has_geometry, SearchWorkspace& ws,
+                                    ObservedMask* observed,
+                                    std::vector<RoutingGrid::TrackWrite>* occupancy) {
   NetTaskResult out;
   if (todo.empty()) return out;
 
@@ -221,6 +225,31 @@ NetTaskResult route_single_net(RoutingGrid& grid, const Diagram& dia, NetId n,
   return out;
 }
 
+}  // namespace
+
+NetTaskResult route_single_net(RoutingGrid& grid, const Diagram& dia, NetId n,
+                               std::vector<TermId> todo, const RouterOptions& opt,
+                               bool has_geometry, SearchWorkspace& ws,
+                               ObservedMask* observed,
+                               std::vector<RoutingGrid::TrackWrite>* occupancy) {
+  // Per-net telemetry span shared by every driver: the sequential pass,
+  // the speculative workers (worker >= 0, speculative = 1) and the
+  // committer's serial re-routes all funnel through here.
+  NA_TRACE_SPAN(span, "route.net");
+  NetTaskResult out =
+      route_single_net_impl(grid, dia, n, std::move(todo), opt, has_geometry,
+                            ws, observed, occupancy);
+  span.arg("net", n);
+  span.arg("worker", ThreadPool::worker_index());
+  span.arg("speculative", observed != nullptr ? 1 : 0);
+  long long expansions = 0;
+  for (const SearchResult& c : out.connections) expansions += c.expansions;
+  span.arg("expansions", expansions);
+  span.arg("connections", static_cast<long long>(out.connections.size()));
+  span.arg("failed_terms", static_cast<long long>(out.failed.size()));
+  return out;
+}
+
 void DriverSetup::release_claims(NetId n, std::vector<CellOp>* ops) {
   for (auto& [cell, owner] : claims) {
     if (owner == n) {
@@ -320,6 +349,7 @@ void retry_pass(Diagram& dia, const RouterOptions& opt, DriverSetup& setup,
                 const std::vector<NetId>& order, RouteReport& report,
                 SearchWorkspace& ws) {
   if (!opt.retry_failed) return;
+  NA_TRACE_SCOPE("route.retry");
   for (auto& [cell, owner] : setup.claims) {
     if (owner != kNone) setup.grid.clear_claim(cell);
   }

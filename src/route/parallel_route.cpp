@@ -1,6 +1,5 @@
 #include "route/parallel_route.hpp"
 
-#include <cstdio>
 #include <cstdlib>
 
 #include <algorithm>
@@ -14,6 +13,8 @@
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "obs/diag.hpp"
+#include "obs/trace.hpp"
 #include "route/net_task.hpp"
 
 namespace na {
@@ -147,6 +148,11 @@ RouteReport parallel_route_all(Diagram& dia, const RouterOptions& opt,
   // dispatched by the committer within the window and skip the wait.
   std::function<void(int, NetId, std::vector<TermId>, bool, bool)> run_task =
       [&](int p, NetId n, std::vector<TermId> todo, bool hasgeo, bool initial) {
+    NA_TRACE_SPAN(task_span, "route.speculate");
+    task_span.arg("pos", p);
+    task_span.arg("net", n);
+    task_span.arg("worker", ThreadPool::worker_index());
+    task_span.arg("initial", initial ? 1 : 0);
     Worker& w = workers[ThreadPool::worker_index()];
     if (!w.grid) w.grid.emplace(initial_grid);
     auto out = std::make_unique<Outcome>();
@@ -171,6 +177,7 @@ RouteReport parallel_route_all(Diagram& dia, const RouterOptions& opt,
       out->epoch = epoch;
       out->validated_to = epoch;
     }
+    task_span.arg("epoch", out->epoch);
     out->observed.reset(w.grid->area());
     w.occupancy.clear();
     out->result =
@@ -215,10 +222,17 @@ RouteReport parallel_route_all(Diagram& dia, const RouterOptions& opt,
   // ----- pass 1: in-order commit ---------------------------------------------
   SearchWorkspace committer_ws;
   std::vector<RoutingGrid::TrackWrite> track_writes;
+  {
+  NA_TRACE_SPAN(pass_span, "route.pass1");
+  pass_span.arg("threads", threads);
+  pass_span.arg("nets", npos);
   for (int p = 0; p < npos; ++p) {
     const NetId n = order[p];
     std::vector<CellOp> ops;
     if (!setup.pending[n].empty()) {
+      NA_TRACE_SPAN(commit_span, "route.commit");
+      commit_span.arg("pos", p);
+      commit_span.arg("net", n);
       std::unique_ptr<Outcome> out;
       bool exact = false;
       if (speculated[p]) {
@@ -268,18 +282,24 @@ RouteReport parallel_route_all(Diagram& dia, const RouterOptions& opt,
                                        setup.has_geometry[n], committer_ws,
                                        nullptr, &track_writes);
       }
+      const char* outcome = !speculated[p] ? "gated" : exact ? "clean" : "reroute";
+      commit_span.arg("outcome", outcome);
+      commit_span.arg("attempts", attempts[p]);
+      commit_span.arg("lag", out ? p - out->epoch : -1);
       if (std::getenv("NA_PAR_DEBUG")) {
         // Per-position trace: lag/marked for speculated nets (lag=-1 for
         // gated ones), whether the commit was exact, and the committed
         // searches' expansion count — the serial-share input of the
-        // critical-path model in EXPERIMENTS.md.
+        // critical-path model in EXPERIMENTS.md.  Routed through the obs
+        // diagnostic channel: one atomic line per net, rate-limited so a
+        // huge run cannot flood stderr, and always naming the net.
         long exp = 0;
         for (const SearchResult& c : res.connections) exp += c.expansions;
-        std::fprintf(stderr,
-                     "net p=%d lag=%d marked=%d attempts=%d exact=%d exp=%ld\n",
-                     p, out ? p - out->epoch : -1,
-                     out ? out->observed.marked_count() : 0, attempts[p],
-                     (int)exact, exp);
+        obs::diagf("route.par", /*limit=*/512,
+                   "net=%d p=%d lag=%d marked=%d attempts=%d outcome=%s exp=%ld",
+                   n, p, out ? p - out->epoch : -1,
+                   out ? out->observed.marked_count() : 0, attempts[p], outcome,
+                   exp);
       }
       for (const RoutingGrid::TrackWrite& t : track_writes) {
         ops.push_back({t.p, t.horizontal ? CellOp::kSetH : CellOp::kSetV, n});
@@ -351,6 +371,15 @@ RouteReport parallel_route_all(Diagram& dia, const RouterOptions& opt,
     }
   }
   pool.wait_idle();
+  }
+
+  // Scheduling counters for the metrics registry: how hard the urgent
+  // lane worked and how deep the queues got.  Inline drains by
+  // window-parked workers bypass the pool, so drained < submitted is
+  // normal — the difference is exactly the inline-drain count.
+  const ThreadPool::Stats pool_stats = pool.stats();
+  stats->pool_peak_queued = pool_stats.peak_queued;
+  stats->pool_urgent_drains = static_cast<int>(pool_stats.urgent_drained);
 
   // ----- pass 2 + accounting: identical to the sequential driver -------------
   detail::retry_pass(dia, opt, setup, order, report, committer_ws);

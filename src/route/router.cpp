@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "route/net_task.hpp"
 #include "route/parallel_route.hpp"
 
@@ -47,15 +48,20 @@ RouteReport route_all(Diagram& dia, const RouterOptions& opt,
   detail::SearchWorkspace ws;
 
   // ----- pass 1 --------------------------------------------------------------
-  for (NetId n : order) {
-    if (setup.pending[n].empty()) continue;
-    setup.release_claims(n);
-    detail::NetTaskResult res =
-        detail::route_single_net(setup.grid, dia, n, std::move(setup.pending[n]),
-                                 opt, setup.has_geometry[n], ws);
-    detail::commit_connections(dia, n, res, setup, report);
-    setup.pending[n] = std::move(res.failed);
-    for (TermId t : setup.pending[n]) setup.restore_claim(dia, opt, t, n);
+  {
+    NA_TRACE_SPAN(span, "route.pass1");
+    span.arg("threads", 1);
+    span.arg("nets", static_cast<long long>(order.size()));
+    for (NetId n : order) {
+      if (setup.pending[n].empty()) continue;
+      setup.release_claims(n);
+      detail::NetTaskResult res =
+          detail::route_single_net(setup.grid, dia, n, std::move(setup.pending[n]),
+                                   opt, setup.has_geometry[n], ws);
+      detail::commit_connections(dia, n, res, setup, report);
+      setup.pending[n] = std::move(res.failed);
+      for (TermId t : setup.pending[n]) setup.restore_claim(dia, opt, t, n);
+    }
   }
 
   // ----- pass 2: retry after every claim is gone (section 5.7) ---------------

@@ -123,6 +123,10 @@ struct ParallelRouteStats {
   int nets_respeculated = 0; ///< re-speculation dispatches after invalidation
   int respec_hits = 0;       ///< nets whose committed result came from a re-speculation
   int respec_stale = 0;      ///< re-speculated nets that still validated stale
+  /// Scheduling counters of the worker pool behind the run (obs layer):
+  /// deepest the queues got, and urgent-lane tasks drained by workers.
+  int pool_peak_queued = 0;
+  int pool_urgent_drains = 0;
 };
 
 struct RouteReport {

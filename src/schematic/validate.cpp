@@ -1,5 +1,7 @@
 #include "schematic/validate.hpp"
 
+#include "obs/trace.hpp"
+
 #include <cstdint>
 #include <optional>
 #include <queue>
@@ -273,13 +275,19 @@ std::vector<std::string> validate_impl(const Diagram& dia,
 }  // namespace
 
 std::vector<std::string> validate_diagram(const Diagram& dia, bool require_all_routed) {
-  return validate_impl(dia, require_all_routed, nullptr);
+  NA_TRACE_SPAN(span, "validate.full");
+  auto problems = validate_impl(dia, require_all_routed, nullptr);
+  span.arg("issues", static_cast<long long>(problems.size()));
+  return problems;
 }
 
 std::vector<std::string> validate_region(const Diagram& dia, geom::Rect region,
                                          bool require_all_routed) {
+  NA_TRACE_SPAN(span, "validate.region");
   if (region.empty()) return {};
-  return validate_impl(dia, require_all_routed, &region);
+  auto problems = validate_impl(dia, require_all_routed, &region);
+  span.arg("issues", static_cast<long long>(problems.size()));
+  return problems;
 }
 
 }  // namespace na

@@ -39,7 +39,7 @@ std::unordered_map<std::string, Behavior> builtin_behaviors() {
   });
   b["adder"] = comb([](Simulator& s, ModuleId m) {
     const bool a = in(s, m, "a"), x = in(s, m, "b"), c = in(s, m, "cin");
-    s.output(m, "s", a != x != c);
+    s.output(m, "s", (a != x) != c);
     s.output(m, "cout", (a && x) || (a && c) || (x && c));
   });
   b["alu"] = comb([](Simulator& s, ModuleId m) {

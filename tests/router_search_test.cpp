@@ -21,7 +21,7 @@ SearchProblem p2p(NetId net, geom::Point from, std::optional<geom::Dir> from_dir
   return p;
 }
 
-int bends_of(const std::vector<geom::Point>& path) {
+[[maybe_unused]] int bends_of(const std::vector<geom::Point>& path) {
   return static_cast<int>(path.size()) - 2;  // corner list: inner points
 }
 
