@@ -1,0 +1,132 @@
+// Scale tier — synthetic grid meshes at 1k/10k/100k modules, placed and
+// routed end-to-end, with the sharded router A/B'd against the
+// single-shard sequential driver at 10k.
+//
+// Emits BENCH_scale.json: one record per (size, configuration) with
+// modules/sec, peak RSS, shard balance and the stitch-net share — the
+// numbers EXPERIMENTS.md's "Scale tier" table quotes.
+//
+// NA_SCALE_MAX_MODULES caps the sweep (the ctest `scale` smoke runs with
+// 1000 so the default suite stays fast; the full 10k/100k sweep is
+// bench-only).
+#include <chrono>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "gen/synth.hpp"
+#include "place/placer.hpp"
+#include "route/shard_route.hpp"
+
+namespace {
+
+using namespace na;
+using namespace na::bench;
+
+GeneratorOptions scale_options() {
+  GeneratorOptions opt;
+  opt.placer.max_part_size = 8;
+  opt.placer.max_box_size = 4;
+  opt.placer.max_connections = 16;
+  opt.router.margin = 6;
+  return opt;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct RunResult {
+  double place_s = 0;
+  double route_s = 0;
+  RouteReport report;
+  ShardRouteStats shard_stats;
+};
+
+/// Places a fresh diagram and routes it with the given shard setup.
+RunResult run_one(const Network& net, const GeneratorOptions& opt,
+                  const ShardOptions& sopt, Diagram* out = nullptr) {
+  RunResult r;
+  Diagram dia(net);
+  auto t0 = std::chrono::steady_clock::now();
+  place(dia, opt.placer);
+  r.place_s = seconds_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  r.report = shard_route_all(dia, opt.router, sopt, &r.shard_stats);
+  r.route_s = seconds_since(t0);
+  if (out != nullptr) *out = std::move(dia);
+  return r;
+}
+
+void record(const char* config, int modules, int nets, const RunResult& r) {
+  const double total_s = r.place_s + r.route_s;
+  const double mps = total_s > 0 ? modules / total_s : 0;
+  const double stitch_share =
+      r.shard_stats.nets_intra + r.shard_stats.nets_stitch > 0
+          ? static_cast<double>(r.shard_stats.nets_stitch) /
+                (r.shard_stats.nets_intra + r.shard_stats.nets_stitch)
+          : 0.0;
+  std::printf(
+      "%-28s %8d modules  place %8.1f ms  route %9.1f ms  %8.0f mod/s  "
+      "unrouted %d  stitch %4.1f%%  balance %.2f  rss %lld MB\n",
+      config, modules, r.place_s * 1e3, r.route_s * 1e3, mps,
+      r.report.nets_failed, stitch_share * 100, r.shard_stats.balance,
+      obs::peak_rss_bytes() >> 20);
+  bench_json_add("scale", config, r.route_s * 1e3, r.report.total_expansions,
+                 {{"modules", modules},
+                  {"nets", nets},
+                  {"place_ms", r.place_s * 1e3},
+                  {"modules_per_sec", mps},
+                  {"unrouted", r.report.nets_failed},
+                  {"shards", static_cast<int>(r.shard_stats.shard_nets.size())},
+                  {"stitch_share", stitch_share},
+                  {"shard_balance", r.shard_stats.balance},
+                  {"peak_rss_bytes", obs::peak_rss_bytes()}});
+}
+
+}  // namespace
+
+int main() {
+  const long cap = [] {
+    const char* env = std::getenv("NA_SCALE_MAX_MODULES");
+    return env != nullptr ? std::atol(env) : 200000L;
+  }();
+  const GeneratorOptions opt = scale_options();
+
+  std::printf("\n=== scale tier — synthetic grid mesh, sharded routing ===\n");
+  struct Tier {
+    int modules;
+    int shards;
+  };
+  for (const Tier tier : {Tier{1000, 4}, Tier{10000, 8}, Tier{100000, 16}}) {
+    if (tier.modules > cap) continue;
+    gen::SynthOptions sopt;
+    sopt.topology = gen::SynthTopology::GridMesh;
+    sopt.modules = tier.modules;
+    sopt.seed = 1;
+    const Network net = gen::synth_network(sopt);
+
+    ShardOptions shard;
+    shard.shards = tier.shards;
+    shard.threads = 4;
+    const std::string cfg = "mesh" + std::to_string(tier.modules) + " shards=" +
+                            std::to_string(tier.shards);
+    Diagram routed(net);
+    const RunResult sharded = run_one(net, opt, shard, &routed);
+    record(cfg.c_str(), net.module_count(), net.net_count(), sharded);
+    if (tier.modules <= 10000) require_valid(routed, cfg.c_str());
+
+    // A/B at 10k: the same workload on the single-shard sequential driver.
+    if (tier.modules == 10000) {
+      const RunResult baseline = run_one(net, opt, ShardOptions{1, 16, 1});
+      record("mesh10000 shards=1 (base)", net.module_count(), net.net_count(),
+             baseline);
+      std::printf("10k speedup (route wall-clock): %.2fx\n",
+                  baseline.route_s / sharded.route_s);
+      bench_json_add("scale", "mesh10000 speedup", sharded.route_s * 1e3, 0,
+                     {{"speedup", baseline.route_s / sharded.route_s}});
+    }
+  }
+  bench_json_write("BENCH_scale.json");
+  return 0;
+}

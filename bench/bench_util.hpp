@@ -94,17 +94,28 @@ inline void require_valid(const Diagram& dia, const char* what) {
   }
 }
 
+/// The one table every bench's paper-vs-measured block renders through
+/// (obs::MetricsTable does the layout; the per-bench printf format strings
+/// are gone).  Rows accumulate across print_header calls, which is fine:
+/// each row is printed the moment it is added.
+inline obs::MetricsTable& bench_table() {
+  static obs::MetricsTable table(
+      "configuration", {"modules", "nets", "unrouted", "bends", "cross",
+                        "length", "width", "height"});
+  return table;
+}
+
 inline void print_header(const char* title, const char* paper_claim) {
   std::printf("\n=== %s ===\n", title);
   std::printf("paper: %s\n", paper_claim);
-  std::printf("%-26s %8s %6s %9s %6s %6s %7s %7s\n", "configuration", "modules",
-              "nets", "unrouted", "bends", "cross", "length", "area");
+  std::fputs(bench_table().header_text().c_str(), stdout);
 }
 
 inline void print_row(const std::string& name, const DiagramStats& s) {
-  std::printf("%-26s %8d %6d %9d %6d %6d %7d %dx%d\n", name.c_str(), s.modules,
-              s.nets, s.unrouted, s.bends, s.crossings, s.wire_length, s.width,
-              s.height);
+  obs::MetricsTable& t = bench_table();
+  t.add_row(name, {s.modules, s.nets, s.unrouted, s.bends, s.crossings,
+                   s.wire_length, s.width, s.height});
+  std::fputs(t.row_text(t.rows() - 1).c_str(), stdout);
 }
 
 // ----- machine-readable timing records ---------------------------------------

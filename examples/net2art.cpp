@@ -3,17 +3,20 @@
 // and writes SVG, ASCII and ESCHER-style output.
 //
 //   $ ./net2art <call-file> <netlist-file> [io-file] [-o out_prefix] [flags]
+//   $ ./net2art --synth <topology>:<modules>[:<seed>[:<fanout>]] [flags]
 //
 // Flags are the historical PABLO/EUREKA options (see core/options.hpp).
 // Module templates are resolved against the built-in standard cell library;
 // unknown templates can be supplied as Appendix-B descriptions via
-// `-lib <file>` (one module per file, repeatable).
+// `-lib <file>` (one module per file, repeatable).  `--synth` replaces the
+// input files with a seeded synthetic network (topology: grid, torus, dag).
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "core/generator.hpp"
 #include "core/options.hpp"
+#include "gen/synth.hpp"
 #include "netlist/netlist_io.hpp"
 #include "obs/stats_absorb.hpp"
 #include "schematic/ascii_writer.hpp"
@@ -32,12 +35,37 @@ std::string slurp(const std::string& path) {
   return ss.str();
 }
 
+/// Parses "<topology>:<modules>[:<seed>[:<fanout>]]", e.g. "grid:1000",
+/// "torus:256:7", "dag:5000:1:2.5".
+na::gen::SynthOptions parse_synth_spec(const std::string& spec) {
+  na::gen::SynthOptions o;
+  std::istringstream ss(spec);
+  std::string field;
+  if (!std::getline(ss, field, ':')) {
+    throw std::runtime_error("--synth: empty spec");
+  }
+  const auto topo = na::gen::parse_topology(field);
+  if (!topo) {
+    throw std::runtime_error("--synth: unknown topology '" + field +
+                             "' (grid, torus, dag)");
+  }
+  o.topology = *topo;
+  if (!std::getline(ss, field, ':')) {
+    throw std::runtime_error("--synth: missing module count");
+  }
+  o.modules = std::stoi(field);
+  if (std::getline(ss, field, ':')) o.seed = std::stoull(field);
+  if (std::getline(ss, field, ':')) o.fanout_mean = std::stod(field);
+  return o;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace na;
   std::vector<std::string> args;
   std::string out_prefix = "diagram";
+  std::string synth_spec;
   std::vector<std::string> lib_files;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -45,6 +73,8 @@ int main(int argc, char** argv) {
       out_prefix = argv[++i];
     } else if (a == "-lib" && i + 1 < argc) {
       lib_files.push_back(argv[++i]);
+    } else if (a == "--synth" && i + 1 < argc) {
+      synth_spec = argv[++i];
     } else {
       args.push_back(a);
     }
@@ -59,9 +89,11 @@ int main(int argc, char** argv) {
     std::cerr << e.what() << '\n';
     return 2;
   }
-  if (files.size() < 2) {
+  if (synth_spec.empty() && files.size() < 2) {
     std::cerr << "usage: net2art <call-file> <netlist-file> [io-file] [-o prefix]"
               << " [-lib module-file]...\n"
+              << "       net2art --synth <topology>:<modules>[:<seed>[:<fanout>]]"
+              << " (topology: grid, torus, dag)\n"
               << generator_usage() << '\n';
     return 2;
   }
@@ -71,8 +103,13 @@ int main(int argc, char** argv) {
     for (const std::string& f : lib_files) {
       lib.add(parse_module_description(slurp(f)));
     }
-    const std::string io = files.size() > 2 ? slurp(files[2]) : std::string{};
-    const Network net = parse_network(lib, slurp(files[0]), io, slurp(files[1]));
+    Network net;
+    if (!synth_spec.empty()) {
+      net = gen::synth_network(parse_synth_spec(synth_spec));
+    } else {
+      const std::string io = files.size() > 2 ? slurp(files[2]) : std::string{};
+      net = parse_network(lib, slurp(files[0]), io, slurp(files[1]));
+    }
 
     obs::obs_begin(obs);
     GeneratorResult result;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace na {
 namespace {
 thread_local int tl_worker_index = -1;
@@ -32,6 +34,7 @@ void ThreadPool::submit(std::function<void()> task) {
     next_queue_ = (next_queue_ + 1) % queues_.size();
     ++queued_;
     stats_.peak_queued = std::max(stats_.peak_queued, queued_);
+    NA_TRACE_COUNTER("pool.queue", "queued", queued_);
   }
   work_cv_.notify_one();
 }
@@ -43,6 +46,7 @@ void ThreadPool::submit_urgent(std::function<void()> task) {
     ++queued_;
     stats_.peak_queued = std::max(stats_.peak_queued, queued_);
     ++stats_.urgent_submitted;
+    NA_TRACE_COUNTER("pool.queue", "queued", queued_);
   }
   work_cv_.notify_one();
 }
@@ -79,6 +83,7 @@ void ThreadPool::worker_loop(int index) {
     }
     if (task) {
       --queued_;
+      NA_TRACE_COUNTER("pool.queue", "queued", queued_);
       ++active_;
       lock.unlock();
       task();

@@ -6,6 +6,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "geom/polyline.hpp"
+
 namespace na {
 namespace {
 
@@ -245,7 +247,20 @@ PatchRouteResult patch_route(Diagram& dia, const Diagram& old_dia,
       if (!polyline_dirty(pl, stale)) {
         candidates.push_back(pl);
       } else {
-        region = polyline_hull(region, pl);  // scrubbed: part of the patch
+        // Split at segment granularity: only the dirty segments are
+        // scrubbed into the patch region, the clean runs survive as
+        // candidates — a long net crossing the region keeps its clean
+        // middle instead of being re-searched whole.  Cuts land on the
+        // net's own corners; build_grid seals such mid-plane endpoints
+        // in both orientations, so no foreign net can touch the node.
+        for (size_t i = 0; i + 1 < pl.size(); ++i) {
+          const geom::Segment seg{pl[i], pl[i + 1]};
+          if (segment_dirty(seg, stale)) region = region.hull(seg.bounds());
+        }
+        auto pieces = geom::split_polyline(pl, [&](const geom::Segment& seg) {
+          return !segment_dirty(seg, stale);
+        });
+        for (auto& piece : pieces) candidates.push_back(std::move(piece));
       }
     }
     if (candidates.empty()) continue;  // nothing survives: full re-route

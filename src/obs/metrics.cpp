@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace na::obs {
 namespace {
 
@@ -173,6 +177,90 @@ std::string MetricsRegistry::to_json() const {
   std::string out = w.take();
   out += '\n';
   return out;
+}
+
+// ----- MetricsTable ----------------------------------------------------------
+
+namespace {
+
+std::string render_cell(const MetricValue& v) {
+  char buf[64];
+  if (v.is_int) {
+    std::snprintf(buf, sizeof buf, "%lld", v.i);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", v.d);
+  }
+  return buf;
+}
+
+}  // namespace
+
+MetricsTable::MetricsTable(std::string label_header,
+                           std::vector<std::string> columns, int label_width,
+                           int min_width)
+    : label_header_(std::move(label_header)),
+      columns_(std::move(columns)),
+      label_width_(label_width),
+      min_width_(min_width) {
+  label_width_ = std::max<int>(label_width_, static_cast<int>(label_header_.size()));
+}
+
+void MetricsTable::add_row(std::string label, std::vector<MetricValue> values) {
+  rows_.push_back({std::move(label), std::move(values)});
+}
+
+std::string MetricsTable::header_text() const {
+  std::string out = label_header_;
+  out.append(label_width_ - label_header_.size(), ' ');
+  for (const std::string& col : columns_) {
+    const int width = std::max<int>(min_width_, static_cast<int>(col.size()));
+    out += ' ';
+    out.append(width - col.size(), ' ');
+    out += col;
+  }
+  out += '\n';
+  return out;
+}
+
+std::string MetricsTable::row_text(size_t i) const {
+  const Row& row = rows_[i];
+  std::string out = row.label;
+  if (static_cast<int>(row.label.size()) < label_width_) {
+    out.append(label_width_ - row.label.size(), ' ');
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const int width =
+        std::max<int>(min_width_, static_cast<int>(columns_[c].size()));
+    const std::string cell =
+        c < row.values.size() ? render_cell(row.values[c]) : std::string();
+    out += ' ';
+    if (static_cast<int>(cell.size()) < width) {
+      out.append(width - cell.size(), ' ');
+    }
+    out += cell;
+  }
+  out += '\n';
+  return out;
+}
+
+std::string MetricsTable::to_text() const {
+  std::string out = header_text();
+  for (size_t i = 0; i < rows_.size(); ++i) out += row_text(i);
+  return out;
+}
+
+long long peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<long long>(ru.ru_maxrss);  // bytes
+#else
+  return static_cast<long long>(ru.ru_maxrss) * 1024;  // KiB
+#endif
+#else
+  return 0;
+#endif
 }
 
 }  // namespace na::obs

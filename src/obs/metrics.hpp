@@ -103,4 +103,40 @@ class MetricsRegistry {
   std::vector<Entry> entries_;
 };
 
+/// Aligned text table over MetricValue cells — the shared renderer behind
+/// the benches' paper-vs-measured tables (one formatting path next to the
+/// registry instead of a printf format string per bench).  Column widths
+/// are fixed up front (header text or `min_width`, whichever is wider), so
+/// a row can be rendered and printed the moment it is computed.
+class MetricsTable {
+ public:
+  MetricsTable(std::string label_header, std::vector<std::string> columns,
+               int label_width = 26, int min_width = 6);
+
+  /// Appends a row: `label` left-aligned in the first column, one value
+  /// per remaining column right-aligned.  Missing trailing values render
+  /// empty.
+  void add_row(std::string label, std::vector<MetricValue> values);
+
+  size_t rows() const { return rows_.size(); }
+  std::string header_text() const;
+  std::string row_text(size_t i) const;
+  std::string to_text() const;  ///< header plus every row
+
+ private:
+  std::string label_header_;
+  std::vector<std::string> columns_;
+  int label_width_;
+  int min_width_;
+  struct Row {
+    std::string label;
+    std::vector<MetricValue> values;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Peak resident set size of this process in bytes; 0 when the platform
+/// doesn't expose it.  The scale benches report it next to modules/sec.
+long long peak_rss_bytes();
+
 }  // namespace na::obs

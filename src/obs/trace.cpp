@@ -117,6 +117,13 @@ void record_instant(const char* name, const TraceArg* args, int nargs) {
   buf.events.push_back(e);
 }
 
+void record_counter(const char* name, const char* series, long long value) {
+  ThreadBuffer& buf = local_buffer();
+  Event e{name, now_ns(), 0, 'C', 1, {}};
+  e.args[0] = {series, value};
+  buf.events.push_back(e);
+}
+
 }  // namespace detail
 
 bool trace_compiled_in() { return NA_TRACE_ENABLED != 0; }
@@ -185,9 +192,9 @@ std::string trace_to_json() {
     if (e.ph == 'X') {
       out += ",\"dur\":";
       append_us(out, e.dur);
-    } else {
+    } else if (e.ph == 'i') {
       out += ",\"s\":\"t\"";  // thread-scoped instant
-    }
+    }  // counters ('C') carry only their args
     std::snprintf(buf, sizeof buf, ",\"pid\":1,\"tid\":%d", e.tid);
     out += buf;
     if (!e.args.empty()) {

@@ -77,7 +77,7 @@ struct TraceEventView {
   std::uint64_t dur;  ///< ns; 0 for instants
   int tid;            ///< registry-assigned small id (registration order)
   std::uint64_t seq;  ///< per-thread recording sequence number
-  char ph;            ///< 'X' complete span, 'i' instant
+  char ph;            ///< 'X' complete span, 'i' instant, 'C' counter
   std::vector<TraceArg> args;
 };
 
@@ -103,6 +103,10 @@ std::uint64_t now_ns();
 void record_complete(const char* name, std::uint64_t ts, std::uint64_t dur,
                      const TraceArg* args, int nargs);
 void record_instant(const char* name, const TraceArg* args, int nargs);
+/// Counter ("C") sample: one series value at the current timestamp.
+/// Viewers plot same-named counters per thread as a time series (queue
+/// depths, cumulative expansion counts, ...).
+void record_counter(const char* name, const char* series, long long value);
 
 }  // namespace detail
 
@@ -180,6 +184,18 @@ class TraceSpan {
     }                                                         \
   } while (0)
 
+/// Counter sample:
+///   NA_TRACE_COUNTER("pool.queue", "queued", depth);
+/// `name` and `series` must be string literals (the event stores the
+/// pointers); `value` is any integral expression.
+#define NA_TRACE_COUNTER(name, series, value)                            \
+  do {                                                                   \
+    if (::na::obs::detail::on()) {                                       \
+      ::na::obs::detail::record_counter(name, series,                    \
+                                        static_cast<long long>(value));  \
+    }                                                                    \
+  } while (0)
+
 #else  // !NA_TRACE_ENABLED — every macro compiles to nothing.
 
 /// Inert stand-in so `NA_TRACE_SPAN(span, ...); span.arg(...)` still
@@ -199,6 +215,7 @@ struct NullTraceSpan {
   (void)var
 #define NA_TRACE_INSTANT(name, ...) ((void)0)
 #define NA_TRACE_MARK(name) ((void)0)
+#define NA_TRACE_COUNTER(name, series, value) ((void)0)
 
 #endif  // NA_TRACE_ENABLED
 

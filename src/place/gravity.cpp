@@ -1,22 +1,21 @@
 #include "place/gravity.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace na {
+namespace {
 
-std::optional<geom::Point> bounded_free_position(geom::Point ideal,
-                                                 geom::Point size,
-                                                 std::span<const geom::Rect> placed,
-                                                 int spacing, int max_radius) {
-  auto feasible = [&](geom::Point pos) {
-    const geom::Rect candidate = geom::Rect::from_size(pos, size).expanded(spacing);
-    for (const geom::Rect& r : placed) {
-      if (candidate.overlaps(r)) return false;
-    }
-    return true;
-  };
+/// The PLACE_BOX / PLACE_PARTITION ring search over any feasibility
+/// predicate.  Shared by the public entry points (linear rect scan) and
+/// the gravity placer's indexed fast path — one iteration order, so both
+/// return identical positions for identical predicates.
+template <typename Feasible>
+std::optional<geom::Point> ring_search(geom::Point ideal, int max_radius,
+                                       Feasible feasible) {
   if (feasible(ideal)) return ideal;
 
   // Ring search by Chebyshev radius; a ring of radius r contains offsets
@@ -46,6 +45,68 @@ std::optional<geom::Point> bounded_free_position(geom::Point ideal,
   return best;
 }
 
+/// Spatial index over the placed rectangles: a hash grid of 32-track
+/// buckets, each listing the rects touching it.  Purely an accelerator —
+/// overlap answers are identical to the linear scan, so the gravity
+/// placer's output stays byte-identical to the reference implementation.
+class RectIndex {
+ public:
+  void insert(geom::Rect r) {
+    const int id = static_cast<int>(rects_.size());
+    rects_.push_back(r);
+    stamp_.push_back(0);
+    for (int by = r.lo.y >> kShift; by <= (r.hi.y >> kShift); ++by) {
+      for (int bx = r.lo.x >> kShift; bx <= (r.hi.x >> kShift); ++bx) {
+        buckets_[key(bx, by)].push_back(id);
+      }
+    }
+  }
+
+  bool overlaps_any(geom::Rect candidate) const {
+    ++epoch_;
+    for (int by = candidate.lo.y >> kShift; by <= (candidate.hi.y >> kShift); ++by) {
+      for (int bx = candidate.lo.x >> kShift; bx <= (candidate.hi.x >> kShift); ++bx) {
+        const auto it = buckets_.find(key(bx, by));
+        if (it == buckets_.end()) continue;
+        for (const int id : it->second) {
+          if (stamp_[id] == epoch_) continue;
+          stamp_[id] = epoch_;
+          if (candidate.overlaps(rects_[id])) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  static constexpr int kShift = 5;  // 32-track buckets
+
+  static std::uint64_t key(int bx, int by) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(bx)) << 32) |
+           static_cast<std::uint32_t>(by);
+  }
+
+  std::vector<geom::Rect> rects_;
+  mutable std::vector<std::uint64_t> stamp_;
+  mutable std::uint64_t epoch_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<int>> buckets_;
+};
+
+}  // namespace
+
+std::optional<geom::Point> bounded_free_position(geom::Point ideal,
+                                                 geom::Point size,
+                                                 std::span<const geom::Rect> placed,
+                                                 int spacing, int max_radius) {
+  return ring_search(ideal, max_radius, [&](geom::Point pos) {
+    const geom::Rect candidate = geom::Rect::from_size(pos, size).expanded(spacing);
+    for (const geom::Rect& r : placed) {
+      if (candidate.overlaps(r)) return false;
+    }
+    return true;
+  });
+}
+
 geom::Point nearest_free_position(geom::Point ideal, geom::Point size,
                                   std::span<const geom::Rect> placed, int spacing) {
   constexpr int kMaxRadius = 100000;
@@ -53,8 +114,8 @@ geom::Point nearest_free_position(geom::Point ideal, geom::Point size,
       .value_or(ideal);
 }
 
-std::vector<geom::Point> gravity_place(std::span<const GravityItem> items,
-                                       int spacing) {
+std::vector<geom::Point> gravity_place_reference(std::span<const GravityItem> items,
+                                                 int spacing) {
   const int n = static_cast<int>(items.size());
   std::vector<geom::Point> pos(n);
   std::vector<bool> done(n, false);
@@ -145,6 +206,148 @@ std::vector<geom::Point> gravity_place(std::span<const GravityItem> items,
       ideal = {hull.hi.x + spacing + 1, hull.lo.y};
     }
     commit(next, nearest_free_position(ideal, items[next].size, placed_rects, spacing));
+  }
+  return pos;
+}
+
+std::vector<geom::Point> gravity_place(std::span<const GravityItem> items,
+                                       int spacing) {
+  // Incremental form of gravity_place_reference (above) — the reference
+  // rebuilds the placed-net set, rescans every item and recomputes every
+  // gravity sum per placement, which is quadratic and dominates large
+  // placements.  This engine maintains the same quantities incrementally:
+  //   * conn[i]     — terminals of i on placed nets; updated when a net
+  //     first appears on a placed item, selected via a lazy max-heap
+  //     (conn desc, index asc — the reference scan's strict-improvement
+  //     order).  conn only grows, and every change pushes a fresh entry,
+  //     so a verified heap top is the true maximum.
+  //   * per-net running (sum, count) of placed terminals — g1 is a sum of
+  //     integer terms, so accumulation order cannot change it.
+  //   * the placed-rect hull, and a bucket index for the feasibility test
+  //     of the ring search (identical booleans, identical positions).
+  // Every selection, every ideal point and every final position therefore
+  // matches the reference byte for byte.
+  const int n = static_cast<int>(items.size());
+  std::vector<geom::Point> pos(n);
+  std::vector<bool> done(n, false);
+  int placed_count = 0;
+
+  RectIndex index;
+  geom::Rect hull;
+
+  // Per-net accumulators over the *placed* items (NetIds may be sparse
+  // and come from any network — hash-keyed).
+  struct NetAcc {
+    std::int64_t sx = 0, sy = 0, cnt = 0;
+  };
+  std::unordered_map<NetId, NetAcc> net_acc;
+
+  std::vector<int> conn(n, 0);
+  struct Entry {
+    int conn;
+    int i;
+  };
+  struct Less {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.conn != b.conn) return a.conn < b.conn;
+      return a.i > b.i;
+    }
+  };
+  std::vector<Entry> heap;
+
+  // Terminal counts per (unplaced item, net) — how much conn[i] grows when
+  // `net` first lands on a placed item.
+  std::unordered_map<NetId, std::vector<std::pair<int, int>>> net_items;
+  for (int i = 0; i < n; ++i) {
+    std::unordered_map<NetId, int> counts;
+    for (const auto& [net, p] : items[i].terms) ++counts[net];
+    for (const auto& [net, c] : counts) net_items[net].push_back({i, c});
+  }
+
+  auto commit = [&](int i, geom::Point p) {
+    pos[i] = p;
+    done[i] = true;
+    ++placed_count;
+    const geom::Rect r = geom::Rect::from_size(p, items[i].size);
+    index.insert(r);
+    hull = hull.hull(r);
+    for (const auto& [net, tp] : items[i].terms) {
+      NetAcc& acc = net_acc[net];
+      if (acc.cnt == 0) {
+        // This net just became placed: every unplaced item holding it
+        // gains its terminal count — push their fresh keys.
+        for (const auto& [j, c] : net_items[net]) {
+          if (done[j]) continue;
+          conn[j] += c;
+          heap.push_back({conn[j], j});
+          std::push_heap(heap.begin(), heap.end(), Less{});
+        }
+      }
+      acc.sx += p.x + tp.x;
+      acc.sy += p.y + tp.y;
+      ++acc.cnt;
+    }
+  };
+
+  for (int i = 0; i < n; ++i) {
+    if (items[i].fixed_pos) commit(i, *items[i].fixed_pos);
+  }
+  if (placed_count == 0 && n > 0) {
+    int first = 0;
+    for (int i = 1; i < n; ++i) {
+      if (items[i].weight > items[first].weight) first = i;
+    }
+    commit(first, {0, 0});
+  }
+  for (int i = 0; i < n; ++i) {
+    if (!done[i]) {
+      heap.push_back({conn[i], i});
+      std::push_heap(heap.begin(), heap.end(), Less{});
+    }
+  }
+
+  while (placed_count < n) {
+    int next = -1;
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), Less{});
+      const Entry e = heap.back();
+      heap.pop_back();
+      if (done[e.i] || e.conn != conn[e.i]) continue;  // stale: fresher entry exists
+      next = e.i;
+      break;
+    }
+
+    geom::Point ideal;
+    if (next >= 0 && conn[next] > 0) {
+      std::int64_t sx = 0, sy = 0, cnt = 0;       // g0 terms
+      std::int64_t gx = 0, gy = 0, gcnt = 0;      // g1 terms
+      std::unordered_set<NetId> shared_seen;      // dedup: one g1 term per net
+      for (const auto& [net, p] : items[next].terms) {
+        const auto it = net_acc.find(net);
+        if (it == net_acc.end() || it->second.cnt == 0) continue;
+        sx += p.x;
+        sy += p.y;
+        ++cnt;
+        if (shared_seen.insert(net).second) {
+          gx += it->second.sx;
+          gy += it->second.sy;
+          gcnt += it->second.cnt;
+        }
+      }
+      const geom::Point g0{static_cast<int>(sx / cnt), static_cast<int>(sy / cnt)};
+      const geom::Point g1{static_cast<int>(gx / gcnt), static_cast<int>(gy / gcnt)};
+      ideal = g1 - g0;
+    } else {
+      ideal = {hull.hi.x + spacing + 1, hull.lo.y};
+    }
+    if (next < 0) break;  // unreachable: heap always holds every unplaced item
+
+    const std::optional<geom::Point> found =
+        ring_search(ideal, 100000, [&](geom::Point p) {
+          return !index.overlaps_any(
+              geom::Rect::from_size(p, items[next].size).expanded(spacing));
+        });
+    commit(next, found.value_or(ideal));
   }
   return pos;
 }

@@ -35,6 +35,13 @@ struct GravityItem {
 std::vector<geom::Point> gravity_place(std::span<const GravityItem> items,
                                        int spacing);
 
+/// The quadratic rescan transcription of PLACE_BOX / PLACE_PARTITION,
+/// kept as the correctness oracle for the incremental gravity_place —
+/// tests assert both return identical positions; use gravity_place
+/// everywhere else.
+std::vector<geom::Point> gravity_place_reference(
+    std::span<const GravityItem> items, int spacing);
+
 /// The free-position search of PLACE_BOX / PLACE_PARTITION: the position
 /// nearest to `ideal` (squared Euclidean distance) where a `size` rectangle
 /// inflated by `spacing` overlaps none of `placed`.

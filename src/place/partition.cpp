@@ -1,6 +1,8 @@
 #include "place/partition.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace na {
 
@@ -72,7 +74,7 @@ std::vector<ModuleId> form_partition(const Network& net, std::vector<bool>& free
   return partition;
 }
 
-std::vector<std::vector<ModuleId>> partition_network(
+std::vector<std::vector<ModuleId>> partition_network_reference(
     const Network& net, const PartitionLimits& limits,
     const std::vector<bool>& include) {
   std::vector<bool> free_mask = include;
@@ -86,6 +88,267 @@ std::vector<std::vector<ModuleId>> partition_network(
     partitions.push_back(std::move(part));
   }
   return partitions;
+}
+
+namespace {
+
+/// The incremental partitioning engine.  Reproduces the reference loop
+/// (take_a_seed + form_partition, above) exactly, but replaces its
+/// repeated whole-network rescans with per-net distinct-module counters
+/// and lazy max-heaps, so a 100k-module netlist partitions in near-linear
+/// time instead of super-cubic.
+///
+/// Exactness argument: every selection the reference makes is a maximum
+/// under a total order — take_a_seed maximises (free_conns desc,
+/// placed_conns asc, id asc), the growth step maximises (inside desc,
+/// outside asc, id asc); the id key makes the strict-improvement id-order
+/// scans equivalent to the total-order maximum.  The engine maintains the
+/// same quantities through counters:
+///   free_conns(m)   = #{nets of m : fcnt >= 2}       (fcnt = free modules on net)
+///   placed_conns(m) = #{nets of m : pcnt >= 1}       (pcnt = non-free modules)
+///   inside(m)       = #{nets of m : icnt >= 1}       (icnt = partition members)
+///   outside(m)      = #{nets of m : mods - icnt >= 2} (m itself is outside)
+/// and external_connections(partition) by the per-net predicate
+/// icnt >= 1 && (icnt < mods || net has a system terminal).  The seed keys
+/// only ever worsen (fcnt falls, pcnt rises), so a popped-stale entry is
+/// reinserted at its current key; the growth keys only ever improve and do
+/// so exactly at counter boundary crossings, where fresh entries are
+/// pushed — in both disciplines the heap top, once its key verifies, is
+/// the true maximum.
+class PartitionEngine {
+ public:
+  PartitionEngine(const Network& net, const std::vector<bool>& include)
+      : net_(net), free_(include) {
+    const int modules = net.module_count();
+    const int nets = net.net_count();
+    mod_nets_.resize(modules);
+    net_mods_.resize(nets);
+    net_has_sys_.assign(nets, false);
+    {
+      // Dedup helpers (epoch-stamped to avoid per-module set churn).
+      std::vector<int> seen(nets, -1);
+      for (ModuleId m = 0; m < modules; ++m) {
+        for (TermId t : net.module(m).terms) {
+          const NetId n = net.term(t).net;
+          if (n == kNone || seen[n] == m) continue;
+          seen[n] = m;
+          mod_nets_[m].push_back(n);
+          net_mods_[n].push_back(m);
+        }
+      }
+    }
+    for (NetId n = 0; n < nets; ++n) {
+      for (TermId t : net.net(n).terms) {
+        if (net.term(t).module == kNone) net_has_sys_[n] = true;
+      }
+    }
+
+    fcnt_.assign(nets, 0);
+    pcnt_.assign(nets, 0);
+    for (NetId n = 0; n < nets; ++n) {
+      for (ModuleId m : net_mods_[n]) (free_[m] ? fcnt_[n] : pcnt_[n])++;
+    }
+    free_conns_.assign(modules, 0);
+    placed_conns_.assign(modules, 0);
+    for (ModuleId m = 0; m < modules; ++m) {
+      if (!free_[m]) continue;
+      for (NetId n : mod_nets_[m]) {
+        free_conns_[m] += fcnt_[n] >= 2 ? 1 : 0;
+        placed_conns_[m] += pcnt_[n] >= 1 ? 1 : 0;
+      }
+      seed_heap_.push_back({free_conns_[m], placed_conns_[m], m});
+      ++remaining_;
+    }
+    std::make_heap(seed_heap_.begin(), seed_heap_.end(), SeedLess{});
+
+    icnt_.assign(nets, 0);
+    icnt_epoch_.assign(nets, -1);
+  }
+
+  std::vector<std::vector<ModuleId>> run(const PartitionLimits& limits) {
+    std::vector<std::vector<ModuleId>> partitions;
+    while (remaining_ > 0) {
+      partitions.push_back(grow_partition(pop_seed(), limits));
+    }
+    return partitions;
+  }
+
+ private:
+  // Seed heap: max by (free_conns desc, placed_conns asc, id asc).
+  struct SeedEntry {
+    int free_conns, placed_conns;
+    ModuleId m;
+  };
+  struct SeedLess {
+    bool operator()(const SeedEntry& a, const SeedEntry& b) const {
+      if (a.free_conns != b.free_conns) return a.free_conns < b.free_conns;
+      if (a.placed_conns != b.placed_conns) return a.placed_conns > b.placed_conns;
+      return a.m > b.m;
+    }
+  };
+
+  // Growth heap: max by (inside desc, outside asc, id asc).
+  struct GrowEntry {
+    int inside, outside;
+    ModuleId m;
+  };
+  struct GrowLess {
+    bool operator()(const GrowEntry& a, const GrowEntry& b) const {
+      if (a.inside != b.inside) return a.inside < b.inside;
+      if (a.outside != b.outside) return a.outside > b.outside;
+      return a.m > b.m;
+    }
+  };
+
+  int icnt_of(NetId n) const { return icnt_epoch_[n] == epoch_ ? icnt_[n] : 0; }
+
+  int inside_of(ModuleId m) const {
+    int inside = 0;
+    for (NetId n : mod_nets_[m]) inside += icnt_of(n) >= 1 ? 1 : 0;
+    return inside;
+  }
+
+  int outside_of(ModuleId m) const {
+    int outside = 0;
+    for (NetId n : mod_nets_[m]) {
+      const int ocnt = static_cast<int>(net_mods_[n].size()) - icnt_of(n);
+      outside += ocnt >= 2 ? 1 : 0;  // m itself is one of the outside modules
+    }
+    return outside;
+  }
+
+  ModuleId pop_seed() {
+    for (;;) {
+      if (seed_heap_.empty()) throw std::logic_error("take_a_seed: no free module");
+      std::pop_heap(seed_heap_.begin(), seed_heap_.end(), SeedLess{});
+      const SeedEntry e = seed_heap_.back();
+      seed_heap_.pop_back();
+      if (!free_[e.m]) continue;
+      if (e.free_conns != free_conns_[e.m] || e.placed_conns != placed_conns_[e.m]) {
+        // Stale (the key worsened since the push) — reinsert at its
+        // current key and keep popping.
+        seed_heap_.push_back({free_conns_[e.m], placed_conns_[e.m], e.m});
+        std::push_heap(seed_heap_.begin(), seed_heap_.end(), SeedLess{});
+        continue;
+      }
+      return e.m;
+    }
+  }
+
+  /// Moves `m` out of the free set, maintaining the per-net counters and
+  /// the derived seed keys of every free module sharing a net with it.
+  void leave_free(ModuleId m) {
+    free_[m] = false;
+    --remaining_;
+    for (NetId n : mod_nets_[m]) {
+      if (--fcnt_[n] == 1) {
+        for (ModuleId o : net_mods_[n]) {
+          if (free_[o]) --free_conns_[o];
+        }
+      }
+      if (++pcnt_[n] == 1) {
+        for (ModuleId o : net_mods_[n]) {
+          if (free_[o]) ++placed_conns_[o];
+        }
+      }
+    }
+  }
+
+  /// external_connections update for one icnt increment of net `n`.
+  void bump_external(NetId n, int old_icnt) {
+    const int mods = static_cast<int>(net_mods_[n].size());
+    if (old_icnt == 0 && (mods > 1 || net_has_sys_[n])) ++external_;
+    if (old_icnt + 1 == mods && !net_has_sys_[n] && mods > 1) --external_;
+  }
+
+  /// Adds `m` to the current partition: counters first, then fresh heap
+  /// entries for every free module whose growth key changed (pushing only
+  /// after all of m's nets are counted, so the pushed keys are current).
+  void add_member(ModuleId m, std::vector<GrowEntry>& heap, std::vector<NetId>& touched) {
+    leave_free(m);
+    touched.clear();
+    for (NetId n : mod_nets_[m]) {
+      const int old_icnt = icnt_of(n);
+      if (icnt_epoch_[n] != epoch_) {
+        icnt_epoch_[n] = epoch_;
+        icnt_[n] = 0;
+      }
+      ++icnt_[n];
+      bump_external(n, old_icnt);
+      const int mods = static_cast<int>(net_mods_[n].size());
+      // inside(o) changes at icnt 0 -> 1; outside(o) changes when the
+      // outside-module count crosses 2 -> 1.
+      if (old_icnt == 0 || mods - old_icnt == 2) touched.push_back(n);
+    }
+    for (NetId n : touched) {
+      for (ModuleId o : net_mods_[n]) {
+        if (!free_[o]) continue;
+        heap.push_back({inside_of(o), outside_of(o), o});
+        std::push_heap(heap.begin(), heap.end(), GrowLess{});
+      }
+    }
+  }
+
+  std::vector<ModuleId> grow_partition(ModuleId seed, const PartitionLimits& limits) {
+    ++epoch_;
+    external_ = 0;
+    grow_heap_.clear();
+    std::vector<ModuleId> partition{seed};
+    std::vector<NetId> touched;
+    add_member(seed, grow_heap_, touched);
+
+    while (static_cast<int>(partition.size()) < limits.max_part_size &&
+           external_ < limits.max_connections) {
+      ModuleId best = kNone;
+      while (!grow_heap_.empty()) {
+        std::pop_heap(grow_heap_.begin(), grow_heap_.end(), GrowLess{});
+        const GrowEntry e = grow_heap_.back();
+        grow_heap_.pop_back();
+        if (!free_[e.m]) continue;
+        // Stale entries are dropped, not reinserted: growth keys only
+        // improve, and every improvement pushed a fresher entry.
+        if (e.inside != inside_of(e.m) || e.outside != outside_of(e.m)) continue;
+        best = e.m;
+        break;
+      }
+      if (best == kNone) break;  // no connected free module left
+      partition.push_back(best);
+      add_member(best, grow_heap_, touched);
+    }
+    return partition;
+  }
+
+  const Network& net_;
+  std::vector<bool> free_;
+  int remaining_ = 0;
+
+  std::vector<std::vector<NetId>> mod_nets_;     // per module: distinct nets
+  std::vector<std::vector<ModuleId>> net_mods_;  // per net: distinct modules
+  std::vector<bool> net_has_sys_;
+
+  std::vector<int> fcnt_, pcnt_;                  // per net: free / non-free modules
+  std::vector<int> free_conns_, placed_conns_;    // per module: seed keys
+
+  std::vector<int> icnt_, icnt_epoch_;  // per net: members of the current partition
+  int epoch_ = 0;
+  int external_ = 0;
+
+  std::vector<SeedEntry> seed_heap_;
+  std::vector<GrowEntry> grow_heap_;
+};
+
+}  // namespace
+
+std::vector<std::vector<ModuleId>> partition_network(
+    const Network& net, const PartitionLimits& limits,
+    const std::vector<bool>& include) {
+  if (static_cast<int>(include.size()) != net.module_count()) {
+    throw std::invalid_argument("partition_network: include mask size mismatch");
+  }
+  int remaining = 0;
+  for (bool b : include) remaining += b ? 1 : 0;
+  if (remaining == 0) return {};
+  return PartitionEngine(net, include).run(limits);
 }
 
 std::vector<std::vector<ModuleId>> partition_network(const Network& net,

@@ -40,4 +40,13 @@ std::vector<std::vector<ModuleId>> partition_network(const Network& net,
 std::vector<std::vector<ModuleId>> partition_network(const Network& net,
                                                      const PartitionLimits& limits);
 
+/// The direct transcription of the paper's PARTITIONING loop: a linear
+/// take_a_seed / form_partition scan per partition, super-quadratic in the
+/// module count.  Kept as the correctness oracle for the incremental
+/// engine behind partition_network — tests assert both produce identical
+/// partitions; use partition_network everywhere else.
+std::vector<std::vector<ModuleId>> partition_network_reference(
+    const Network& net, const PartitionLimits& limits,
+    const std::vector<bool>& include);
+
 }  // namespace na

@@ -1,5 +1,8 @@
 #include "place/placer.hpp"
 
+#include <thread>
+
+#include "core/thread_pool.hpp"
 #include "obs/trace.hpp"
 #include "place/partition.hpp"
 #include "place/partition_place.hpp"
@@ -26,6 +29,43 @@ PartitionLayout preplaced_layout(const Diagram& dia,
   }
   part.size = {hull.width(), hull.height()};
   return part;
+}
+
+/// Pipeline steps 2-4 for one partition: box formation, module placement
+/// within each box, box placement within the partition.  Pure function of
+/// (net, partition, options) — the parallel path below runs one such job
+/// per partition with no shared state, so any thread count reproduces the
+/// sequential results exactly.
+struct PartitionResult {
+  std::vector<Box> boxes;
+  PartitionLayout layout;
+};
+
+PartitionResult build_partition(const Network& net,
+                                const std::vector<ModuleId>& partition,
+                                const PlacerOptions& opt, int part_idx) {
+  PartitionResult out;
+  {
+    NA_TRACE_SPAN(span, "place.box_form");
+    span.arg("partition", part_idx);
+    out.boxes = form_boxes(net, partition, opt.max_box_size);
+    span.arg("boxes", static_cast<long long>(out.boxes.size()));
+  }
+  std::vector<BoxLayout> box_layouts;
+  box_layouts.reserve(out.boxes.size());
+  {
+    NA_TRACE_SPAN(span, "place.module_place");
+    span.arg("partition", part_idx);
+    for (const Box& b : out.boxes) {
+      box_layouts.push_back(place_box_modules(net, b, opt.module_spacing));
+    }
+  }
+  {
+    NA_TRACE_SPAN(span, "place.box_place");
+    span.arg("partition", part_idx);
+    out.layout = place_boxes(net, std::move(box_layouts), opt.box_spacing);
+  }
+  return out;
 }
 
 }  // namespace
@@ -81,34 +121,37 @@ PlacementInfo place(Diagram& dia, const PlacerOptions& opt) {
       span.arg("partitions", static_cast<long long>(partitions.size()));
       span.arg("free_modules", free_count);
     }
+    // Steps 2-4 per partition, as independent jobs.  Results land in
+    // pre-sized slots and are assembled in partition order below, so the
+    // sequential and the pooled path are byte-identical.
+    int threads = opt.threads;
+    if (threads == 0) {
+      threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    std::vector<PartitionResult> results(partitions.size());
+    if (threads > 1 && partitions.size() > 1) {
+      NA_TRACE_SPAN(span, "place.partition_jobs");
+      span.arg("threads", threads);
+      span.arg("partitions", static_cast<long long>(partitions.size()));
+      ThreadPool pool(std::min<int>(threads, static_cast<int>(partitions.size())));
+      for (size_t pi = 0; pi < partitions.size(); ++pi) {
+        pool.submit([&, pi] {
+          results[pi] =
+              build_partition(net, partitions[pi], opt, static_cast<int>(pi));
+        });
+      }
+      pool.wait_idle();
+    } else {
+      for (size_t pi = 0; pi < partitions.size(); ++pi) {
+        results[pi] =
+            build_partition(net, partitions[pi], opt, static_cast<int>(pi));
+      }
+    }
     for (size_t pi = 0; pi < partitions.size(); ++pi) {
-      auto& partition = partitions[pi];
-      const int part_idx = static_cast<int>(pi);
-      std::vector<Box> boxes;
-      {
-        NA_TRACE_SPAN(span, "place.box_form");
-        span.arg("partition", part_idx);
-        boxes = form_boxes(net, partition, opt.max_box_size);
-        span.arg("boxes", static_cast<long long>(boxes.size()));
-      }
-      std::vector<BoxLayout> box_layouts;
-      box_layouts.reserve(boxes.size());
-      {
-        NA_TRACE_SPAN(span, "place.module_place");
-        span.arg("partition", part_idx);
-        for (const Box& b : boxes) {
-          box_layouts.push_back(place_box_modules(net, b, opt.module_spacing));
-        }
-      }
-      {
-        NA_TRACE_SPAN(span, "place.box_place");
-        span.arg("partition", part_idx);
-        layouts.push_back(
-            place_boxes(net, std::move(box_layouts), opt.box_spacing));
-      }
+      layouts.push_back(std::move(results[pi].layout));
       fixed_pos.emplace_back(std::nullopt);
-      info.boxes.push_back(std::move(boxes));
-      info.partitions.push_back(std::move(partition));
+      info.boxes.push_back(std::move(results[pi].boxes));
+      info.partitions.push_back(std::move(partitions[pi]));
     }
   }
 

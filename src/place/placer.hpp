@@ -26,6 +26,13 @@ struct PlacerOptions {
   int partition_spacing = 0;  ///< -e: extra tracks around each partition
   int box_spacing = 0;        ///< -i: extra tracks around each box
   int module_spacing = 0;     ///< -s: extra tracks around each module
+  /// Placement threads: after partitioning, box formation / module
+  /// placement / box placement of each partition are independent jobs;
+  /// N > 1 runs them on a work-stealing pool, 0 uses the hardware
+  /// concurrency.  Any thread count produces a byte-identical placement —
+  /// per-partition results are deterministic and are assembled in
+  /// partition order.
+  int threads = 1;
 };
 
 /// The structural decomposition the placement produced, for inspection,

@@ -245,6 +245,13 @@ NetTaskResult route_single_net(RoutingGrid& grid, const Diagram& dia, NetId n,
   long long expansions = 0;
   for (const SearchResult& c : out.connections) expansions += c.expansions;
   span.arg("expansions", expansions);
+  // Cumulative per-thread expansion counter: viewers derive the router's
+  // expansion *rate* from the slope of this series.
+  {
+    thread_local long long tl_expansions = 0;
+    tl_expansions += expansions;
+    NA_TRACE_COUNTER("route.expansions", "cumulative", tl_expansions);
+  }
   span.arg("connections", static_cast<long long>(out.connections.size()));
   span.arg("failed_terms", static_cast<long long>(out.failed.size()));
   return out;

@@ -1,0 +1,239 @@
+#include "route/shard_route.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/thread_pool.hpp"
+#include "obs/trace.hpp"
+#include "route/net_task.hpp"
+
+namespace na {
+namespace {
+
+using detail::DriverSetup;
+using detail::NetTaskResult;
+
+/// What one shard job produced for one of its nets, in processing order.
+/// The merge replays these onto the live plane: paths become occupancy +
+/// diagram polylines, `new_claims` are the claimpoints the job restored
+/// for terminals that stayed unconnected.
+struct ShardNetResult {
+  NetId net = kNone;
+  NetTaskResult res;
+  std::vector<std::pair<geom::Point, NetId>> new_claims;
+};
+
+struct ShardJob {
+  geom::Rect region;
+  std::vector<NetId> nets;  ///< assigned nets, in global processing order
+  std::vector<ShardNetResult> results;
+};
+
+/// The worker side of DriverSetup::restore_claim, against the job's local
+/// grid (the live claims list is patched at merge from `new_claims`).
+void local_restore_claim(RoutingGrid& grid, const Diagram& dia,
+                         const RouterOptions& opt, TermId t, NetId n,
+                         std::vector<std::pair<geom::Point, NetId>>& out) {
+  if (!opt.use_claimpoints || dia.network().term(t).is_system()) return;
+  const geom::Point cell = dia.term_pos(t) + geom::delta(dia.term_facing(t));
+  if (grid.in_bounds(cell) && !grid.blocked(cell) &&
+      grid.claim_owner(cell) == kNone && grid.h_net(cell) == kNone &&
+      grid.v_net(cell) == kNone) {
+    grid.set_claim(cell, n);
+    out.emplace_back(cell, n);
+  }
+}
+
+/// Routes one shard's nets against a clipped copy of the plane.  Pure
+/// function of (setup snapshot, dia, job.nets, opt) — safe to run
+/// concurrently with other shards, and byte-identical at any thread count.
+void run_shard(ShardJob& job, const DriverSetup& setup, const Diagram& dia,
+               const RouterOptions& opt, int shard_idx) {
+  NA_TRACE_SPAN(span, "route.shard");
+  span.arg("shard", shard_idx);
+  span.arg("nets", static_cast<long long>(job.nets.size()));
+  RoutingGrid local = setup.grid.clipped(job.region);
+  detail::SearchWorkspace ws;
+  job.results.reserve(job.nets.size());
+  for (NetId n : job.nets) {
+    ShardNetResult r;
+    r.net = n;
+    // Mirror of the sequential driver's per-net step: release the net's
+    // own claims, route, re-claim the escape tracks of what failed.  All
+    // of net n's claims lie inside the region (assignment guarantees the
+    // net hull + 1 fits), so clearing by the shared claims snapshot hits
+    // exactly the cells the live-plane release will clear at merge.
+    for (const auto& [cell, owner] : setup.claims) {
+      if (owner == n) local.clear_claim(cell);
+    }
+    r.res = detail::route_single_net(local, dia, n, setup.pending[n], opt,
+                                     setup.has_geometry[n], ws);
+    for (TermId t : r.res.failed) {
+      local_restore_claim(local, dia, opt, t, n, r.new_claims);
+    }
+    job.results.push_back(std::move(r));
+  }
+}
+
+/// The exact sequential route_all pass-1 body, shared by the shards<=1
+/// degenerate path and the stitch pass (which only differs in options).
+void sequential_pass(Diagram& dia, const RouterOptions& opt, DriverSetup& setup,
+                     const std::vector<NetId>& nets, RouteReport& report,
+                     detail::SearchWorkspace& ws) {
+  for (NetId n : nets) {
+    if (setup.pending[n].empty()) continue;
+    setup.release_claims(n);
+    NetTaskResult res =
+        detail::route_single_net(setup.grid, dia, n, std::move(setup.pending[n]),
+                                 opt, setup.has_geometry[n], ws);
+    detail::commit_connections(dia, n, res, setup, report);
+    setup.pending[n] = std::move(res.failed);
+    for (TermId t : setup.pending[n]) setup.restore_claim(dia, opt, t, n);
+  }
+}
+
+}  // namespace
+
+std::vector<geom::Rect> shard_regions(geom::Rect area, int shards) {
+  std::vector<geom::Rect> out;
+  if (area.empty() || shards < 1) return out;
+  const int cols = area.width() + 1;
+  const int n = std::min(shards, cols);
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Column ranges [i*cols/n, (i+1)*cols/n): exact cover, widths within 1.
+    const int x0 = area.lo.x + static_cast<int>(static_cast<long long>(cols) * i / n);
+    const int x1 = area.lo.x + static_cast<int>(static_cast<long long>(cols) * (i + 1) / n) - 1;
+    out.push_back({{x0, area.lo.y}, {x1, area.hi.y}});
+  }
+  return out;
+}
+
+RouteReport shard_route_all(Diagram& dia, const RouterOptions& opt,
+                            const ShardOptions& sopt, ShardRouteStats* stats) {
+  if (stats) *stats = {};
+  DriverSetup setup = detail::prepare_driver(dia, opt);
+  const std::vector<NetId> order = detail::ordered_nets(dia, opt);
+  RouteReport report;
+  detail::SearchWorkspace ws;
+
+  const std::vector<geom::Rect> regions =
+      shard_regions(setup.grid.area(), sopt.shards);
+
+  if (regions.size() <= 1) {
+    // Degenerate single shard: the exact sequential route_all loop.
+    if (stats) {
+      int assigned = 0;
+      for (NetId n : order) assigned += setup.pending[n].empty() ? 0 : 1;
+      stats->shard_nets = {assigned};
+      stats->nets_intra = assigned;
+    }
+    NA_TRACE_SPAN(span, "route.pass1");
+    span.arg("threads", 1);
+    span.arg("nets", static_cast<long long>(order.size()));
+    sequential_pass(dia, opt, setup, order, report, ws);
+    detail::retry_pass(dia, opt, setup, order, report, ws);
+    detail::finish_report(dia, setup, report);
+    return report;
+  }
+
+  // ----- assignment ----------------------------------------------------------
+  // A net belongs to shard s iff the hull of its pending terminals and its
+  // prerouted geometry, inflated by one track (claimpoints sit one step
+  // outside a terminal), fits inside region s.  Everything else stitches.
+  std::vector<ShardJob> jobs(regions.size());
+  for (size_t s = 0; s < regions.size(); ++s) jobs[s].region = regions[s];
+  std::vector<NetId> stitch;
+  for (NetId n : order) {
+    if (setup.pending[n].empty()) continue;
+    geom::Rect hull;
+    for (TermId t : setup.pending[n]) hull = hull.hull(dia.term_pos(t));
+    for (const auto& pl : dia.route(n).polylines) {
+      for (geom::Point p : pl) hull = hull.hull(p);
+    }
+    const geom::Rect need = hull.expanded(1);
+    bool placed = false;
+    for (size_t s = 0; s < regions.size(); ++s) {
+      if (regions[s].contains(need)) {
+        jobs[s].nets.push_back(n);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) stitch.push_back(n);
+  }
+
+  // ----- shard pass ----------------------------------------------------------
+  {
+    NA_TRACE_SPAN(span, "route.shard_pass");
+    span.arg("shards", static_cast<long long>(jobs.size()));
+    span.arg("stitch_nets", static_cast<long long>(stitch.size()));
+    int threads = sopt.threads;
+    if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min<int>(threads, static_cast<int>(jobs.size()));
+    if (threads > 1) {
+      span.arg("threads", threads);
+      ThreadPool pool(threads);
+      for (size_t s = 0; s < jobs.size(); ++s) {
+        pool.submit([&, s] {
+          run_shard(jobs[s], setup, dia, opt, static_cast<int>(s));
+        });
+      }
+      pool.wait_idle();
+    } else {
+      for (size_t s = 0; s < jobs.size(); ++s) {
+        run_shard(jobs[s], setup, dia, opt, static_cast<int>(s));
+      }
+    }
+  }
+
+  // ----- merge (shard index order — deterministic) ---------------------------
+  {
+    NA_TRACE_SCOPE("route.shard_merge");
+    for (ShardJob& job : jobs) {
+      for (ShardNetResult& r : job.results) {
+        setup.release_claims(r.net);
+        for (const SearchResult& c : r.res.connections) {
+          setup.grid.occupy_polyline(r.net, c.path);
+        }
+        detail::commit_connections(dia, r.net, r.res, setup, report);
+        setup.pending[r.net] = std::move(r.res.failed);
+        for (const auto& [cell, owner] : r.new_claims) {
+          setup.grid.set_claim(cell, owner);
+          setup.claims.emplace_back(cell, owner);
+        }
+      }
+    }
+  }
+
+  // ----- stitch pass: boundary-spanning nets on the live plane ---------------
+  {
+    NA_TRACE_SPAN(span, "route.stitch");
+    span.arg("nets", static_cast<long long>(stitch.size()));
+    RouterOptions stitch_opt = opt;
+    stitch_opt.window_slack = std::max(sopt.halo, opt.window_slack);
+    sequential_pass(dia, stitch_opt, setup, stitch, report, ws);
+  }
+
+  if (stats) {
+    stats->shard_nets.reserve(jobs.size());
+    for (const ShardJob& job : jobs) {
+      stats->shard_nets.push_back(static_cast<int>(job.nets.size()));
+      stats->nets_intra += static_cast<int>(job.nets.size());
+    }
+    stats->nets_stitch = static_cast<int>(stitch.size());
+    if (stats->nets_intra > 0) {
+      const double mean =
+          static_cast<double>(stats->nets_intra) / static_cast<double>(jobs.size());
+      const int peak =
+          *std::max_element(stats->shard_nets.begin(), stats->shard_nets.end());
+      stats->balance = static_cast<double>(peak) / mean;
+    }
+  }
+
+  detail::retry_pass(dia, opt, setup, order, report, ws);
+  detail::finish_report(dia, setup, report);
+  return report;
+}
+
+}  // namespace na

@@ -155,6 +155,20 @@ void RoutingGrid::set_track(geom::Point p, bool horizontal, NetId n) {
   (horizontal ? c.h : c.v) = n;
 }
 
+RoutingGrid RoutingGrid::clipped(geom::Rect sub) const {
+  const geom::Rect inter = {
+      {std::max(sub.lo.x, area_.lo.x), std::max(sub.lo.y, area_.lo.y)},
+      {std::min(sub.hi.x, area_.hi.x), std::min(sub.hi.y, area_.hi.y)}};
+  if (inter.empty()) throw std::invalid_argument("clip outside routing area");
+  RoutingGrid g(inter);
+  for (int y = inter.lo.y; y <= inter.hi.y; ++y) {
+    for (int x = inter.lo.x; x <= inter.hi.x; ++x) {
+      g.at({x, y}) = at({x, y});
+    }
+  }
+  return g;
+}
+
 int RoutingGrid::crossing_count() const {
   int count = 0;
   for (const Cell& c : cells_) {
@@ -195,6 +209,23 @@ RoutingGrid build_grid(const Diagram& dia, int margin) {
   for (NetId n = 0; n < net.net_count(); ++n) {
     const NetRoute& r = dia.route(n);
     for (const auto& pl : r.polylines) grid.occupy_polyline(n, pl);
+  }
+  // A prerouted polyline may end mid-plane (the incremental router keeps
+  // the clean runs of a net split at a dirty region).  Such an endpoint is
+  // a *node* of its net — no other net may touch it — so occupy both
+  // orientations there, making the grid itself enforce the validator's
+  // node-contact rule.  Full routes end at terminal cells (blocked), so
+  // the ordinary pipeline is unaffected.
+  for (NetId n = 0; n < net.net_count(); ++n) {
+    const NetRoute& r = dia.route(n);
+    for (const auto& pl : r.polylines) {
+      if (pl.size() < 2) continue;
+      for (geom::Point p : {pl.front(), pl.back()}) {
+        if (grid.blocked(p)) continue;
+        if (grid.h_net(p) == kNone) grid.set_track(p, true, n);
+        if (grid.v_net(p) == kNone) grid.set_track(p, false, n);
+      }
+    }
   }
   return grid;
 }

@@ -98,6 +98,14 @@ class RoutingGrid {
   /// cross (one horizontal, one vertical).
   int crossing_count() const;
 
+  /// A standalone sub-grid covering the intersection of `sub` with this
+  /// grid's area; every covered cell is copied verbatim.  Points outside
+  /// the sub-area are out of bounds — the clip boundary acts blocked, so
+  /// a search on the clipped grid can never produce geometry leaving it
+  /// (the sharded router's per-shard search space).  Throws when the
+  /// intersection is empty.
+  RoutingGrid clipped(geom::Rect sub) const;
+
  private:
   struct Cell {
     NetId h = kNone;

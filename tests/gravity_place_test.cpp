@@ -99,6 +99,36 @@ TEST(GravityPlace, FixedItemsStay) {
   EXPECT_LT(geom::dist2(pos[1], {100, 100}), 2000);
 }
 
+TEST(GravityPlace, IncrementalMatchesReference) {
+  // The indexed/heap engine behind gravity_place must reproduce the
+  // quadratic-rescan transcription position for position: mixed sizes,
+  // weight ties, shared nets, item sets with and without fixed members.
+  for (const int n : {1, 7, 40}) {
+    std::vector<GravityItem> items;
+    for (int i = 0; i < n; ++i) {
+      GravityItem it;
+      it.size = {3 + (i * 7) % 5, 2 + (i * 5) % 4};
+      it.weight = (i * 13) % 9;  // repeated weights force id tie-breaks
+      const int nterms = i % 4;  // every 4th item is connectionless
+      for (int k = 0; k < nterms; ++k) {
+        it.terms.push_back({(i + k * 3) % 11,
+                            {(k * 2) % (it.size.x + 1), (k * 3) % (it.size.y + 1)}});
+      }
+      items.push_back(std::move(it));
+    }
+    for (const int spacing : {0, 1, 2}) {
+      EXPECT_EQ(gravity_place(items, spacing),
+                gravity_place_reference(items, spacing))
+          << "n=" << n << " spacing=" << spacing;
+    }
+    if (n == 40) {
+      items[5].fixed_pos = geom::Point{30, -10};
+      items[17].fixed_pos = geom::Point{-20, 15};
+      EXPECT_EQ(gravity_place(items, 1), gravity_place_reference(items, 1));
+    }
+  }
+}
+
 // --- box / partition placement over real layouts --------------------------------
 
 TEST(PlaceBoxes, PartitionHullStartsAtOrigin) {

@@ -307,8 +307,26 @@ TEST(Trace, PerThreadTimestampsMonotonicUnderPool) {
     pool.wait_idle();
   }  // pool join: workers quiesced before the flush below
   obs::trace_disable();
-  const auto events = obs::trace_events();
+  const auto all = obs::trace_events();
+  // The pool itself emits 'C' (queue-depth) counter events on submit and
+  // task pop; keep them out of the span/instant accounting below but check
+  // they are present and well-formed.
+  std::vector<obs::TraceEventView> events;
+  int queue_counters = 0;
+  for (const auto& e : all) {
+    if (e.ph == 'C') {
+      if (std::string(e.name) == "pool.queue") {
+        ++queue_counters;
+        ASSERT_EQ(e.args.size(), 1u);
+        EXPECT_STREQ(e.args[0].key, "queued");
+        EXPECT_GE(e.args[0].value, 0);
+      }
+      continue;
+    }
+    events.push_back(e);
+  }
   EXPECT_EQ(events.size(), 400u);
+  EXPECT_GE(queue_counters, 400);  // one per submit + one per pop
 
   // Per thread, recording order (seq) must agree with time: instants carry
   // their own timestamp, spans their end time (they are recorded at close).

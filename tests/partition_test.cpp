@@ -6,6 +6,7 @@
 
 #include "gen/controller.hpp"
 #include "gen/random_net.hpp"
+#include "gen/synth.hpp"
 #include "netlist/module_library.hpp"
 #include "place/partition.hpp"
 
@@ -170,6 +171,43 @@ TEST(Partitioning, ControllerClusters) {
               << "cluster " << prefix << " split across partitions";
         }
       }
+    }
+  }
+}
+
+TEST(Partitioning, IncrementalEngineMatchesReference) {
+  // The heap-driven engine behind partition_network must reproduce the
+  // paper-transcription scan exactly — partition for partition, member for
+  // member — across network families and limit settings.
+  std::vector<Network> nets;
+  for (unsigned seed : {1u, 5u}) {
+    gen::RandomNetOptions ropt;
+    ropt.modules = 23;
+    ropt.seed = seed;
+    nets.push_back(gen::random_network(ropt));
+  }
+  nets.push_back(gen::controller_network());
+  for (const gen::SynthTopology topo :
+       {gen::SynthTopology::GridMesh, gen::SynthTopology::RandomDag}) {
+    gen::SynthOptions sopt;
+    sopt.topology = topo;
+    sopt.modules = 150;
+    sopt.seed = 11;
+    nets.push_back(gen::synth_network(sopt));
+  }
+  for (const Network& net : nets) {
+    std::vector<bool> all(net.module_count(), true);
+    std::vector<bool> some = all;
+    for (size_t m = 0; m < some.size(); m += 3) some[m] = false;
+    for (const PartitionLimits limits :
+         {PartitionLimits{1, 1000000}, PartitionLimits{4, 12},
+          PartitionLimits{7, 5}, PartitionLimits{100, 1000000}}) {
+      EXPECT_EQ(partition_network(net, limits, all),
+                partition_network_reference(net, limits, all))
+          << "p=" << limits.max_part_size << " c=" << limits.max_connections;
+      EXPECT_EQ(partition_network(net, limits, some),
+                partition_network_reference(net, limits, some))
+          << "masked p=" << limits.max_part_size;
     }
   }
 }

@@ -1,0 +1,172 @@
+// Sharded routing: region partitioning, byte-determinism across thread
+// counts, equality with the sequential driver at one shard, and the halo
+// stitch pass actually connecting boundary-spanning nets.
+#include "route/shard_route.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/synth.hpp"
+#include "place/placer.hpp"
+#include "schematic/escher_writer.hpp"
+#include "schematic/validate.hpp"
+
+namespace na {
+namespace {
+
+Network mesh(int modules, std::uint64_t seed = 1) {
+  gen::SynthOptions o;
+  o.topology = gen::SynthTopology::GridMesh;
+  o.modules = modules;
+  o.seed = seed;
+  return gen::synth_network(o);
+}
+
+PlacerOptions placer_options() {
+  PlacerOptions o;
+  o.max_part_size = 8;
+  o.max_box_size = 4;
+  o.max_connections = 16;
+  return o;
+}
+
+Diagram placed(const Network& net, int threads = 1) {
+  Diagram dia(net);
+  PlacerOptions o = placer_options();
+  o.threads = threads;
+  place(dia, o);
+  return dia;
+}
+
+/// Byte image of a diagram (fixed template name and timestamp).
+std::string bytes(const Diagram& dia) {
+  return to_escher_diagram(dia, "shard_test", 0);
+}
+
+void expect_reports_equal(const RouteReport& a, const RouteReport& b) {
+  EXPECT_EQ(a.nets_routed, b.nets_routed);
+  EXPECT_EQ(a.nets_failed, b.nets_failed);
+  EXPECT_EQ(a.connections_made, b.connections_made);
+  EXPECT_EQ(a.connections_failed, b.connections_failed);
+  EXPECT_EQ(a.retried_connections, b.retried_connections);
+  EXPECT_EQ(a.total_expansions, b.total_expansions);
+  EXPECT_EQ(a.failed_nets, b.failed_nets);
+}
+
+TEST(ShardRegions, PartitionThePlaneExactly) {
+  const geom::Rect area{{-3, 0}, {96, 49}};
+  for (const int shards : {1, 2, 4, 7}) {
+    const auto regions = shard_regions(area, shards);
+    ASSERT_EQ(regions.size(), static_cast<size_t>(shards));
+    int next_x = area.lo.x;
+    for (const geom::Rect& r : regions) {
+      EXPECT_EQ(r.lo.x, next_x);  // adjacent, no gap, no overlap
+      EXPECT_EQ(r.lo.y, area.lo.y);
+      EXPECT_EQ(r.hi.y, area.hi.y);
+      next_x = r.hi.x + 1;
+    }
+    EXPECT_EQ(next_x, area.hi.x + 1);
+    // Widths within one column of each other.
+    int wmin = area.width() + 1, wmax = 0;
+    for (const geom::Rect& r : regions) {
+      wmin = std::min(wmin, r.width() + 1);
+      wmax = std::max(wmax, r.width() + 1);
+    }
+    EXPECT_LE(wmax - wmin, 1);
+  }
+  // More shards than columns clamps instead of emitting empty regions.
+  const auto tiny = shard_regions({{0, 0}, {2, 5}}, 8);
+  EXPECT_EQ(tiny.size(), 3u);
+}
+
+TEST(ShardRoute, SingleShardMatchesSequentialDriver) {
+  const Network net = mesh(120);
+  const Diagram base = placed(net);
+  RouterOptions opt;
+
+  Diagram a = base;
+  const RouteReport ra = route_all(a, opt);
+  Diagram b = base;
+  ShardRouteStats stats;
+  const RouteReport rb = shard_route_all(b, opt, ShardOptions{1, 16, 1}, &stats);
+
+  EXPECT_EQ(bytes(a), bytes(b));
+  expect_reports_equal(ra, rb);
+  EXPECT_EQ(stats.nets_stitch, 0);
+  ASSERT_EQ(stats.shard_nets.size(), 1u);
+}
+
+TEST(ShardRoute, ByteIdenticalAcrossThreadCounts) {
+  const Network net = mesh(240);
+  const Diagram base = placed(net);
+  RouterOptions opt;
+  ShardOptions sopt;
+  sopt.shards = 4;
+
+  std::string first_bytes;
+  RouteReport first_report;
+  ShardRouteStats first_stats;
+  for (const int threads : {1, 2, 4}) {
+    Diagram dia = base;
+    sopt.threads = threads;
+    ShardRouteStats stats;
+    const RouteReport report = shard_route_all(dia, opt, sopt, &stats);
+    EXPECT_TRUE(validate_diagram(dia).empty()) << "threads=" << threads;
+    if (threads == 1) {
+      first_bytes = bytes(dia);
+      first_report = report;
+      first_stats = stats;
+      EXPECT_GT(first_bytes.size(), 0u);
+    } else {
+      EXPECT_EQ(bytes(dia), first_bytes) << "threads=" << threads;
+      expect_reports_equal(report, first_report);
+      EXPECT_EQ(stats.shard_nets, first_stats.shard_nets);
+      EXPECT_EQ(stats.nets_stitch, first_stats.nets_stitch);
+    }
+  }
+}
+
+TEST(ShardRoute, StitchNetsConnectAcrossBoundaries) {
+  // A mesh cut into four strips: the east nets crossing a cut must be
+  // routed by the halo stitch pass, and the result must be a fully valid
+  // diagram with those nets connected.
+  const Network net = mesh(120);
+  Diagram dia = placed(net);
+  ShardRouteStats stats;
+  const RouteReport report =
+      shard_route_all(dia, RouterOptions{}, ShardOptions{4, 16, 1}, &stats);
+
+  EXPECT_GT(stats.nets_stitch, 0);
+  EXPECT_GT(stats.nets_intra, 0);
+  EXPECT_TRUE(validate_diagram(dia).empty());
+  // Every net (all are 2+-terminal and placed) ends up routed: the stitch
+  // pass connected the boundary-spanning ones.
+  EXPECT_EQ(report.nets_failed, 0);
+  EXPECT_EQ(report.nets_routed + report.nets_failed,
+            stats.nets_intra + stats.nets_stitch);
+}
+
+TEST(ShardRoute, TorusWrapNetsStitch) {
+  // Torus wrap nets span the whole plane — the stress case for the halo
+  // pass: they must all be classified as stitch nets and still route.
+  gen::SynthOptions o;
+  o.topology = gen::SynthTopology::Torus;
+  o.modules = 64;
+  const Network net = gen::synth_network(o);
+  Diagram dia = placed(net);
+  ShardRouteStats stats;
+  const RouteReport report =
+      shard_route_all(dia, RouterOptions{}, ShardOptions{4, 24, 1}, &stats);
+  EXPECT_GT(stats.nets_stitch, 0);
+  EXPECT_TRUE(validate_diagram(dia).empty());
+  EXPECT_EQ(report.nets_failed, 0);
+}
+
+TEST(PlacerThreads, ByteIdenticalAcrossThreadCounts) {
+  const Network net = mesh(180);
+  const std::string one = bytes(placed(net, 1));
+  EXPECT_EQ(bytes(placed(net, 2)), one);
+  EXPECT_EQ(bytes(placed(net, 4)), one);
+}
+
+}  // namespace
+}  // namespace na

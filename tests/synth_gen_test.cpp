@@ -1,0 +1,113 @@
+// Scale-tier synthetic netlist generator: seeded byte-determinism, target
+// fan-out, and structural validity across all three topologies.
+#include "gen/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/netlist_io.hpp"
+
+namespace na {
+namespace {
+
+gen::SynthOptions opts(gen::SynthTopology topo, int modules,
+                       std::uint64_t seed = 1) {
+  gen::SynthOptions o;
+  o.topology = topo;
+  o.modules = modules;
+  o.seed = seed;
+  return o;
+}
+
+std::string serialized(const Network& net) {
+  const NetlistFiles files = write_network(net);
+  return files.call_file + "\x01" + files.io_file + "\x01" + files.netlist_file;
+}
+
+/// Seed-sensitive detail the netlist files do not carry: module sizes and
+/// terminal offsets.
+std::string geometry(const Network& net) {
+  std::string out;
+  for (ModuleId m = 0; m < net.module_count(); ++m) {
+    const auto& mod = net.module(m);
+    out += geom::to_string(mod.size);
+    for (TermId t : mod.terms) out += geom::to_string(net.term(t).pos);
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(SynthGen, SeededByteDeterminism) {
+  for (const gen::SynthTopology topo :
+       {gen::SynthTopology::GridMesh, gen::SynthTopology::Torus,
+        gen::SynthTopology::RandomDag}) {
+    const Network a = gen::synth_network(opts(topo, 200, 7));
+    const Network b = gen::synth_network(opts(topo, 200, 7));
+    EXPECT_EQ(serialized(a), serialized(b)) << gen::to_string(topo);
+    EXPECT_EQ(geometry(a), geometry(b)) << gen::to_string(topo);
+  }
+}
+
+TEST(SynthGen, SeedChangesNetwork) {
+  // Mesh/torus keep their connectivity by construction; the seed drives
+  // module sizes and terminal jitter.  The DAG's edge structure itself is
+  // seed-dependent.
+  const Network a = gen::synth_network(opts(gen::SynthTopology::GridMesh, 100, 1));
+  const Network b = gen::synth_network(opts(gen::SynthTopology::GridMesh, 100, 2));
+  EXPECT_NE(geometry(a), geometry(b));
+  const Network da = gen::synth_network(opts(gen::SynthTopology::RandomDag, 100, 1));
+  const Network db = gen::synth_network(opts(gen::SynthTopology::RandomDag, 100, 2));
+  EXPECT_NE(serialized(da), serialized(db));
+}
+
+TEST(SynthGen, HonoursModuleCountExactly) {
+  // Including counts whose mesh has a partial last row.
+  for (const int n : {1, 7, 50, 99, 128, 1000}) {
+    for (const gen::SynthTopology topo :
+         {gen::SynthTopology::GridMesh, gen::SynthTopology::Torus,
+          gen::SynthTopology::RandomDag}) {
+      EXPECT_EQ(gen::synth_network(opts(topo, n)).module_count(), n)
+          << gen::to_string(topo) << " n=" << n;
+    }
+  }
+}
+
+TEST(SynthGen, GeneratedNetworksValidate) {
+  for (const gen::SynthTopology topo :
+       {gen::SynthTopology::GridMesh, gen::SynthTopology::Torus,
+        gen::SynthTopology::RandomDag}) {
+    for (const int n : {9, 100, 500}) {
+      const Network net = gen::synth_network(opts(topo, n, 3));
+      const auto problems = net.validate();
+      EXPECT_TRUE(problems.empty())
+          << gen::to_string(topo) << " n=" << n << ": " << problems.front();
+    }
+  }
+}
+
+TEST(SynthGen, DagHitsFanoutTarget) {
+  gen::SynthOptions o = opts(gen::SynthTopology::RandomDag, 400);
+  o.fanout_mean = 2.5;
+  const Network net = gen::synth_network(o);
+  // Edges = sink terminals over all nets (every net has one driver).
+  long long edges = 0;
+  for (NetId n = 0; n < net.net_count(); ++n) {
+    edges += static_cast<long long>(net.net(n).terms.size()) - 1;
+  }
+  const double measured = static_cast<double>(edges) / o.modules;
+  EXPECT_NEAR(measured, o.fanout_mean, 0.25);
+}
+
+TEST(SynthGen, ParseTopologyRoundTrips) {
+  EXPECT_EQ(gen::parse_topology("grid"), gen::SynthTopology::GridMesh);
+  EXPECT_EQ(gen::parse_topology("torus"), gen::SynthTopology::Torus);
+  EXPECT_EQ(gen::parse_topology("dag"), gen::SynthTopology::RandomDag);
+  EXPECT_FALSE(gen::parse_topology("ring").has_value());
+  for (const gen::SynthTopology topo :
+       {gen::SynthTopology::GridMesh, gen::SynthTopology::Torus,
+        gen::SynthTopology::RandomDag}) {
+    EXPECT_EQ(gen::parse_topology(gen::to_string(topo)), topo);
+  }
+}
+
+}  // namespace
+}  // namespace na
