@@ -1,0 +1,140 @@
+// Service tier — na_serve throughput and edit latency over loopback.
+//
+// Starts an in-process serve::Server on an ephemeral port and drives it
+// with 1, 4 and 16 concurrent sessions (one BlockingClient per session,
+// one thread per client).  Every client opens a "chain" session and
+// applies a fixed number of single-module edits, timing each request
+// round-trip.  Reports requests/sec and the p50/p99 edit latency per
+// concurrency level — the numbers the README's service walkthrough
+// quotes.
+//
+// Emits BENCH_serve.json (same schema_version envelope as the other
+// benches).  NA_SERVE_BENCH_EDITS caps the per-session edit count (the
+// ctest `serve` smoke runs with 4 so the default suite stays fast).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace na;
+using namespace na::bench;
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Latency at quantile q (0..1) of a sorted sample, nearest-rank.
+double quantile_ms(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t rank = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+std::string edit_line(const std::string& session, int i) {
+  return R"({"op":"edit","session":")" + session + R"(","edits":[)" +
+         R"({"kind":"add_module","name":"mod)" + std::to_string(i) +
+         R"(","template":"","w":4,"h":3}]})";
+}
+
+struct LevelResult {
+  double wall_ms = 0;       ///< open-to-close wall clock of the whole level
+  long long requests = 0;   ///< edit requests completed across all sessions
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+/// Runs `sessions` concurrent clients x `edits` edits each against `port`.
+LevelResult run_level(int port, int sessions, int edits) {
+  std::vector<std::vector<double>> lat(sessions);
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  for (int s = 0; s < sessions; ++s) {
+    threads.emplace_back([port, s, edits, &lat] {
+      serve::BlockingClient c;
+      std::string error;
+      if (!c.connect("127.0.0.1", port, &error)) {
+        std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+        return;
+      }
+      const std::string name = "bench" + std::to_string(s);
+      c.request(R"({"op":"open","session":")" + name + R"(","design":"chain"})");
+      lat[s].reserve(edits);
+      for (int i = 0; i < edits; ++i) {
+        const auto e0 = Clock::now();
+        const std::string r = c.request(edit_line(name, i));
+        lat[s].push_back(ms_since(e0));
+        if (r.rfind(R"({"ok":true)", 0) != 0) {
+          std::fprintf(stderr, "edit failed: %s\n", r.c_str());
+          return;
+        }
+      }
+      c.request(R"({"op":"close","session":")" + name + R"("})");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  LevelResult r;
+  r.wall_ms = ms_since(t0);
+  std::vector<double> all;
+  for (const auto& per : lat) {
+    r.requests += static_cast<long long>(per.size());
+    all.insert(all.end(), per.begin(), per.end());
+  }
+  std::sort(all.begin(), all.end());
+  r.p50_ms = quantile_ms(all, 0.50);
+  r.p99_ms = quantile_ms(all, 0.99);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  int edits = 64;
+  if (const char* cap = std::getenv("NA_SERVE_BENCH_EDITS")) {
+    edits = std::max(1, std::atoi(cap));
+  }
+
+  serve::ServerOptions opt;
+  opt.port = 0;
+  opt.host.threads = 8;
+  serve::Server server(opt);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "start failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::thread runner([&server] { server.run(); });
+  const int port = server.port();
+
+  std::printf("na_serve bench: port %d, %d edits/session\n\n", port, edits);
+  std::printf("%10s %12s %12s %12s %12s\n", "sessions", "req/s", "p50 ms",
+              "p99 ms", "wall ms");
+  for (const int sessions : {1, 4, 16}) {
+    const LevelResult r = run_level(port, sessions, edits);
+    const double rps = r.requests / (r.wall_ms / 1e3);
+    std::printf("%10d %12.0f %12.2f %12.2f %12.1f\n", sessions, rps, r.p50_ms,
+                r.p99_ms, r.wall_ms);
+    bench_json_add("serve", "sessions=" + std::to_string(sessions), r.wall_ms,
+                   0,
+                   {{"requests", r.requests},
+                    {"requests_per_s", rps},
+                    {"edit_p50_ms", r.p50_ms},
+                    {"edit_p99_ms", r.p99_ms}});
+  }
+
+  server.request_stop();
+  runner.join();
+  bench_json_write("BENCH_serve.json");
+  return 0;
+}

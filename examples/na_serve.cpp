@@ -1,0 +1,182 @@
+// na_serve — the schematic-as-a-service daemon (DESIGN §10).
+//
+// Serves line-delimited JSON over TCP: many named RegenSessions, edits
+// dispatched onto one work-stealing pool, per-session ordering, graceful
+// SIGINT/SIGTERM shutdown that saves dirty sessions and flushes traces.
+//
+//   na_serve --port 0 --threads 4 --state-dir /tmp/na-state \
+//            --trace serve.trace.json --stats json
+//
+// With --port 0 the kernel picks the port; --port-file writes the bound
+// port so scripts (examples/serve_demo.sh) can find it.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/obs_options.hpp"
+#include "obs/trace.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --port N          TCP port to listen on (0 = ephemeral; default 0)\n"
+      "  --port-file PATH  write the bound port to PATH (for scripts)\n"
+      "  --threads N       edit-dispatch pool workers (default 4)\n"
+      "  --router-threads N  router workers inside one edit (default 1)\n"
+      "  --state-dir PATH  session save/restore directory (default: off)\n"
+      "  --max-line N      request line cap in bytes (default 1 MiB)\n"
+      "  --flush-events N  stream-flush the trace above N buffered events\n"
+      "                    (default 4096)\n"
+      "  --trace PATH      stream a Chrome trace to PATH while serving\n"
+      "  --stats text|json|off  emit service counters on exit (default off)\n",
+      argv0);
+}
+
+bool int_arg(const char* value, const char* flag, long lo, long hi, long* out) {
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || v < lo || v > hi) {
+    std::fprintf(stderr, "na_serve: bad value for %s: '%s'\n", flag, value);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace na;
+
+  serve::ServerOptions opt;
+  std::string port_file;
+  obs::ObsOptions obs_opt;
+  long router_threads = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "na_serve: %s needs a value\n", flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      usage(argv[0]);
+      return 0;
+    }
+    long v = 0;
+    if (flag == "--port") {
+      const char* s = next();
+      if (s == nullptr || !int_arg(s, "--port", 0, 65535, &v)) return 2;
+      opt.port = static_cast<int>(v);
+    } else if (flag == "--port-file") {
+      const char* s = next();
+      if (s == nullptr) return 2;
+      port_file = s;
+    } else if (flag == "--threads") {
+      const char* s = next();
+      if (s == nullptr || !int_arg(s, "--threads", 1, 256, &v)) return 2;
+      opt.host.threads = static_cast<int>(v);
+    } else if (flag == "--router-threads") {
+      const char* s = next();
+      if (s == nullptr || !int_arg(s, "--router-threads", 1, 256, &v)) return 2;
+      router_threads = v;
+    } else if (flag == "--state-dir") {
+      const char* s = next();
+      if (s == nullptr) return 2;
+      opt.host.state_dir = s;
+    } else if (flag == "--max-line") {
+      const char* s = next();
+      if (s == nullptr || !int_arg(s, "--max-line", 64, 1L << 28, &v)) return 2;
+      opt.max_line = static_cast<size_t>(v);
+    } else if (flag == "--flush-events") {
+      const char* s = next();
+      if (s == nullptr || !int_arg(s, "--flush-events", 0, 1L << 30, &v)) {
+        return 2;
+      }
+      opt.trace_flush_events = static_cast<size_t>(v);
+    } else if (flag == "--trace") {
+      const char* s = next();
+      if (s == nullptr) return 2;
+      obs_opt.trace_path = s;
+    } else if (flag == "--stats") {
+      const char* s = next();
+      if (s == nullptr) return 2;
+      try {
+        obs_opt.stats = obs::parse_stats_mode(s);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "na_serve: %s\n", e.what());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "na_serve: unknown flag '%s'\n", flag.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  opt.host.regen.generator.router.threads = static_cast<int>(router_threads);
+
+  // Daemon tracing streams: buffered events are flushed at pool-idle
+  // points while serving instead of accumulating until exit.
+  if (!obs_opt.trace_path.empty()) {
+    if (!obs::trace_compiled_in()) {
+      std::fprintf(stderr,
+                   "na_serve: --trace requested but tracing was compiled out "
+                   "(NA_TRACE=OFF); continuing without\n");
+    } else {
+      obs::trace_enable();
+      if (!obs::trace_stream_open(obs_opt.trace_path)) {
+        std::fprintf(stderr, "na_serve: cannot open trace file %s\n",
+                     obs_opt.trace_path.c_str());
+        return 1;
+      }
+    }
+  }
+
+  serve::Server server(opt);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "na_serve: %s\n", error.c_str());
+    return 1;
+  }
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "na_serve: cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%d\n", server.port());
+    std::fclose(f);
+  }
+  serve::install_signal_handlers(server);
+  std::fprintf(stderr, "na_serve: listening on %s:%d (threads=%d%s%s)\n",
+               opt.bind_address.c_str(), server.port(), opt.host.threads,
+               opt.host.state_dir.empty() ? "" : ", state-dir=",
+               opt.host.state_dir.c_str());
+
+  server.run();  // blocks until SIGINT/SIGTERM or a shutdown request
+
+  if (obs::trace_stream_active()) obs::trace_stream_close();
+  std::fprintf(stderr, "na_serve: stopped after %lld requests\n",
+               server.counters().requests);
+  if (obs_opt.stats != obs::ObsOptions::Stats::kOff) {
+    obs::MetricsRegistry reg;
+    const serve::Server::Counters c = server.counters();
+    reg.set("serve.connections", c.connections);
+    reg.set("serve.requests", c.requests);
+    reg.set("serve.errors", c.errors);
+    server.host().absorb_stats(reg);
+    std::fputs((obs_opt.stats == obs::ObsOptions::Stats::kJson
+                    ? reg.to_json()
+                    : reg.to_text())
+                   .c_str(),
+               stdout);
+  }
+  return 0;
+}

@@ -75,7 +75,22 @@ class RegenSession {
   /// Re-seeds the session from an externally produced diagram — e.g. one
   /// reloaded through escher_reader after an editor restart, or a careful
   /// hand placement.  `dia` must wrap a network equal to `net`.
+  /// Partition/box structure is re-derived from scratch; for an exact
+  /// continuation of a previous session use save()/restore().
   void adopt(const Network& net, const Diagram& dia);
+
+  /// Serialises the whole session — network, partition/box structure, and
+  /// the routed diagram (as an ESCHER file via escher_writer) — into one
+  /// text blob a later process can restore().  Requires a diagram.
+  std::string save() const;
+
+  /// Rebuilds a session from save() output: the restored session holds an
+  /// equal network, the *same* partition/box structure (not a re-derived
+  /// one), and a geometry-identical diagram, so the next update() produces
+  /// byte-identical output to the session that was saved.  Counters start
+  /// at zero.  Throws std::runtime_error with a line number on malformed
+  /// input.
+  void restore(std::string_view text);
 
   bool has_diagram() const { return dia_ != nullptr; }
   const Diagram& diagram() const;

@@ -86,6 +86,12 @@ JsonWriter& JsonWriter::key(std::string_view k) {
   return *this;
 }
 
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(long long v) {
   before_value();
   char buf[32];

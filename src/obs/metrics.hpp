@@ -45,11 +45,14 @@ class JsonWriter {
   JsonWriter& begin_array();
   JsonWriter& end_array();
   JsonWriter& key(std::string_view k);
+  JsonWriter& value(bool v);  ///< JSON true/false
   JsonWriter& value(long long v);
   JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
   JsonWriter& value(long v) { return value(static_cast<long long>(v)); }
   JsonWriter& value(double v);  ///< %.3f — timers are milliseconds
   JsonWriter& value(std::string_view v);
+  /// Keeps string literals away from the bool overload.
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
   JsonWriter& value(const MetricValue& v);
   /// key + value in one call.
   template <typename T>

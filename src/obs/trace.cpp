@@ -26,12 +26,20 @@ struct Event {
 struct ThreadBuffer {
   int tid = 0;
   std::vector<Event> events;
+  /// Recording sequence number of events[0] — nonzero once a streaming
+  /// flush has dropped earlier events, so per-thread `seq` stays globally
+  /// monotonic across chunks.
+  std::uint64_t seq_base = 0;
 };
 
 struct Registry {
   std::mutex mu;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers;
   std::uint64_t epoch = 0;  ///< steady_clock ns at first enable; 0 = unset
+  // Streaming flush state (trace_stream_*): open file plus whether any
+  // event was already written (comma placement).
+  std::FILE* stream = nullptr;
+  bool stream_wrote_any = false;
 
   static Registry& instance() {
     static Registry* r = new Registry;  // leaked: outlives thread exit
@@ -90,6 +98,55 @@ void append_us(std::string& out, std::uint64_t ns) {
   out += buf;
 }
 
+/// (ts, tid, seq) comparator shared by the one-shot and streaming flush:
+/// byte-stable output for a fixed event set.
+bool event_order(const TraceEventView& a, const TraceEventView& b) {
+  if (a.ts != b.ts) return a.ts < b.ts;
+  if (a.tid != b.tid) return a.tid < b.tid;
+  return a.seq < b.seq;
+}
+
+/// Serialises one event as a Chrome trace-event object (no separator).
+void append_event_json(std::string& out, const TraceEventView& e) {
+  char buf[64];
+  out += "{\"name\":\"";
+  append_json_escaped(out, e.name);
+  out += "\",\"cat\":\"na\",\"ph\":\"";
+  out += e.ph;
+  out += "\",\"ts\":";
+  append_us(out, e.ts);
+  if (e.ph == 'X') {
+    out += ",\"dur\":";
+    append_us(out, e.dur);
+  } else if (e.ph == 'i') {
+    out += ",\"s\":\"t\"";  // thread-scoped instant
+  }  // counters ('C') carry only their args
+  std::snprintf(buf, sizeof buf, ",\"pid\":1,\"tid\":%d", e.tid);
+  out += buf;
+  if (!e.args.empty()) {
+    out += ",\"args\":{";
+    for (size_t a = 0; a < e.args.size(); ++a) {
+      if (a > 0) out += ',';
+      out += '"';
+      append_json_escaped(out, e.args[a].key);
+      out += "\":";
+      if (e.args[a].str != nullptr) {
+        out += '"';
+        append_json_escaped(out, e.args[a].str);
+        out += '"';
+      } else {
+        std::snprintf(buf, sizeof buf, "%lld", e.args[a].value);
+        out += buf;
+      }
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+constexpr const char* kJsonHeader = "{\"traceEvents\":[\n";
+constexpr const char* kJsonFooter = "],\"displayTimeUnit\":\"ms\"}\n";
+
 }  // namespace
 
 namespace detail {
@@ -146,7 +203,10 @@ bool trace_enabled() { return detail::on(); }
 void trace_reset() {
   Registry& reg = Registry::instance();
   std::lock_guard lock(reg.mu);
-  for (auto& buf : reg.buffers) buf->events.clear();
+  for (auto& buf : reg.buffers) {
+    buf->events.clear();
+    buf->seq_base = 0;
+  }
   reg.epoch = 0;
 }
 
@@ -158,7 +218,8 @@ std::vector<TraceEventView> trace_events() {
     for (const auto& buf : reg.buffers) {
       for (std::uint64_t i = 0; i < buf->events.size(); ++i) {
         const Event& e = buf->events[i];
-        TraceEventView v{e.name, e.ts, e.dur, buf->tid, i, e.ph, {}};
+        TraceEventView v{e.name, e.ts, e.dur, buf->tid, buf->seq_base + i,
+                         e.ph,   {}};
         v.args.assign(e.args, e.args + e.nargs);
         out.push_back(std::move(v));
       }
@@ -166,12 +227,7 @@ std::vector<TraceEventView> trace_events() {
   }
   // Merge sort: global timestamp order, ties broken by (tid, seq) so the
   // result is deterministic for a fixed event set.
-  std::stable_sort(out.begin(), out.end(),
-                   [](const TraceEventView& a, const TraceEventView& b) {
-                     if (a.ts != b.ts) return a.ts < b.ts;
-                     if (a.tid != b.tid) return a.tid < b.tid;
-                     return a.seq < b.seq;
-                   });
+  std::stable_sort(out.begin(), out.end(), event_order);
   return out;
 }
 
@@ -179,47 +235,13 @@ std::string trace_to_json() {
   const std::vector<TraceEventView> events = trace_events();
   std::string out;
   out.reserve(events.size() * 96 + 64);
-  out += "{\"traceEvents\":[\n";
-  char buf[64];
+  out += kJsonHeader;
   for (size_t i = 0; i < events.size(); ++i) {
-    const TraceEventView& e = events[i];
-    out += "{\"name\":\"";
-    append_json_escaped(out, e.name);
-    out += "\",\"cat\":\"na\",\"ph\":\"";
-    out += e.ph;
-    out += "\",\"ts\":";
-    append_us(out, e.ts);
-    if (e.ph == 'X') {
-      out += ",\"dur\":";
-      append_us(out, e.dur);
-    } else if (e.ph == 'i') {
-      out += ",\"s\":\"t\"";  // thread-scoped instant
-    }  // counters ('C') carry only their args
-    std::snprintf(buf, sizeof buf, ",\"pid\":1,\"tid\":%d", e.tid);
-    out += buf;
-    if (!e.args.empty()) {
-      out += ",\"args\":{";
-      for (size_t a = 0; a < e.args.size(); ++a) {
-        if (a > 0) out += ',';
-        out += '"';
-        append_json_escaped(out, e.args[a].key);
-        out += "\":";
-        if (e.args[a].str != nullptr) {
-          out += '"';
-          append_json_escaped(out, e.args[a].str);
-          out += '"';
-        } else {
-          std::snprintf(buf, sizeof buf, "%lld", e.args[a].value);
-          out += buf;
-        }
-      }
-      out += '}';
-    }
-    out += '}';
+    append_event_json(out, events[i]);
     if (i + 1 < events.size()) out += ',';
     out += '\n';
   }
-  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  out += kJsonFooter;
   return out;
 }
 
@@ -230,6 +252,85 @@ bool trace_write(const std::string& path) {
   const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   const bool closed = std::fclose(f) == 0;
   return wrote && closed;
+}
+
+bool trace_stream_open(const std::string& path) {
+  Registry& reg = Registry::instance();
+  std::lock_guard lock(reg.mu);
+  if (reg.stream != nullptr) return false;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  if (std::fputs(kJsonHeader, f) < 0) {
+    std::fclose(f);
+    return false;
+  }
+  reg.stream = f;
+  reg.stream_wrote_any = false;
+  return true;
+}
+
+size_t trace_stream_flush() {
+  Registry& reg = Registry::instance();
+  // Everything under the registry lock: flushes happen at quiescent points,
+  // so holding it across the file write contends with nothing.
+  std::vector<TraceEventView> events;
+  std::FILE* f = nullptr;
+  {
+    std::lock_guard lock(reg.mu);
+    if (reg.stream == nullptr) return 0;
+    f = reg.stream;
+    for (auto& buf : reg.buffers) {
+      for (std::uint64_t i = 0; i < buf->events.size(); ++i) {
+        const Event& e = buf->events[i];
+        TraceEventView v{e.name, e.ts, e.dur, buf->tid, buf->seq_base + i,
+                         e.ph,   {}};
+        v.args.assign(e.args, e.args + e.nargs);
+        events.push_back(std::move(v));
+      }
+      buf->seq_base += buf->events.size();
+      buf->events.clear();
+    }
+    if (events.empty()) return 0;
+    std::stable_sort(events.begin(), events.end(), event_order);
+    std::string out;
+    out.reserve(events.size() * 96);
+    for (const TraceEventView& e : events) {
+      if (reg.stream_wrote_any) out += ",\n";
+      append_event_json(out, e);
+      reg.stream_wrote_any = true;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fflush(f);
+  }
+  return events.size();
+}
+
+bool trace_stream_close() {
+  trace_stream_flush();
+  Registry& reg = Registry::instance();
+  std::lock_guard lock(reg.mu);
+  if (reg.stream == nullptr) return false;
+  bool ok = true;
+  if (reg.stream_wrote_any) ok = std::fputc('\n', reg.stream) != EOF;
+  ok = std::fputs(kJsonFooter, reg.stream) >= 0 && ok;
+  ok = std::fclose(reg.stream) == 0 && ok;
+  reg.stream = nullptr;
+  reg.stream_wrote_any = false;
+  return ok;
+}
+
+bool trace_stream_active() {
+  Registry& reg = Registry::instance();
+  std::lock_guard lock(reg.mu);
+  return reg.stream != nullptr;
+}
+
+size_t trace_buffered_events() {
+  Registry& reg = Registry::instance();
+  std::lock_guard lock(reg.mu);
+  size_t n = 0;
+  for (const auto& buf : reg.buffers) n += buf->events.size();
+  return n;
 }
 
 }  // namespace na::obs

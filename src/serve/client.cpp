@@ -1,0 +1,100 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace na::serve {
+
+BlockingClient::~BlockingClient() { close(); }
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buf_(std::move(other.buf_)) {}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buf_ = std::move(other.buf_);
+  }
+  return *this;
+}
+
+bool BlockingClient::connect(const std::string& host, int port,
+                             std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad address " + host;
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = host + ":" + std::to_string(port) + ": " + std::strerror(errno);
+    }
+    close();
+    return false;
+  }
+  return true;
+}
+
+void BlockingClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buf_.clear();
+}
+
+bool BlockingClient::send_line(std::string_view line) {
+  if (fd_ < 0) return false;
+  std::string out(line);
+  out.push_back('\n');
+  size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::write(fd_, out.data() + off, out.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool BlockingClient::recv_line(std::string* line) {
+  if (fd_ < 0) return false;
+  for (;;) {
+    const size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buf_, 0, nl);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+std::string BlockingClient::request(std::string_view line) {
+  std::string response;
+  if (!send_line(line) || !recv_line(&response)) return {};
+  return response;
+}
+
+}  // namespace na::serve

@@ -1,0 +1,39 @@
+// BlockingClient — minimal synchronous na_serve client for tests, benches
+// and the example transcript: connect to loopback, send one request line,
+// block for one response line.  Not thread-safe; one client per thread.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace na::serve {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Connects to host:port; false + message on failure.
+  bool connect(const std::string& host, int port, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one line (newline appended); false on a broken connection.
+  bool send_line(std::string_view line);
+  /// Blocks for the next response line (newline stripped); false on EOF.
+  bool recv_line(std::string* line);
+  /// send_line + recv_line; empty string on failure.
+  std::string request(std::string_view line);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  ///< bytes read past the last returned line
+};
+
+}  // namespace na::serve

@@ -1,0 +1,319 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace na::serve {
+namespace {
+
+/// write(2) until everything is out; false on a broken pipe.
+bool write_all(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool send_line(int fd, std::string line) {
+  line.push_back('\n');
+  return write_all(fd, line.data(), line.size());
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opt) : opt_(std::move(opt)), host_(opt_.host) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+bool Server::start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(opt_.port));
+  if (::inet_pton(AF_INET, opt_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad bind address " + opt_.bind_address;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) {
+      *error = "bind " + opt_.bind_address + ":" +
+               std::to_string(opt_.port) + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  return true;
+}
+
+void Server::run() {
+  // Accept loop with a ~100ms stop tick: poll() wakes either for a new
+  // connection or to re-check the (signal-settable) stop flag.
+  while (!stopping()) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&p, 1, 100);
+    if (r <= 0) continue;  // timeout, EINTR: re-check stop flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard lock(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+    {
+      std::lock_guard clock(counters_mu_);
+      ++counters_.connections;
+    }
+  }
+
+  // Graceful drain: no new connections, EOF every reader (the request it
+  // is serving still completes and responds), join, persist, flush.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard lock(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+
+  host_.save_dirty_sessions();
+  host_.pool().wait_idle();
+  if (obs::trace_stream_active()) obs::trace_stream_flush();
+}
+
+Server::Counters Server::counters() const {
+  std::lock_guard lock(counters_mu_);
+  return counters_;
+}
+
+void Server::serve_connection(int fd) {
+  std::string buf;
+  char chunk[4096];
+  bool discarding = false;  // oversized line: drop bytes to the next '\n'
+  bool close_conn = false;
+  while (!close_conn) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed or SHUT_RD during shutdown
+    buf.append(chunk, static_cast<size_t>(n));
+
+    size_t start = 0;
+    for (;;) {
+      const size_t nl = buf.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string_view line(buf.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      start = nl + 1;
+      if (discarding) {  // tail of an oversized line: swallow silently
+        discarding = false;
+        continue;
+      }
+      if (line.empty()) continue;
+      if (!send_line(fd, handle_line(line, &close_conn)) || close_conn) {
+        close_conn = true;
+        break;
+      }
+      maybe_flush_trace();
+    }
+    buf.erase(0, start);
+
+    if (!close_conn && !discarding && buf.size() > opt_.max_line) {
+      // No newline within the cap: reject now, then discard the rest of
+      // the line as it streams in.  The connection survives.
+      discarding = true;
+      buf.clear();
+      {
+        std::lock_guard lock(counters_mu_);
+        ++counters_.requests;
+        ++counters_.errors;
+      }
+      if (!send_line(fd, error_response(err::kLineTooLong,
+                                        "request line exceeds " +
+                                            std::to_string(opt_.max_line) +
+                                            " bytes"))) {
+        break;
+      }
+    }
+  }
+  ::close(fd);
+  std::lock_guard lock(conn_mu_);
+  for (size_t i = 0; i < conn_fds_.size(); ++i) {
+    if (conn_fds_[i] == fd) {
+      conn_fds_.erase(conn_fds_.begin() + i);
+      break;
+    }
+  }
+}
+
+std::string Server::handle_line(std::string_view line, bool* close_conn) {
+  // Shared side of the flush gate: the trace flusher waits for every
+  // in-flight request before touching the buffers.
+  std::shared_lock gate(flush_gate_);
+  NA_TRACE_SPAN(span, "serve.request");
+  {
+    std::lock_guard lock(counters_mu_);
+    ++counters_.requests;
+  }
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const ProtocolError& e) {
+    std::lock_guard lock(counters_mu_);
+    ++counters_.errors;
+    return error_response(e.code(), e.what());
+  }
+  span.arg("op", to_string(req.op));
+  if (stopping() && req.op != Op::kPing) {
+    return error_response(err::kShuttingDown, "server is shutting down",
+                          req.id);
+  }
+  return handle_request(req, close_conn);
+}
+
+std::string Server::handle_request(const Request& req, bool* close_conn) {
+  HostResult r;
+  switch (req.op) {
+    case Op::kPing:
+      break;
+    case Op::kOpen:
+      r = host_.open(req.session, req.design, req.restore);
+      break;
+    case Op::kEdit:
+      r = host_.edit(req.session, req.edits);
+      break;
+    case Op::kGet:
+      r = host_.get(req.session, req.format);
+      break;
+    case Op::kStats:
+      return stats_response(req.id);
+    case Op::kSave:
+      r = host_.save(req.session);
+      break;
+    case Op::kClose:
+      r = host_.close(req.session);
+      break;
+    case Op::kShutdown:
+      request_stop();
+      *close_conn = true;
+      break;
+  }
+  if (!r.ok) {
+    std::lock_guard lock(counters_mu_);
+    ++counters_.errors;
+    return error_response(r.error_code, r.message, req.id);
+  }
+
+  obs::JsonWriter w;
+  w.begin_object().field("ok", true).field("op", std::string_view(to_string(req.op)));
+  if (req.id >= 0) w.field("id", req.id);
+  switch (req.op) {
+    case Op::kOpen:
+    case Op::kEdit:
+      w.field("seq", r.seq)
+          .field("full_regen", r.full_regen)
+          .field("nets_rerouted", r.nets_rerouted)
+          .field("nets_kept", r.nets_kept);
+      break;
+    case Op::kGet:
+      w.field("seq", r.seq).field("payload", std::string_view(r.payload));
+      break;
+    case Op::kSave:
+      w.field("seq", r.seq);
+      if (!r.payload.empty()) {  // no state dir: blob travels inline
+        w.field("payload", std::string_view(r.payload));
+      }
+      break;
+    default:
+      break;
+  }
+  w.end_object();
+  return w.take();
+}
+
+std::string Server::stats_response(long long id) {
+  obs::MetricsRegistry reg;
+  {
+    std::lock_guard lock(counters_mu_);
+    reg.set("serve.connections", counters_.connections);
+    reg.set("serve.requests", counters_.requests);
+    reg.set("serve.errors", counters_.errors);
+  }
+  host_.absorb_stats(reg);
+  obs::JsonWriter w;
+  w.begin_object().field("ok", true).field("op", std::string_view("stats"));
+  if (id >= 0) w.field("id", id);
+  // to_json() is a complete document (with a trailing newline — strip it,
+  // responses are single lines); splice it as the "metrics" field.
+  w.key("metrics");
+  std::string out = w.take();
+  std::string doc = reg.to_json();
+  while (!doc.empty() && doc.back() == '\n') doc.pop_back();
+  out += doc;
+  out += '}';
+  return out;
+}
+
+void Server::maybe_flush_trace() {
+  if (opt_.trace_flush_events == 0 || !obs::trace_stream_active()) return;
+  if (obs::trace_buffered_events() < opt_.trace_flush_events) return;
+  // Exclusive side of the gate: no request is running, so once the pool
+  // drains the recorder is quiescent and the flush is byte-stable.
+  std::unique_lock gate(flush_gate_);
+  if (obs::trace_buffered_events() < opt_.trace_flush_events) return;
+  host_.pool().wait_idle();
+  obs::trace_stream_flush();
+}
+
+namespace {
+std::atomic<Server*> g_signal_server{nullptr};
+
+void stop_on_signal(int) {
+  if (Server* s = g_signal_server.load(std::memory_order_relaxed)) {
+    s->request_stop();  // one relaxed atomic store: async-signal-safe
+  }
+}
+}  // namespace
+
+void install_signal_handlers(Server& server) {
+  g_signal_server.store(&server, std::memory_order_relaxed);
+  struct sigaction sa{};
+  sa.sa_handler = stop_on_signal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace na::serve

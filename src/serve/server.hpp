@@ -1,0 +1,109 @@
+// The na_serve daemon: TCP listener + thread-per-connection line reader on
+// top of SessionHost.
+//
+// Lifecycle: construct -> start() binds/listens (port 0 picks an ephemeral
+// port, readable via port()) -> run() blocks serving until request_stop().
+// request_stop() only stores an atomic flag, so it is safe to call from a
+// signal handler (install_signal_handlers wires SIGINT/SIGTERM to it); the
+// accept loop polls the flag every ~100ms.
+//
+// Graceful shutdown, in order: stop accepting, shut down the read side of
+// every live connection (in-flight requests finish and get their response,
+// the next read sees EOF), join connection threads, save every dirty
+// session to the state dir, and take a final streaming trace flush.
+//
+// Trace flushing in a live daemon: when the process streams its trace
+// (--trace with NA_TRACE=ON), buffered events are flushed whenever they
+// exceed `trace_flush_events`.  Flushing is only safe at quiescence, so a
+// shared_mutex gates it: every request holds it shared while it runs; the
+// flusher takes it exclusive (no request running), waits for the pool to
+// go idle, and only then flushes.  That keeps the streamed file byte-
+// identical to a one-shot trace_write of the same events.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/session_host.hpp"
+
+namespace na::serve {
+
+struct ServerOptions {
+  /// TCP port; 0 asks the kernel for an ephemeral one (tests do this).
+  int port = 0;
+  /// Bind address.  Loopback by default: the protocol has no auth.
+  std::string bind_address = "127.0.0.1";
+  HostOptions host;
+  /// Per-request line cap; longer lines answer err::kLineTooLong.
+  size_t max_line = kMaxLineBytes;
+  /// Streaming trace flush threshold (buffered events); 0 never flushes
+  /// mid-run.  Only relevant when a trace stream is open.
+  size_t trace_flush_events = 4096;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens.  False + message on failure (port in use, ...).
+  bool start(std::string* error);
+
+  /// The bound port (after start); useful with port 0.
+  int port() const { return port_; }
+
+  /// Serves until request_stop(), then drains and saves.  Call once.
+  void run();
+
+  /// Async-signal-safe stop request.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+  bool stopping() const { return stop_.load(std::memory_order_relaxed); }
+
+  SessionHost& host() { return host_; }
+
+  /// Connection/request counters (for the stats op and tests).
+  struct Counters {
+    long long connections = 0;
+    long long requests = 0;
+    long long errors = 0;
+  };
+  Counters counters() const;
+
+ private:
+  void serve_connection(int fd);
+  /// Handles one request line; returns the response line (no newline).
+  /// Sets *close_conn when the connection should end after responding.
+  std::string handle_line(std::string_view line, bool* close_conn);
+  std::string handle_request(const Request& req, bool* close_conn);
+  std::string stats_response(long long id);
+  void maybe_flush_trace();
+
+  ServerOptions opt_;
+  SessionHost host_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;  ///< live sockets, for shutdown(SHUT_RD)
+
+  /// Requests hold this shared; the trace flusher takes it exclusive.
+  std::shared_mutex flush_gate_;
+
+  mutable std::mutex counters_mu_;
+  Counters counters_;
+};
+
+/// Routes SIGINT and SIGTERM to server.request_stop().  The handler only
+/// touches an atomic flag.  One server at a time.
+void install_signal_handlers(Server& server);
+
+}  // namespace na::serve

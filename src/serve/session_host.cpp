@@ -1,0 +1,375 @@
+#include "serve/session_host.hpp"
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <sstream>
+
+#include "gen/chain.hpp"
+#include "gen/controller.hpp"
+#include "gen/datapath.hpp"
+#include "gen/life.hpp"
+#include "incremental/edit.hpp"
+#include "obs/stats_absorb.hpp"
+#include "obs/trace.hpp"
+#include "schematic/ascii_writer.hpp"
+#include "schematic/escher_writer.hpp"
+#include "schematic/svg_writer.hpp"
+
+namespace na::serve {
+namespace {
+
+/// Session names become file names under the state dir — restrict them to
+/// a path-safe alphabet instead of sanitising.
+bool valid_session_name(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return name != "." && name != "..";
+}
+
+void apply_edit(NetworkEditor& ed, const EditCmd& cmd) {
+  using K = EditCmd::Kind;
+  switch (cmd.kind) {
+    case K::kAddModule:
+      ed.add_module(cmd.name, cmd.template_name, cmd.pos);
+      break;
+    case K::kRemoveModule:
+      ed.remove_module(cmd.name);
+      break;
+    case K::kResizeModule:
+      ed.resize_module(cmd.name, cmd.pos);
+      break;
+    case K::kAddTerminal:
+      ed.add_module_terminal(cmd.module, cmd.name, cmd.type, cmd.pos);
+      break;
+    case K::kMoveTerminal:
+      ed.move_terminal(cmd.module, cmd.term, cmd.pos);
+      break;
+    case K::kConnect:
+      ed.connect(cmd.net, cmd.module, cmd.term);
+      break;
+    case K::kDisconnect:
+      ed.disconnect(cmd.module, cmd.term);
+      break;
+    case K::kRemoveNet:
+      ed.remove_net(cmd.net);
+      break;
+    case K::kAddSystemTerminal:
+      ed.add_system_terminal(cmd.name, cmd.type);
+      break;
+    case K::kRemoveSystemTerminal:
+      ed.remove_system_terminal(cmd.name);
+      break;
+  }
+}
+
+}  // namespace
+
+Network design_network(const std::string& design) {
+  if (design == "life") return gen::life_network();
+  if (design == "controller") return gen::controller_network();
+  if (design == "chain") return gen::chain_network({});
+  if (design == "datapath" || design.rfind("datapath:", 0) == 0) {
+    gen::DatapathOptions opt;
+    if (const size_t colon = design.find(':'); colon != std::string::npos) {
+      const std::string_view bits(design.data() + colon + 1,
+                                  design.size() - colon - 1);
+      int v = 0;
+      const auto [ptr, ec] =
+          std::from_chars(bits.data(), bits.data() + bits.size(), v);
+      if (ec != std::errc{} || ptr != bits.data() + bits.size() || v < 1 ||
+          v > 64) {
+        throw ProtocolError(err::kBadDesign,
+                            "bad datapath bit count '" + std::string(bits) + "'");
+      }
+      opt.bits = v;
+    }
+    return gen::datapath_network(opt);
+  }
+  throw ProtocolError(err::kBadDesign, "unknown design '" + design +
+                                           "' (life|controller|chain|datapath[:bits])");
+}
+
+SessionHost::SessionHost(HostOptions opt)
+    : opt_(std::move(opt)),
+      lib_(ModuleLibrary::standard_cells()),
+      pool_(opt_.threads) {
+  if (!opt_.state_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opt_.state_dir, ec);  // best effort
+  }
+}
+
+SessionHost::~SessionHost() { pool_.wait_idle(); }
+
+std::shared_ptr<SessionHost::Session> SessionHost::find(
+    const std::string& name) const {
+  std::lock_guard lock(sessions_mu_);
+  const auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::string SessionHost::state_path(const std::string& name) const {
+  return opt_.state_dir + "/" + name + ".session";
+}
+
+HostResult SessionHost::run_on_pool(std::function<HostResult()> fn) {
+  std::promise<HostResult> prom;
+  std::future<HostResult> fut = prom.get_future();
+  pool_.submit([&prom, &fn] {  // pool tasks must not throw
+    try {
+      prom.set_value(fn());
+    } catch (const ProtocolError& e) {
+      prom.set_value(HostResult::error(e.code(), e.what()));
+    } catch (const std::exception& e) {
+      prom.set_value(HostResult::error(err::kInternal, e.what()));
+    }
+  });
+  return fut.get();
+}
+
+HostResult SessionHost::open(const std::string& name, const std::string& design,
+                             bool restore) {
+  if (!valid_session_name(name)) {
+    return HostResult::error(err::kBadRequest,
+                             "bad session name '" + name + "'");
+  }
+  std::string text;
+  if (restore) {
+    if (opt_.state_dir.empty()) {
+      return HostResult::error(err::kNoStateDir,
+                               "server runs without --state-dir");
+    }
+    std::ifstream in(state_path(name));
+    if (!in) {
+      return HostResult::error(err::kNoSuchSession,
+                               "no saved session '" + name + "'");
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+
+  auto session = std::make_shared<Session>(opt_.regen);
+  session->design = design;
+  {
+    std::lock_guard lock(sessions_mu_);
+    const auto [it, inserted] = sessions_.emplace(name, session);
+    if (!inserted) {
+      return HostResult::error(err::kSessionExists,
+                               "session '" + name + "' already open");
+    }
+  }
+
+  // First generation (or restore) on the pool, like every other mutation.
+  HostResult r = run_on_pool([&]() -> HostResult {
+    NA_TRACE_SPAN(span, "serve.open");
+    span.arg("restore", restore ? 1 : 0);
+    std::lock_guard lock(session->mu);
+    if (restore) {
+      session->regen.restore(text);
+    } else {
+      session->regen.update(design_network(design));
+    }
+    session->current = session->regen.network();
+    HostResult ok;
+    ok.full_regen = !restore;
+    ok.nets_rerouted = session->regen.last().nets_rerouted;
+    ok.nets_kept = session->current.net_count();
+    return ok;
+  });
+  if (!r.ok) {  // bad design / corrupt state file: drop the table entry
+    std::lock_guard lock(sessions_mu_);
+    sessions_.erase(name);
+  }
+  return r;
+}
+
+HostResult SessionHost::edit(const std::string& name,
+                             const std::vector<EditCmd>& cmds) {
+  auto session = find(name);
+  if (session == nullptr) {
+    return HostResult::error(err::kNoSuchSession,
+                             "no open session '" + name + "'");
+  }
+  return run_on_pool([&]() -> HostResult {
+    NA_TRACE_SPAN(span, "serve.edit");
+    span.arg("edits", static_cast<long long>(cmds.size()));
+    std::lock_guard lock(session->mu);
+    Network next = [&] {
+      try {
+        NetworkEditor ed(session->current);
+        for (const EditCmd& cmd : cmds) apply_edit(ed, cmd);
+        return ed.build();
+      } catch (const std::exception& e) {
+        // The editor worked on a copy: a bad edit script leaves the
+        // session exactly as it was.
+        throw ProtocolError(err::kBadEdit, e.what());
+      }
+    }();
+    session->regen.update(next);
+    session->current = std::move(next);
+    ++session->seq;
+    session->dirty = true;
+    const RegenCounters& last = session->regen.last();
+    HostResult ok;
+    ok.seq = session->seq;
+    ok.full_regen = last.full_regens > 0;
+    ok.nets_rerouted = last.nets_rerouted;
+    ok.nets_kept = last.nets_kept;
+    span.arg("seq", ok.seq);
+    span.arg("full", ok.full_regen ? 1 : 0);
+    return ok;
+  });
+}
+
+HostResult SessionHost::get(const std::string& name,
+                            const std::string& format) {
+  auto session = find(name);
+  if (session == nullptr) {
+    return HostResult::error(err::kNoSuchSession,
+                             "no open session '" + name + "'");
+  }
+  std::lock_guard lock(session->mu);
+  if (!session->regen.has_diagram()) {
+    return HostResult::error(err::kInternal, "session has no diagram");
+  }
+  HostResult r;
+  if (format == "svg") {
+    r.payload = to_svg(session->regen.diagram());
+  } else if (format == "ascii") {
+    r.payload = to_ascii(session->regen.diagram());
+  } else {
+    r.payload = to_escher_diagram(session->regen.diagram(), name);
+  }
+  r.seq = session->seq;
+  return r;
+}
+
+HostResult SessionHost::save_locked(Session& s, const std::string& name) {
+  HostResult r;
+  std::string text;
+  try {
+    text = s.regen.save();
+  } catch (const std::exception& e) {
+    return HostResult::error(err::kInternal, e.what());
+  }
+  if (opt_.state_dir.empty()) {
+    r.payload = std::move(text);
+    return r;
+  }
+  std::ofstream out(state_path(name), std::ios::trunc);
+  out << text;
+  out.close();
+  if (!out) {
+    return HostResult::error(err::kInternal,
+                             "cannot write " + state_path(name));
+  }
+  s.dirty = false;
+  r.seq = s.seq;
+  return r;
+}
+
+HostResult SessionHost::save(const std::string& name) {
+  auto session = find(name);
+  if (session == nullptr) {
+    return HostResult::error(err::kNoSuchSession,
+                             "no open session '" + name + "'");
+  }
+  std::lock_guard lock(session->mu);
+  return save_locked(*session, name);
+}
+
+HostResult SessionHost::close(const std::string& name) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard lock(sessions_mu_);
+    const auto it = sessions_.find(name);
+    if (it == sessions_.end()) {
+      return HostResult::error(err::kNoSuchSession,
+                               "no open session '" + name + "'");
+    }
+    session = it->second;
+    sessions_.erase(it);
+  }
+  // Waits for any in-flight job of this session, then saves final state.
+  std::lock_guard lock(session->mu);
+  if (session->dirty && !opt_.state_dir.empty()) {
+    return save_locked(*session, name);
+  }
+  return HostResult{};
+}
+
+int SessionHost::save_dirty_sessions() {
+  if (opt_.state_dir.empty()) return 0;
+  std::vector<std::pair<std::string, std::shared_ptr<Session>>> all;
+  {
+    std::lock_guard lock(sessions_mu_);
+    all.assign(sessions_.begin(), sessions_.end());
+  }
+  int saved = 0;
+  for (auto& [name, session] : all) {
+    std::lock_guard lock(session->mu);
+    if (session->dirty && save_locked(*session, name).ok) ++saved;
+  }
+  return saved;
+}
+
+int SessionHost::open_sessions() const {
+  std::lock_guard lock(sessions_mu_);
+  return static_cast<int>(sessions_.size());
+}
+
+void SessionHost::absorb_stats(obs::MetricsRegistry& reg) const {
+  std::vector<std::shared_ptr<Session>> all;
+  {
+    std::lock_guard lock(sessions_mu_);
+    all.reserve(sessions_.size());
+    for (const auto& [name, session] : sessions_) all.push_back(session);
+  }
+  reg.set("serve.sessions_open", static_cast<long long>(all.size()));
+  long long edits = 0;
+  RegenCounters sum;
+  ParallelRouteStats spec;
+  for (const auto& session : all) {
+    std::lock_guard lock(session->mu);
+    edits += session->seq;
+    const RegenCounters& t = session->regen.totals();
+    sum.updates += t.updates;
+    sum.incremental += t.incremental;
+    sum.full_regens += t.full_regens;
+    sum.modules_replaced += t.modules_replaced;
+    sum.modules_frozen += t.modules_frozen;
+    sum.nets_kept += t.nets_kept;
+    sum.nets_rerouted += t.nets_rerouted;
+    sum.nets_extended += t.nets_extended;
+    sum.cells_scrubbed += t.cells_scrubbed;
+    sum.route_expansions += t.route_expansions;
+    sum.region_validations += t.region_validations;
+    sum.full_validations += t.full_validations;
+    sum.validate_ms += t.validate_ms;
+    const ParallelRouteStats& s = session->regen.speculation();
+    spec.nets_speculated += s.nets_speculated;
+    spec.commits_clean += s.commits_clean;
+    spec.reroutes += s.reroutes;
+    spec.nets_gated += s.nets_gated;
+    spec.nets_respeculated += s.nets_respeculated;
+    spec.respec_hits += s.respec_hits;
+    spec.respec_stale += s.respec_stale;
+  }
+  reg.set("serve.edits_applied", edits);
+  obs::absorb(reg, sum);
+  obs::absorb(reg, spec);
+  const ThreadPool::Stats pool = pool_.stats();
+  reg.set("serve.pool.peak_queued", pool.peak_queued);
+  reg.set("serve.pool.urgent_drained", pool.urgent_drained);
+  reg.set("serve.trace_buffered_events",
+          static_cast<long long>(obs::trace_buffered_events()));
+}
+
+}  // namespace na::serve

@@ -1,0 +1,143 @@
+// SessionHost — the daemon's session table: many named RegenSessions, one
+// shared immutable ModuleLibrary, one work-stealing pool.
+//
+// Concurrency model (DESIGN §10 argues determinism from it):
+//   * every session mutation (open's first full generation, every edit,
+//     restore) runs as a job on the shared ThreadPool, the caller blocking
+//     on a future — the pool is the single place compute happens, so pool
+//     pressure counters cover the whole service;
+//   * a per-session mutex serialises jobs touching one session — edits to
+//     one session are totally ordered (the response's `seq` is the order),
+//     edits to different sessions run concurrently;
+//   * the session table itself is a second, short-hold mutex (lookup and
+//     insert only — never held while a session works);
+//   * reads (get/save) lock only the session mutex on the calling thread:
+//     they copy bytes out, no placement/routing work to schedule.
+//
+// Because RegenSession::update is deterministic for a given (network,
+// diagram, options) state and edits against one session are serialised,
+// the diagram a session holds after edit #k is a pure function of its
+// open design and the edit sequence — independent of what other sessions
+// do concurrently.  That is the cross-session isolation serve_test pins.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "incremental/session.hpp"
+#include "netlist/module_library.hpp"
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+
+namespace na::serve {
+
+struct HostOptions {
+  /// Workers of the shared edit-dispatch pool.
+  int threads = 4;
+  /// Per-session generator/regen settings.  router.threads stays 1 by
+  /// default: the service parallelises across sessions, not inside one
+  /// edit (nested pools oversubscribe).
+  RegenOptions regen;
+  /// Directory for save/restore; empty disables persistence (save returns
+  /// the blob inline, open+restore fails).
+  std::string state_dir;
+};
+
+/// Outcome of one host call.  `ok` false carries a protocol error code.
+struct HostResult {
+  bool ok = true;
+  const char* error_code = nullptr;
+  std::string message;
+  /// edit: 1-based per-session edit sequence number after applying.
+  long long seq = 0;
+  /// edit: whether the update fell back to a full regeneration.
+  bool full_regen = false;
+  int nets_rerouted = 0;
+  int nets_kept = 0;
+  /// get/save-without-state-dir: the requested bytes.
+  std::string payload;
+
+  static HostResult error(const char* code, std::string message) {
+    HostResult r;
+    r.ok = false;
+    r.error_code = code;
+    r.message = std::move(message);
+    return r;
+  }
+};
+
+class SessionHost {
+ public:
+  explicit SessionHost(HostOptions opt);
+  ~SessionHost();
+  SessionHost(const SessionHost&) = delete;
+  SessionHost& operator=(const SessionHost&) = delete;
+
+  /// Creates session `name` from a design string ("life", "controller",
+  /// "chain", "datapath[:bits]"), or reloads it from the state dir when
+  /// `restore` is set.  The initial full generation runs on the pool.
+  HostResult open(const std::string& name, const std::string& design,
+                  bool restore);
+
+  /// Applies an edit script to session `name` on the pool (serialised with
+  /// every other job of that session; concurrent with other sessions).
+  HostResult edit(const std::string& name, const std::vector<EditCmd>& cmds);
+
+  /// Renders the session's current diagram ("escher", "svg", "ascii").
+  HostResult get(const std::string& name, const std::string& format);
+
+  /// Persists the session: into `<state_dir>/<name>.session` when a state
+  /// dir is configured, else inline in the result payload.
+  HostResult save(const std::string& name);
+
+  /// Drops the session (saving it first when a state dir is configured
+  /// and it has unsaved edits).
+  HostResult close(const std::string& name);
+
+  /// Saves every session with unsaved edits; returns how many were
+  /// written.  The graceful-shutdown path.  No-op without a state dir.
+  int save_dirty_sessions();
+
+  /// Service-level counters plus per-session regen totals (aggregated).
+  void absorb_stats(obs::MetricsRegistry& reg) const;
+
+  int open_sessions() const;
+  ThreadPool& pool() { return pool_; }
+  const std::string& state_dir() const { return opt_.state_dir; }
+  const ModuleLibrary& library() const { return lib_; }
+
+ private:
+  struct Session {
+    std::mutex mu;  ///< per-session serialization
+    RegenSession regen;
+    Network current;     ///< the network state edits build on
+    long long seq = 0;   ///< applied edits
+    bool dirty = false;  ///< has edits not yet saved
+    std::string design;
+
+    explicit Session(RegenOptions opt) : regen(std::move(opt)) {}
+  };
+
+  std::shared_ptr<Session> find(const std::string& name) const;
+  std::string state_path(const std::string& name) const;
+  /// Runs `fn` on the pool and blocks for its result.
+  HostResult run_on_pool(std::function<HostResult()> fn);
+  HostResult save_locked(Session& s, const std::string& name);
+
+  HostOptions opt_;
+  const ModuleLibrary lib_;  ///< shared immutable template cache
+  ThreadPool pool_;
+  mutable std::mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+};
+
+/// Builds the network for a design string; throws ProtocolError
+/// (err::kBadDesign) on anything unknown.  Exposed for tests/benches that
+/// want the reference network without a host.
+Network design_network(const std::string& design);
+
+}  // namespace na::serve

@@ -14,6 +14,7 @@
 #include "incremental/session.hpp"
 #include "route/net_order.hpp"
 #include "route/router.hpp"
+#include "schematic/escher_writer.hpp"
 #include "schematic/metrics.hpp"
 #include "schematic/validate.hpp"
 
@@ -302,6 +303,85 @@ TEST(IncrementalParallel, PatchRouteIsThreadCountInvariant) {
         << edited.net(n).name;
   }
   EXPECT_TRUE(validate_diagram(par).empty());
+}
+
+// ----- session save/restore --------------------------------------------------
+
+// The daemon contract (na_serve kill/restart): save() captures network,
+// partition/box structure and routed diagram; restore() rebuilds a session
+// whose next update() is byte-identical to the one the original session
+// would have produced.
+TEST(SessionPersistence, RoutedLifeSessionRoundTrips) {
+  const RegenOptions opt = life_options();
+  RegenSession original(opt);
+  Network net = gen::life_network();
+  original.update(net);
+
+  // A couple of edits so the saved state is a genuinely patched session,
+  // not a fresh full generation.
+  {
+    NetworkEditor ed(net);
+    ed.add_module("probe", "", {6, 4});
+    ed.add_module_terminal("probe", "t0", TermType::In, {0, 2});
+    net = ed.build();
+    original.update(net);
+  }
+
+  const std::string blob = original.save();
+  EXPECT_EQ(blob.rfind("#NA-SESSION-1", 0), 0u);
+
+  RegenSession reloaded(opt);
+  reloaded.restore(blob);
+  EXPECT_TRUE(reloaded.has_diagram());
+  EXPECT_EQ(reloaded.totals().updates, 0) << "counters start at zero";
+
+  // Identical geometry right away...
+  EXPECT_EQ(to_escher_diagram(reloaded.diagram(), "s"),
+            to_escher_diagram(original.diagram(), "s"));
+  // ...and the *same* placement structure, so the next edit diverges
+  // nowhere: apply one more edit to both sessions and compare bytes.
+  NetworkEditor ed(net);
+  ed.move_terminal("rule11", "we", {6, 11});
+  const Network edited = ed.build();
+  const Diagram& a = original.update(edited);
+  const Diagram& b = reloaded.update(edited);
+  EXPECT_EQ(to_escher_diagram(b, "s"), to_escher_diagram(a, "s"))
+      << "restored session diverged on the first post-restore edit";
+  EXPECT_EQ(reloaded.last().incremental, original.last().incremental);
+  EXPECT_EQ(reloaded.last().nets_rerouted, original.last().nets_rerouted);
+  EXPECT_TRUE(validate_diagram(b).empty());
+}
+
+TEST(SessionPersistence, SaveRequiresDiagramAndRestoreIsStrict) {
+  RegenSession empty;
+  EXPECT_THROW(empty.save(), std::exception);
+
+  RegenSession session(datapath_options());
+  session.update(gen::datapath_network({}));
+  const std::string blob = session.save();
+
+  const char* bad[] = {
+      "",
+      "#WRONG-HEADER-1\n",
+      "#NA-SESSION-1\nmodule not-a-number 4 m\n",
+      "#NA-SESSION-1\nterm 0 in 0 0 t\n",  // terminal before any module
+      "#NA-SESSION-1\nconn 99 99\n",
+      "#NA-SESSION-1\nmodule 4 4 m\n",  // truncated: no end marker
+  };
+  for (const char* text : bad) {
+    RegenSession scratch;
+    EXPECT_THROW(scratch.restore(text), std::runtime_error)
+        << "input: " << text;
+  }
+
+  // Corrupting a structural line inside a valid blob must also throw, not
+  // install half a session.
+  std::string corrupt = blob;
+  const size_t at = corrupt.find("\npart ");
+  ASSERT_NE(at, std::string::npos);
+  corrupt.replace(at, 6, "\npart x");
+  RegenSession scratch;
+  EXPECT_THROW(scratch.restore(corrupt), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,332 @@
+// End-to-end tests of the na_serve daemon over loopback: protocol round
+// trips, per-session edit ordering under concurrent clients, cross-session
+// isolation (16 concurrent sessions — the acceptance bar), kill/restart
+// with byte-identical continuation, malformed traffic on a live socket and
+// graceful shutdown.  Everything binds port 0 (ephemeral), so parallel
+// ctest runs never collide.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "incremental/edit.hpp"
+#include "incremental/session.hpp"
+#include "schematic/escher_writer.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+using namespace na;
+using namespace na::serve;
+
+namespace {
+
+/// A started server + the thread running it; stops on destruction.
+struct LiveServer {
+  explicit LiveServer(ServerOptions opt = {}) : server(make(std::move(opt))) {
+    std::string error;
+    ok = server.start(&error);
+    EXPECT_TRUE(ok) << error;
+    if (ok) thread = std::thread([this] { server.run(); });
+  }
+  ~LiveServer() { stop(); }
+  void stop() {
+    if (thread.joinable()) {
+      server.request_stop();
+      thread.join();
+    }
+  }
+  BlockingClient connect() {
+    BlockingClient c;
+    std::string error;
+    EXPECT_TRUE(c.connect("127.0.0.1", server.port(), &error)) << error;
+    return c;
+  }
+  static ServerOptions make(ServerOptions opt) {
+    opt.port = 0;
+    return opt;
+  }
+
+  Server server;
+  std::thread thread;
+  bool ok = false;
+};
+
+bool is_ok(const std::string& response) {
+  return response.rfind(R"({"ok":true)", 0) == 0;
+}
+
+std::string field_code(const std::string& response) {
+  const size_t at = response.find("\"code\":\"");
+  if (at == std::string::npos) return {};
+  const size_t begin = at + 8;
+  return response.substr(begin, response.find('"', begin) - begin);
+}
+
+long long field_seq(const std::string& response) {
+  const size_t at = response.find("\"seq\":");
+  if (at == std::string::npos) return -1;
+  return std::strtoll(response.c_str() + at + 6, nullptr, 10);
+}
+
+/// Extracts the decoded "payload" string of a get/save response.
+std::string field_payload(const std::string& response) {
+  const size_t key = response.find("\"payload\":\"");
+  if (key == std::string::npos) return {};
+  std::string out;
+  for (size_t i = key + 11; i < response.size(); ++i) {
+    char c = response[i];
+    if (c == '"') break;
+    if (c == '\\') {
+      const char e = response[++i];
+      if (e == 'n') c = '\n';
+      else if (e == 't') c = '\t';
+      else if (e == 'r') c = '\r';
+      else if (e == 'u') {  // payloads are ASCII; decode \u00XX only
+        c = static_cast<char>(std::strtol(response.substr(i + 1, 4).c_str(),
+                                          nullptr, 16));
+        i += 4;
+      } else c = e;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string edit_line(const std::string& session, int i) {
+  return R"({"op":"edit","session":")" + session + R"(","edits":[)" +
+         R"({"kind":"add_module","name":"mod)" + std::to_string(i) +
+         R"(","template":"","w":4,"h":3}]})";
+}
+
+/// What the server should produce for `session` after the same edits,
+/// computed with a local RegenSession (the determinism reference).
+std::string local_reference(const std::string& design,
+                            const std::string& session, int edits) {
+  RegenSession regen{RegenOptions{}};
+  Network net = design_network(design);
+  regen.update(net);
+  for (int i = 0; i < edits; ++i) {
+    NetworkEditor ed(net);
+    ed.add_module("mod" + std::to_string(i), "", {4, 3});
+    net = ed.build();
+    regen.update(net);
+  }
+  return to_escher_diagram(regen.diagram(), session);
+}
+
+}  // namespace
+
+TEST(Serve, OpenEditGetMatchesLocalSession) {
+  LiveServer live;
+  BlockingClient c = live.connect();
+
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"open","session":"a","design":"chain"})")));
+  for (int i = 0; i < 3; ++i) {
+    const std::string r = c.request(edit_line("a", i));
+    ASSERT_TRUE(is_ok(r)) << r;
+    EXPECT_EQ(field_seq(r), i + 1);
+  }
+  const std::string got =
+      field_payload(c.request(R"({"op":"get","session":"a"})"));
+  EXPECT_EQ(got, local_reference("chain", "a", 3));
+}
+
+TEST(Serve, PerSessionOrderingUnderConcurrentClients) {
+  LiveServer live;
+  ASSERT_TRUE(
+      is_ok(live.connect().request(R"({"op":"open","session":"s","design":"chain"})")));
+
+  // 4 clients hammer one session.  Each must see strictly increasing seq
+  // numbers (its own edits are ordered), and the union must be exactly
+  // 1..N (edits are never lost or double-counted).
+  constexpr int kClients = 4, kEditsEach = 5;
+  std::vector<std::vector<long long>> seen(kClients);
+  std::vector<std::thread> threads;
+  std::atomic<int> counter{0};
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      BlockingClient c = live.connect();
+      for (int i = 0; i < kEditsEach; ++i) {
+        const std::string r =
+            c.request(edit_line("s", counter.fetch_add(1)));
+        ASSERT_TRUE(is_ok(r)) << r;
+        seen[t].push_back(field_seq(r));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::vector<long long> all;
+  for (const auto& per_client : seen) {
+    for (size_t i = 1; i < per_client.size(); ++i) {
+      EXPECT_LT(per_client[i - 1], per_client[i]);  // per-client order
+    }
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), size_t{kClients * kEditsEach});
+  for (int i = 0; i < kClients * kEditsEach; ++i) EXPECT_EQ(all[i], i + 1);
+}
+
+TEST(Serve, SixteenConcurrentSessionsStayIsolated) {
+  ServerOptions opt;
+  opt.host.threads = 8;
+  LiveServer live(opt);
+
+  // The acceptance bar: 16 sessions, one client each, edited concurrently.
+  // Every session's final diagram must equal the single-session reference —
+  // concurrency across sessions must not leak into any session's output.
+  constexpr int kSessions = 16, kEdits = 3;
+  std::vector<std::string> results(kSessions);
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&, s] {
+      const std::string name = "iso" + std::to_string(s);
+      BlockingClient c = live.connect();
+      ASSERT_TRUE(is_ok(c.request(R"({"op":"open","session":")" + name +
+                                  R"(","design":"chain"})")));
+      for (int i = 0; i < kEdits; ++i) {
+        ASSERT_TRUE(is_ok(c.request(edit_line(name, i))));
+      }
+      results[s] =
+          field_payload(c.request(R"({"op":"get","session":")" + name + R"("})"));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int s = 0; s < kSessions; ++s) {
+    const std::string name = "iso" + std::to_string(s);
+    EXPECT_EQ(results[s], local_reference("chain", name, kEdits))
+        << "session " << name << " diverged";
+  }
+  EXPECT_EQ(live.server.host().open_sessions(), kSessions);
+}
+
+TEST(Serve, KillRestartRestoresByteIdentical) {
+  const std::string state =
+      (std::filesystem::temp_directory_path() /
+       ("na_serve_test_state_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(state);
+
+  // Reference: one continuous session, 2 edits, then render.
+  const std::string want = local_reference("chain", "k", 2);
+
+  ServerOptions opt;
+  opt.host.state_dir = state;
+  {
+    LiveServer first(opt);
+    BlockingClient c = first.connect();
+    ASSERT_TRUE(is_ok(c.request(R"({"op":"open","session":"k","design":"chain"})")));
+    ASSERT_TRUE(is_ok(c.request(edit_line("k", 0))));
+    // No explicit save: graceful stop must persist the dirty session.
+    first.stop();
+  }
+  ASSERT_TRUE(std::filesystem::exists(state + "/k.session"));
+
+  {
+    LiveServer second(opt);
+    BlockingClient c = second.connect();
+    ASSERT_TRUE(is_ok(c.request(R"({"op":"open","session":"k","restore":true})")));
+    const std::string r = c.request(edit_line("k", 1));
+    ASSERT_TRUE(is_ok(r)) << r;
+    const std::string got =
+        field_payload(c.request(R"({"op":"get","session":"k"})"));
+    EXPECT_EQ(got, want) << "restored session diverged from the "
+                            "never-restarted reference";
+  }
+  std::filesystem::remove_all(state);
+}
+
+TEST(Serve, MalformedTrafficKeepsConnectionAlive) {
+  ServerOptions opt;
+  opt.max_line = 4096;  // small cap so the oversized-line test is cheap
+  LiveServer live(opt);
+  BlockingClient c = live.connect();
+
+  EXPECT_EQ(field_code(c.request("{broken")), "bad_json");
+  EXPECT_EQ(field_code(c.request(R"({"op":"levitate"})")), "unknown_op");
+  EXPECT_EQ(field_code(c.request(R"({"op":"edit","session":"ghost","edits":[)"
+                                 R"({"kind":"remove_net","net":"n"}]})")),
+            "no_such_session");
+  EXPECT_EQ(field_code(c.request(R"({"op":"open","session":"x","design":"tnt"})")),
+            "bad_design");
+  EXPECT_EQ(field_code(c.request(R"({"op":"open","session":"../evil","design":"chain"})")),
+            "bad_request");
+
+  // Oversized line: rejected, discarded, connection survives.
+  std::string huge = R"({"op":"ping","pad":")";
+  huge.append(8192, 'x');
+  huge += R"("})";
+  EXPECT_EQ(field_code(c.request(huge)), "line_too_long");
+
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"open","session":"x","design":"chain"})")));
+  EXPECT_EQ(field_code(c.request(R"({"op":"open","session":"x","design":"chain"})")),
+            "session_exists");
+
+  // A bad edit script must leave the session exactly as it was.
+  const std::string before =
+      field_payload(c.request(R"({"op":"get","session":"x"})"));
+  EXPECT_EQ(field_code(c.request(
+                R"({"op":"edit","session":"x","edits":[)"
+                R"({"kind":"remove_module","name":"no_such_module"}]})")),
+            "bad_edit");
+  EXPECT_EQ(field_payload(c.request(R"({"op":"get","session":"x"})")), before);
+
+  // Still fully functional after the whole gauntlet.
+  EXPECT_TRUE(is_ok(c.request(R"({"op":"ping"})")));
+}
+
+TEST(Serve, SaveWithoutStateDirReturnsBlobInline) {
+  LiveServer live;
+  BlockingClient c = live.connect();
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"open","session":"b","design":"chain"})")));
+  const std::string r = c.request(R"({"op":"save","session":"b"})");
+  ASSERT_TRUE(is_ok(r));
+  EXPECT_EQ(field_payload(r).rfind("#NA-SESSION-1", 0), 0u);
+  // But open+restore without a state dir is a structured error.
+  EXPECT_EQ(field_code(c.request(R"({"op":"open","session":"r2","restore":true})")),
+            "no_state_dir");
+}
+
+TEST(Serve, ShutdownRequestStopsServer) {
+  LiveServer live;
+  BlockingClient c = live.connect();
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"open","session":"z","design":"chain"})")));
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"shutdown"})")));
+  live.thread.join();  // run() returns on its own
+  EXPECT_TRUE(live.server.stopping());
+}
+
+TEST(Serve, SigtermStopsServer) {
+  LiveServer live;
+  install_signal_handlers(live.server);
+  BlockingClient c = live.connect();
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"ping"})")));
+  ::raise(SIGTERM);
+  live.thread.join();
+  EXPECT_TRUE(live.server.stopping());
+  // Restore default dispositions for the rest of the test binary.
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+}
+
+TEST(Serve, StatsReportServiceCounters) {
+  LiveServer live;
+  BlockingClient c = live.connect();
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"open","session":"m","design":"chain"})")));
+  ASSERT_TRUE(is_ok(c.request(edit_line("m", 0))));
+  const std::string r = c.request(R"({"op":"stats"})");
+  ASSERT_TRUE(is_ok(r)) << r;
+  EXPECT_NE(r.find("\"serve.requests\":"), std::string::npos);
+  EXPECT_NE(r.find("\"serve.sessions_open\":1"), std::string::npos);
+  EXPECT_NE(r.find("\"serve.edits_applied\":1"), std::string::npos);
+  EXPECT_NE(r.find("\"regen.updates\":"), std::string::npos);
+}
