@@ -1,16 +1,19 @@
 // Service tier — na_serve throughput and edit latency over loopback.
 //
-// Starts an in-process serve::Server on an ephemeral port and drives it
-// with 1, 4 and 16 concurrent sessions (one BlockingClient per session,
-// one thread per client).  Every client opens a "chain" session and
-// applies a fixed number of single-module edits, timing each request
-// round-trip.  Reports requests/sec and the p50/p99 edit latency per
-// concurrency level — the numbers the README's service walkthrough
-// quotes.
+// Starts an in-process serve::Server (event-loop connection plane, 4 I/O
+// threads) on an ephemeral port and drives it with 1, 4, 16, 64 and 256
+// concurrent sessions (one BlockingClient per session, one thread per
+// client).  Every client opens a "chain" session and applies a fixed
+// number of single-module edits, timing each request round-trip.  Reports
+// requests/sec, the p50/p99 edit latency and the edit-coalescing batch
+// histogram per concurrency level — the numbers the README's service
+// walkthrough quotes.
 //
 // Emits BENCH_serve.json (same schema_version envelope as the other
-// benches).  NA_SERVE_BENCH_EDITS caps the per-session edit count (the
-// ctest `serve` smoke runs with 4 so the default suite stays fast).
+// benches).  NA_SERVE_BENCH_EDITS caps the per-session edit count and
+// NA_SERVE_BENCH_MAX_SESSIONS drops the top concurrency levels (the
+// ctest `serve` smoke runs with 4 edits and a 64-session cap so the
+// default suite stays fast; the 256-connection row is bench-only).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -47,6 +50,33 @@ std::string edit_line(const std::string& session, int i) {
          R"(","template":"","w":4,"h":3}]})";
 }
 
+/// Integer value of a metric inside a stats response ("key":value).
+long long metric_value(const std::string& stats, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = stats.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::strtoll(stats.c_str() + at + needle.size(), nullptr, 10);
+}
+
+/// Cumulative edit-coalescing counters, read off a stats round trip.
+struct BatchSnapshot {
+  long long jobs = 0, edits = 0;
+  long long hist[5] = {0, 0, 0, 0, 0};
+
+  static BatchSnapshot read(serve::BlockingClient& c) {
+    const std::string stats = c.request(R"({"op":"stats"})");
+    BatchSnapshot s;
+    s.jobs = metric_value(stats, "serve.batch.jobs");
+    s.edits = metric_value(stats, "serve.batch.edits");
+    static const char* kHist[5] = {"serve.batch.hist_1", "serve.batch.hist_2_3",
+                                   "serve.batch.hist_4_7",
+                                   "serve.batch.hist_8_15",
+                                   "serve.batch.hist_16p"};
+    for (int i = 0; i < 5; ++i) s.hist[i] = metric_value(stats, kHist[i]);
+    return s;
+  }
+};
+
 struct LevelResult {
   double wall_ms = 0;       ///< open-to-close wall clock of the whole level
   long long requests = 0;   ///< edit requests completed across all sessions
@@ -75,7 +105,9 @@ LevelResult run_level(int port, int sessions, int edits) {
         const std::string r = c.request(edit_line(name, i));
         lat[s].push_back(ms_since(e0));
         if (r.rfind(R"({"ok":true)", 0) != 0) {
-          std::fprintf(stderr, "edit failed: %s\n", r.c_str());
+          std::fprintf(stderr, "edit failed: %s\n",
+                       r.empty() ? ("transport: " + c.last_error()).c_str()
+                                 : r.c_str());
           return;
         }
       }
@@ -104,10 +136,15 @@ int main() {
   if (const char* cap = std::getenv("NA_SERVE_BENCH_EDITS")) {
     edits = std::max(1, std::atoi(cap));
   }
+  int max_sessions = 256;
+  if (const char* cap = std::getenv("NA_SERVE_BENCH_MAX_SESSIONS")) {
+    max_sessions = std::max(1, std::atoi(cap));
+  }
 
   serve::ServerOptions opt;
   opt.port = 0;
   opt.host.threads = 8;
+  opt.io_threads = 4;
   serve::Server server(opt);
   std::string error;
   if (!server.start(&error)) {
@@ -117,20 +154,45 @@ int main() {
   std::thread runner([&server] { server.run(); });
   const int port = server.port();
 
-  std::printf("na_serve bench: port %d, %d edits/session\n\n", port, edits);
-  std::printf("%10s %12s %12s %12s %12s\n", "sessions", "req/s", "p50 ms",
-              "p99 ms", "wall ms");
-  for (const int sessions : {1, 4, 16}) {
+  serve::BlockingClient control;
+  if (!control.connect("127.0.0.1", port, &error)) {
+    std::fprintf(stderr, "control connect failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::printf("na_serve bench: port %d, %d edits/session, io_threads=%d\n\n",
+              port, edits, opt.io_threads);
+  std::printf("%10s %12s %12s %12s %12s %10s %10s\n", "sessions", "req/s",
+              "p50 ms", "p99 ms", "wall ms", "batch jobs", "avg batch");
+  for (const int sessions : {1, 4, 16, 64, 256}) {
+    if (sessions > max_sessions) {
+      std::printf("%10d       (skipped: NA_SERVE_BENCH_MAX_SESSIONS=%d)\n",
+                  sessions, max_sessions);
+      continue;
+    }
+    const BatchSnapshot before = BatchSnapshot::read(control);
     const LevelResult r = run_level(port, sessions, edits);
+    const BatchSnapshot after = BatchSnapshot::read(control);
     const double rps = r.requests / (r.wall_ms / 1e3);
-    std::printf("%10d %12.0f %12.2f %12.2f %12.1f\n", sessions, rps, r.p50_ms,
-                r.p99_ms, r.wall_ms);
+    const long long jobs = after.jobs - before.jobs;
+    const long long batched = after.edits - before.edits;
+    std::printf("%10d %12.0f %12.2f %12.2f %12.1f %10lld %10s\n", sessions,
+                rps, r.p50_ms, r.p99_ms, r.wall_ms, jobs,
+                jobs > 0 ? std::to_string((batched + jobs - 1) / jobs).c_str()
+                         : "-");
     bench_json_add("serve", "sessions=" + std::to_string(sessions), r.wall_ms,
                    0,
                    {{"requests", r.requests},
                     {"requests_per_s", rps},
                     {"edit_p50_ms", r.p50_ms},
-                    {"edit_p99_ms", r.p99_ms}});
+                    {"edit_p99_ms", r.p99_ms},
+                    {"batch_jobs", jobs},
+                    {"batch_edits", batched},
+                    {"batch_hist_1", after.hist[0] - before.hist[0]},
+                    {"batch_hist_2_3", after.hist[1] - before.hist[1]},
+                    {"batch_hist_4_7", after.hist[2] - before.hist[2]},
+                    {"batch_hist_8_15", after.hist[3] - before.hist[3]},
+                    {"batch_hist_16p", after.hist[4] - before.hist[4]}});
   }
 
   server.request_stop();

@@ -26,6 +26,8 @@ void usage(const char* argv0) {
       "  --port N          TCP port to listen on (0 = ephemeral; default 0)\n"
       "  --port-file PATH  write the bound port to PATH (for scripts)\n"
       "  --threads N       edit-dispatch pool workers (default 4)\n"
+      "  --io-threads N    event-loop I/O threads of the connection plane\n"
+      "                    (default 2)\n"
       "  --router-threads N  router workers inside one edit (default 1)\n"
       "  --state-dir PATH  session save/restore directory (default: off)\n"
       "  --max-line N      request line cap in bytes (default 1 MiB)\n"
@@ -83,6 +85,10 @@ int main(int argc, char** argv) {
       const char* s = next();
       if (s == nullptr || !int_arg(s, "--threads", 1, 256, &v)) return 2;
       opt.host.threads = static_cast<int>(v);
+    } else if (flag == "--io-threads") {
+      const char* s = next();
+      if (s == nullptr || !int_arg(s, "--io-threads", 1, 64, &v)) return 2;
+      opt.io_threads = static_cast<int>(v);
     } else if (flag == "--router-threads") {
       const char* s = next();
       if (s == nullptr || !int_arg(s, "--router-threads", 1, 256, &v)) return 2;
@@ -155,8 +161,10 @@ int main(int argc, char** argv) {
     std::fclose(f);
   }
   serve::install_signal_handlers(server);
-  std::fprintf(stderr, "na_serve: listening on %s:%d (threads=%d%s%s)\n",
+  std::fprintf(stderr,
+               "na_serve: listening on %s:%d (threads=%d, io-threads=%d%s%s)\n",
                opt.bind_address.c_str(), server.port(), opt.host.threads,
+               opt.io_threads,
                opt.host.state_dir.empty() ? "" : ", state-dir=",
                opt.host.state_dir.c_str());
 

@@ -14,13 +14,16 @@ namespace na::serve {
 BlockingClient::~BlockingClient() { close(); }
 
 BlockingClient::BlockingClient(BlockingClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buf_(std::move(other.buf_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      buf_(std::move(other.buf_)),
+      last_error_(std::move(other.last_error_)) {}
 
 BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     buf_ = std::move(other.buf_);
+    last_error_ = std::move(other.last_error_);
   }
   return *this;
 }
@@ -30,24 +33,27 @@ bool BlockingClient::connect(const std::string& host, int port,
   close();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
-    if (error != nullptr) *error = std::strerror(errno);
+    last_error_ = std::strerror(errno);
+    if (error != nullptr) *error = last_error_;
     return false;
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    if (error != nullptr) *error = "bad address " + host;
+    last_error_ = "bad address " + host;
+    if (error != nullptr) *error = last_error_;
     close();
     return false;
   }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (error != nullptr) {
-      *error = host + ":" + std::to_string(port) + ": " + std::strerror(errno);
-    }
+    last_error_ =
+        host + ":" + std::to_string(port) + ": " + std::strerror(errno);
+    if (error != nullptr) *error = last_error_;
     close();
     return false;
   }
+  last_error_.clear();
   return true;
 }
 
@@ -58,14 +64,22 @@ void BlockingClient::close() {
 }
 
 bool BlockingClient::send_line(std::string_view line) {
-  if (fd_ < 0) return false;
+  if (fd_ < 0) {
+    last_error_ = "not connected";
+    return false;
+  }
   std::string out(line);
   out.push_back('\n');
   size_t off = 0;
   while (off < out.size()) {
-    const ssize_t n = ::write(fd_, out.data() + off, out.size() - off);
+    // MSG_NOSIGNAL: a server that closed on us yields EPIPE, not a
+    // process-killing SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      last_error_ = std::string("send: ") +
+                    (n < 0 ? std::strerror(errno) : "connection closed");
       return false;
     }
     off += static_cast<size_t>(n);
@@ -74,7 +88,10 @@ bool BlockingClient::send_line(std::string_view line) {
 }
 
 bool BlockingClient::recv_line(std::string* line) {
-  if (fd_ < 0) return false;
+  if (fd_ < 0) {
+    last_error_ = "not connected";
+    return false;
+  }
   for (;;) {
     const size_t nl = buf_.find('\n');
     if (nl != std::string::npos) {
@@ -86,12 +103,17 @@ bool BlockingClient::recv_line(std::string* line) {
     char chunk[4096];
     const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return false;
+    if (n <= 0) {
+      last_error_ = n < 0 ? std::string("recv: ") + std::strerror(errno)
+                          : "connection closed by server";
+      return false;
+    }
     buf_.append(chunk, static_cast<size_t>(n));
   }
 }
 
 std::string BlockingClient::request(std::string_view line) {
+  last_error_.clear();
   std::string response;
   if (!send_line(line) || !recv_line(&response)) return {};
   return response;

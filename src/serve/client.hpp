@@ -26,14 +26,24 @@ class BlockingClient {
   bool send_line(std::string_view line);
   /// Blocks for the next response line (newline stripped); false on EOF.
   bool recv_line(std::string* line);
-  /// send_line + recv_line; empty string on failure.
+  /// send_line + recv_line; empty string on failure.  An empty return is
+  /// ambiguous on its own (a transport failure and a genuinely empty
+  /// response line both yield "") — check last_error() to distinguish:
+  /// empty means the server really sent an empty line.
   std::string request(std::string_view line);
+
+  /// Human-readable description of the last transport failure on this
+  /// client (connect/send/recv).  Cleared at the start of every request()
+  /// and successful connect(); empty means the last operation's transport
+  /// worked.
+  const std::string& last_error() const { return last_error_; }
 
   int fd() const { return fd_; }
 
  private:
   int fd_ = -1;
   std::string buf_;  ///< bytes read past the last returned line
+  std::string last_error_;
 };
 
 }  // namespace na::serve

@@ -192,4 +192,19 @@ std::string error_response(const char* code, std::string_view message,
   return w.take();
 }
 
+std::string stats_response(const obs::MetricsRegistry& reg, long long id) {
+  obs::JsonWriter w;
+  w.begin_object().field("ok", true).field("op", std::string_view("stats"));
+  if (id >= 0) w.field("id", id);
+  // to_json() is a complete document (with a trailing newline — strip it,
+  // responses are single lines); splice it as the "metrics" field.
+  w.key("metrics");
+  std::string out = w.take();
+  std::string doc = reg.to_json();
+  while (!doc.empty() && doc.back() == '\n') doc.pop_back();
+  out += doc;
+  out += '}';
+  return out;
+}
+
 }  // namespace na::serve

@@ -25,6 +25,11 @@
 //             | {"ok": false, ["id": int,] "error":
 //                  {"code": CODE, "message": string}}
 //
+//   stats    response carries {"metrics": {...}} with serve.connections /
+//   serve.requests / serve.errors, the serve.batch.* edit-coalescing
+//   counters, and aggregated per-session regen totals.  The stats request
+//   itself is not yet counted in the totals it reports.
+//
 // A malformed request (oversized line, bad JSON, unknown op, missing
 // field, wrong session id) gets a structured error response and the
 // connection stays open — only a closed peer or shutdown ends it.
@@ -37,6 +42,10 @@
 
 #include "geom/point.hpp"
 #include "netlist/network.hpp"
+
+namespace na::obs {
+class MetricsRegistry;
+}  // namespace na::obs
 
 namespace na::serve {
 
@@ -115,5 +124,9 @@ Request parse_request(std::string_view line);
 /// One-line error response.  `id` is echoed when >= 0.
 std::string error_response(const char* code, std::string_view message,
                            long long id = -1);
+
+/// One-line stats response embedding the registry's JSON rendering as the
+/// "metrics" field.  `id` is echoed when >= 0.
+std::string stats_response(const obs::MetricsRegistry& reg, long long id = -1);
 
 }  // namespace na::serve

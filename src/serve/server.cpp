@@ -12,28 +12,6 @@
 #include "obs/trace.hpp"
 
 namespace na::serve {
-namespace {
-
-/// write(2) until everything is out; false on a broken pipe.
-bool write_all(int fd, const char* data, size_t len) {
-  size_t off = 0;
-  while (off < len) {
-    const ssize_t n = ::write(fd, data + off, len - off);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-bool send_line(int fd, std::string line) {
-  line.push_back('\n');
-  return write_all(fd, line.data(), line.size());
-}
-
-}  // namespace
 
 Server::Server(ServerOptions opt) : opt_(std::move(opt)), host_(opt_.host) {}
 
@@ -42,6 +20,11 @@ Server::~Server() {
 }
 
 bool Server::start(std::string* error) {
+  // A client that disconnects before its response is written must cost us
+  // an EPIPE, never a process-killing SIGPIPE.  Belt (signal disposition)
+  // and braces (MSG_NOSIGNAL on every send).
+  ::signal(SIGPIPE, SIG_IGN);
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     if (error != nullptr) *error = std::strerror(errno);
@@ -65,7 +48,7 @@ bool Server::start(std::string* error) {
     }
     return false;
   }
-  if (::listen(listen_fd_, 64) != 0) {
+  if (::listen(listen_fd_, 512) != 0) {
     if (error != nullptr) *error = std::strerror(errno);
     return false;
   }
@@ -77,41 +60,67 @@ bool Server::start(std::string* error) {
 }
 
 void Server::run() {
+  flusher_ = std::thread([this] { flusher_main(); });
+
+  const int io_threads = std::max(1, opt_.io_threads);
+  EventLoop::Options loop_opt;
+  loop_opt.max_line = opt_.max_line;
+  for (int i = 0; i < io_threads; ++i) {
+    EventLoop::Callbacks cb;
+    cb.on_line = [this](uint64_t conn, uint64_t ticket, std::string_view line) {
+      on_line(conn, ticket, line);
+    };
+    cb.on_oversized = [this] {
+      std::string r = error_response(
+          err::kLineTooLong, "request line exceeds " +
+                                 std::to_string(opt_.max_line) + " bytes");
+      note_request(r);
+      return r;
+    };
+    loops_.push_back(std::make_unique<EventLoop>(i, loop_opt, std::move(cb)));
+    std::string error;
+    if (!loops_.back()->start(&error)) {
+      // epoll/eventfd creation only fails on fd exhaustion; serve with
+      // however many loops came up (at least one is required).
+      loops_.pop_back();
+    }
+  }
+
   // Accept loop with a ~100ms stop tick: poll() wakes either for a new
   // connection or to re-check the (signal-settable) stop flag.
-  while (!stopping()) {
+  size_t next_loop = 0;
+  while (!stopping() && !loops_.empty()) {
     pollfd p{listen_fd_, POLLIN, 0};
     const int r = ::poll(&p, 1, 100);
     if (r <= 0) continue;  // timeout, EINTR: re-check stop flag
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    std::lock_guard lock(conn_mu_);
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
     {
-      std::lock_guard clock(counters_mu_);
+      std::lock_guard lock(counters_mu_);
       ++counters_.connections;
     }
+    loops_[next_loop]->adopt(fd);
+    next_loop = (next_loop + 1) % loops_.size();
   }
 
-  // Graceful drain: no new connections, EOF every reader (the request it
-  // is serving still completes and responds), join, persist, flush.
+  // Graceful drain: no new connections, every loop stops reading (the
+  // requests it is serving still complete and flush their responses),
+  // join, persist, flush.
   ::close(listen_fd_);
   listen_fd_ = -1;
-  {
-    std::lock_guard lock(conn_mu_);
-    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
-  }
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard lock(conn_mu_);
-    threads.swap(conn_threads_);
-  }
-  for (std::thread& t : threads) t.join();
+  for (auto& loop : loops_) loop->begin_drain();
+  for (auto& loop : loops_) loop->join();
 
   host_.save_dirty_sessions();
   host_.pool().wait_idle();
   if (obs::trace_stream_active()) obs::trace_stream_flush();
+
+  {
+    std::lock_guard lock(flush_mu_);
+    flusher_stop_ = true;
+  }
+  flush_cv_.notify_all();
+  flusher_.join();
 }
 
 Server::Counters Server::counters() const {
@@ -119,127 +128,91 @@ Server::Counters Server::counters() const {
   return counters_;
 }
 
-void Server::serve_connection(int fd) {
-  std::string buf;
-  char chunk[4096];
-  bool discarding = false;  // oversized line: drop bytes to the next '\n'
-  bool close_conn = false;
-  while (!close_conn) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // peer closed or SHUT_RD during shutdown
-    buf.append(chunk, static_cast<size_t>(n));
-
-    size_t start = 0;
-    for (;;) {
-      const size_t nl = buf.find('\n', start);
-      if (nl == std::string::npos) break;
-      std::string_view line(buf.data() + start, nl - start);
-      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-      start = nl + 1;
-      if (discarding) {  // tail of an oversized line: swallow silently
-        discarding = false;
-        continue;
-      }
-      if (line.empty()) continue;
-      if (!send_line(fd, handle_line(line, &close_conn)) || close_conn) {
-        close_conn = true;
-        break;
-      }
-      maybe_flush_trace();
-    }
-    buf.erase(0, start);
-
-    if (!close_conn && !discarding && buf.size() > opt_.max_line) {
-      // No newline within the cap: reject now, then discard the rest of
-      // the line as it streams in.  The connection survives.
-      discarding = true;
-      buf.clear();
-      {
-        std::lock_guard lock(counters_mu_);
-        ++counters_.requests;
-        ++counters_.errors;
-      }
-      if (!send_line(fd, error_response(err::kLineTooLong,
-                                        "request line exceeds " +
-                                            std::to_string(opt_.max_line) +
-                                            " bytes"))) {
-        break;
-      }
-    }
-  }
-  ::close(fd);
-  std::lock_guard lock(conn_mu_);
-  for (size_t i = 0; i < conn_fds_.size(); ++i) {
-    if (conn_fds_[i] == fd) {
-      conn_fds_.erase(conn_fds_.begin() + i);
-      break;
-    }
-  }
+void Server::note_request(const std::string& response) {
+  const bool is_error = response.rfind(R"({"ok":false)", 0) == 0;
+  std::lock_guard lock(counters_mu_);
+  ++counters_.requests;
+  if (is_error) ++counters_.errors;
 }
 
-std::string Server::handle_line(std::string_view line, bool* close_conn) {
-  // Shared side of the flush gate: the trace flusher waits for every
-  // in-flight request before touching the buffers.
-  std::shared_lock gate(flush_gate_);
-  NA_TRACE_SPAN(span, "serve.request");
-  {
-    std::lock_guard lock(counters_mu_);
-    ++counters_.requests;
+void Server::respond(uint64_t conn, uint64_t ticket, std::string response,
+                     bool close_conn) {
+  note_request(response);
+  const int loop = EventLoop::loop_index_of(conn);
+  if (loop >= 0 && loop < static_cast<int>(loops_.size())) {
+    loops_[loop]->complete(conn, ticket, std::move(response), close_conn);
   }
+  nudge_flusher();
+}
+
+void Server::on_line(uint64_t conn, uint64_t ticket, std::string_view line) {
+  // Shared side of the flush gate: parsing and inline handling emit trace
+  // events too.
+  std::shared_lock gate(host_.flush_gate());
+  NA_TRACE_SPAN(span, "serve.request");
   Request req;
   try {
     req = parse_request(line);
   } catch (const ProtocolError& e) {
-    std::lock_guard lock(counters_mu_);
-    ++counters_.errors;
-    return error_response(e.code(), e.what());
+    respond(conn, ticket, error_response(e.code(), e.what()));
+    return;
   }
   span.arg("op", to_string(req.op));
   if (stopping() && req.op != Op::kPing) {
-    return error_response(err::kShuttingDown, "server is shutting down",
-                          req.id);
+    respond(conn, ticket,
+            error_response(err::kShuttingDown, "server is shutting down",
+                           req.id));
+    return;
   }
-  return handle_request(req, close_conn);
+  dispatch(conn, ticket, std::move(req));
 }
 
-std::string Server::handle_request(const Request& req, bool* close_conn) {
-  HostResult r;
-  switch (req.op) {
+void Server::dispatch(uint64_t conn, uint64_t ticket, Request req) {
+  const Op op = req.op;
+  const long long id = req.id;
+  // Session ops answer through this completion, from a pool worker.
+  auto done = [this, conn, ticket, op, id](HostResult r) {
+    if (!r.ok) {
+      respond(conn, ticket, error_response(r.error_code, r.message, id));
+      return;
+    }
+    respond(conn, ticket, render_result(op, id, r));
+  };
+  switch (op) {
     case Op::kPing:
-      break;
-    case Op::kOpen:
-      r = host_.open(req.session, req.design, req.restore);
-      break;
-    case Op::kEdit:
-      r = host_.edit(req.session, req.edits);
-      break;
-    case Op::kGet:
-      r = host_.get(req.session, req.format);
-      break;
+      respond(conn, ticket, render_result(op, id, HostResult{}));
+      return;
     case Op::kStats:
-      return stats_response(req.id);
-    case Op::kSave:
-      r = host_.save(req.session);
-      break;
-    case Op::kClose:
-      r = host_.close(req.session);
-      break;
+      respond(conn, ticket, build_stats_response(id));
+      return;
     case Op::kShutdown:
       request_stop();
-      *close_conn = true;
-      break;
+      respond(conn, ticket, render_result(op, id, HostResult{}),
+              /*close_conn=*/true);
+      return;
+    case Op::kOpen:
+      host_.open_async(req.session, req.design, req.restore, std::move(done));
+      return;
+    case Op::kEdit:
+      host_.edit_async(req.session, std::move(req.edits), std::move(done));
+      return;
+    case Op::kGet:
+      host_.get_async(req.session, req.format, std::move(done));
+      return;
+    case Op::kSave:
+      host_.save_async(req.session, std::move(done));
+      return;
+    case Op::kClose:
+      host_.close_async(req.session, std::move(done));
+      return;
   }
-  if (!r.ok) {
-    std::lock_guard lock(counters_mu_);
-    ++counters_.errors;
-    return error_response(r.error_code, r.message, req.id);
-  }
+}
 
+std::string Server::render_result(Op op, long long id, const HostResult& r) {
   obs::JsonWriter w;
-  w.begin_object().field("ok", true).field("op", std::string_view(to_string(req.op)));
-  if (req.id >= 0) w.field("id", req.id);
-  switch (req.op) {
+  w.begin_object().field("ok", true).field("op", std::string_view(to_string(op)));
+  if (id >= 0) w.field("id", id);
+  switch (op) {
     case Op::kOpen:
     case Op::kEdit:
       w.field("seq", r.seq)
@@ -263,7 +236,7 @@ std::string Server::handle_request(const Request& req, bool* close_conn) {
   return w.take();
 }
 
-std::string Server::stats_response(long long id) {
+std::string Server::build_stats_response(long long id) {
   obs::MetricsRegistry reg;
   {
     std::lock_guard lock(counters_mu_);
@@ -272,29 +245,39 @@ std::string Server::stats_response(long long id) {
     reg.set("serve.errors", counters_.errors);
   }
   host_.absorb_stats(reg);
-  obs::JsonWriter w;
-  w.begin_object().field("ok", true).field("op", std::string_view("stats"));
-  if (id >= 0) w.field("id", id);
-  // to_json() is a complete document (with a trailing newline — strip it,
-  // responses are single lines); splice it as the "metrics" field.
-  w.key("metrics");
-  std::string out = w.take();
-  std::string doc = reg.to_json();
-  while (!doc.empty() && doc.back() == '\n') doc.pop_back();
-  out += doc;
-  out += '}';
-  return out;
+  return stats_response(reg, id);
 }
 
-void Server::maybe_flush_trace() {
+void Server::nudge_flusher() {
   if (opt_.trace_flush_events == 0 || !obs::trace_stream_active()) return;
   if (obs::trace_buffered_events() < opt_.trace_flush_events) return;
-  // Exclusive side of the gate: no request is running, so once the pool
-  // drains the recorder is quiescent and the flush is byte-stable.
-  std::unique_lock gate(flush_gate_);
-  if (obs::trace_buffered_events() < opt_.trace_flush_events) return;
-  host_.pool().wait_idle();
-  obs::trace_stream_flush();
+  {
+    std::lock_guard lock(flush_mu_);
+    flush_nudged_ = true;
+  }
+  flush_cv_.notify_one();
+}
+
+void Server::flusher_main() {
+  std::unique_lock lk(flush_mu_);
+  for (;;) {
+    flush_cv_.wait(lk, [this] { return flusher_stop_ || flush_nudged_; });
+    if (flusher_stop_) return;
+    flush_nudged_ = false;
+    lk.unlock();
+    {
+      // Exclusive side of the gate: no request is parsing or executing,
+      // and every op body joined its nested routing work before it
+      // released its shared hold — the recorder is quiescent, so the
+      // flush is byte-stable.
+      std::unique_lock gate(host_.flush_gate());
+      if (obs::trace_stream_active() &&
+          obs::trace_buffered_events() >= opt_.trace_flush_events) {
+        obs::trace_stream_flush();
+      }
+    }
+    lk.lock();
+  }
 }
 
 namespace {

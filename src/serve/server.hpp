@@ -1,34 +1,47 @@
-// The na_serve daemon: TCP listener + thread-per-connection line reader on
-// top of SessionHost.
+// The na_serve daemon: TCP listener + an epoll event-loop connection
+// plane (serve/event_loop.hpp) on top of SessionHost.
 //
-// Lifecycle: construct -> start() binds/listens (port 0 picks an ephemeral
-// port, readable via port()) -> run() blocks serving until request_stop().
-// request_stop() only stores an atomic flag, so it is safe to call from a
-// signal handler (install_signal_handlers wires SIGINT/SIGTERM to it); the
-// accept loop polls the flag every ~100ms.
+// Lifecycle: construct -> start() binds/listens and ignores SIGPIPE (port
+// 0 picks an ephemeral port, readable via port()) -> run() blocks serving
+// until request_stop().  request_stop() only stores an atomic flag, so it
+// is safe to call from a signal handler (install_signal_handlers wires
+// SIGINT/SIGTERM to it); the accept loop polls the flag every ~100ms.
 //
-// Graceful shutdown, in order: stop accepting, shut down the read side of
-// every live connection (in-flight requests finish and get their response,
-// the next read sees EOF), join connection threads, save every dirty
-// session to the state dir, and take a final streaming trace flush.
+// Connection plane: run() spawns `io_threads` EventLoops and deals
+// accepted sockets to them round-robin.  Request lines are parsed on the
+// loop thread; cheap ops (ping, stats, shutdown, malformed lines) answer
+// inline, session ops dispatch onto the SessionHost's async op queues and
+// answer through a completion that posts the response back to the
+// connection's loop.  Per-connection tickets keep the wire order equal to
+// the request order however the pool jobs finish, and a disconnected peer
+// merely drops its responses (MSG_NOSIGNAL everywhere; a dead socket can
+// never raise SIGPIPE and kill the daemon).
+//
+// Graceful shutdown, in order: stop accepting, drain every loop (requests
+// in flight finish and their responses flush), join the loop threads,
+// save every dirty session to the state dir, and take a final streaming
+// trace flush.
 //
 // Trace flushing in a live daemon: when the process streams its trace
-// (--trace with NA_TRACE=ON), buffered events are flushed whenever they
-// exceed `trace_flush_events`.  Flushing is only safe at quiescence, so a
-// shared_mutex gates it: every request holds it shared while it runs; the
-// flusher takes it exclusive (no request running), waits for the pool to
-// go idle, and only then flushes.  That keeps the streamed file byte-
+// (--trace with NA_TRACE=ON), a dedicated flusher thread wakes whenever
+// buffered events exceed `trace_flush_events`.  Flushing is only safe at
+// quiescence, so the host's shared_mutex gates it: every request holds it
+// shared while it runs (inline handling on the loop threads, op bodies on
+// the pool); the flusher takes it exclusive — no request is emitting
+// events, and any nested routing work was joined before its op body
+// returned — and only then flushes.  That keeps the streamed file byte-
 // identical to a one-shot trace_write of the same events.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "serve/event_loop.hpp"
 #include "serve/session_host.hpp"
 
 namespace na::serve {
@@ -41,6 +54,9 @@ struct ServerOptions {
   HostOptions host;
   /// Per-request line cap; longer lines answer err::kLineTooLong.
   size_t max_line = kMaxLineBytes;
+  /// Event-loop I/O threads of the connection plane.  Two comfortably
+  /// saturate the loopback path; the pool does the heavy lifting.
+  int io_threads = 2;
   /// Streaming trace flush threshold (buffered events); 0 never flushes
   /// mid-run.  Only relevant when a trace stream is open.
   size_t trace_flush_events = 4096;
@@ -68,7 +84,10 @@ class Server {
 
   SessionHost& host() { return host_; }
 
-  /// Connection/request counters (for the stats op and tests).
+  /// Connection/request counters (for the stats op and tests).  Every
+  /// response the daemon produces passes through exactly one counting
+  /// point (note_request), so requests/errors can never drift from the
+  /// traffic actually answered.
   struct Counters {
     long long connections = 0;
     long long requests = 0;
@@ -77,29 +96,39 @@ class Server {
   Counters counters() const;
 
  private:
-  void serve_connection(int fd);
-  /// Handles one request line; returns the response line (no newline).
-  /// Sets *close_conn when the connection should end after responding.
-  std::string handle_line(std::string_view line, bool* close_conn);
-  std::string handle_request(const Request& req, bool* close_conn);
-  std::string stats_response(long long id);
-  void maybe_flush_trace();
+  /// One request line, on a loop thread: parse, answer inline ops,
+  /// dispatch session ops onto the host's async queues.
+  void on_line(uint64_t conn, uint64_t ticket, std::string_view line);
+  void dispatch(uint64_t conn, uint64_t ticket, Request req);
+  /// The single counting point + response delivery.
+  void respond(uint64_t conn, uint64_t ticket, std::string response,
+               bool close_conn = false);
+  void note_request(const std::string& response);
+  /// Formats the success response for a host result (op-specific fields).
+  std::string render_result(Op op, long long id, const HostResult& r);
+  std::string build_stats_response(long long id);
+  void nudge_flusher();
+  void flusher_main();
 
   ServerOptions opt_;
-  SessionHost host_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stop_{false};
 
-  std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> conn_fds_;  ///< live sockets, for shutdown(SHUT_RD)
-
-  /// Requests hold this shared; the trace flusher takes it exclusive.
-  std::shared_mutex flush_gate_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
 
   mutable std::mutex counters_mu_;
   Counters counters_;
+
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  bool flush_nudged_ = false;
+  bool flusher_stop_ = false;
+  std::thread flusher_;
+
+  /// Declared last: the host's pool (whose jobs post completions into the
+  /// loops above) must be torn down before the loops are.
+  SessionHost host_;
 };
 
 /// Routes SIGINT and SIGTERM to server.request_stop().  The handler only

@@ -1,5 +1,6 @@
 #include "serve/session_host.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <filesystem>
 #include <fstream>
@@ -68,6 +69,27 @@ void apply_edit(NetworkEditor& ed, const EditCmd& cmd) {
   }
 }
 
+/// Runs one op body, folding every throw into a HostResult error.
+template <typename Fn>
+HostResult guarded(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const ProtocolError& e) {
+    return HostResult::error(e.code(), e.what());
+  } catch (const std::exception& e) {
+    return HostResult::error(err::kInternal, e.what());
+  }
+}
+
+/// Bridges an async call onto a blocking one.
+template <typename Call>
+HostResult block_on(Call&& call) {
+  std::promise<HostResult> prom;
+  std::future<HostResult> fut = prom.get_future();
+  call([&prom](HostResult r) { prom.set_value(std::move(r)); });
+  return fut.get();
+}
+
 }  // namespace
 
 Network design_network(const std::string& design) {
@@ -118,33 +140,96 @@ std::string SessionHost::state_path(const std::string& name) const {
   return opt_.state_dir + "/" + name + ".session";
 }
 
-HostResult SessionHost::run_on_pool(std::function<HostResult()> fn) {
-  std::promise<HostResult> prom;
-  std::future<HostResult> fut = prom.get_future();
-  pool_.submit([&prom, &fn] {  // pool tasks must not throw
-    try {
-      prom.set_value(fn());
-    } catch (const ProtocolError& e) {
-      prom.set_value(HostResult::error(e.code(), e.what()));
-    } catch (const std::exception& e) {
-      prom.set_value(HostResult::error(err::kInternal, e.what()));
+// ----- the per-session op queue ---------------------------------------------
+
+void SessionHost::enqueue(const std::string& name,
+                          std::shared_ptr<Session> session, PendingOp op) {
+  bool start_job = false;
+  {
+    std::lock_guard lock(session->qmu);
+    session->queue.push_back(std::move(op));
+    if (!session->running) {
+      session->running = true;
+      start_job = true;
     }
-  });
-  return fut.get();
+  }
+  if (start_job) {
+    pool_.submit([this, name, session] { drain(name, session); });
+  }
 }
 
-HostResult SessionHost::open(const std::string& name, const std::string& design,
-                             bool restore) {
-  if (!valid_session_name(name)) {
-    return HostResult::error(err::kBadRequest,
-                             "bad session name '" + name + "'");
-  }
-  std::string text;
-  if (restore) {
-    if (opt_.state_dir.empty()) {
-      return HostResult::error(err::kNoStateDir,
-                               "server runs without --state-dir");
+void SessionHost::drain(const std::string& name,
+                        const std::shared_ptr<Session>& session) {
+  for (;;) {
+    // Take the next batch: a maximal run of consecutive edits, or one
+    // non-edit op.  Edits queued while this job was working coalesce here.
+    std::vector<PendingOp> batch;
+    {
+      std::lock_guard lock(session->qmu);
+      if (session->queue.empty()) {
+        session->running = false;
+        return;
+      }
+      if (session->queue.front().kind == OpKind::kEdit) {
+        while (!session->queue.empty() &&
+               session->queue.front().kind == OpKind::kEdit) {
+          batch.push_back(std::move(session->queue.front()));
+          session->queue.pop_front();
+        }
+      } else {
+        batch.push_back(std::move(session->queue.front()));
+        session->queue.pop_front();
+      }
     }
+
+    std::vector<HostResult> results(batch.size());
+    {
+      // Shared side of the trace-flush gate: the flusher only runs when
+      // no op body is emitting trace events.
+      std::shared_lock gate(flush_gate_);
+      if (batch.front().kind == OpKind::kEdit) {
+        NA_TRACE_SPAN(span, "serve.edit");
+        span.arg("requests", static_cast<long long>(batch.size()));
+        std::lock_guard lock(session->mu);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          results[i] = guarded(
+              [&] { return exec_one_edit(*session, batch[i].edits); });
+        }
+        span.arg("seq", session->seq);
+        note_batch(batch.size());
+      } else {
+        const PendingOp& op = batch.front();
+        std::lock_guard lock(session->mu);
+        results[0] = guarded([&]() -> HostResult {
+          switch (op.kind) {
+            case OpKind::kOpen:
+              return exec_open(*session, name, op);
+            case OpKind::kGet:
+              return exec_get(*session, name, op.format);
+            case OpKind::kSave:
+              return save_locked(*session, name);
+            case OpKind::kClose:
+              return exec_close(*session, name);
+            case OpKind::kEdit:
+              break;  // handled above
+          }
+          return HostResult::error(err::kInternal, "bad op kind");
+        });
+      }
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].done) batch[i].done(std::move(results[i]));
+    }
+  }
+}
+
+// ----- op bodies (run on the pool, session->mu held) -------------------------
+
+HostResult SessionHost::exec_open(Session& s, const std::string& name,
+                                  const PendingOp& op) {
+  NA_TRACE_SPAN(span, "serve.open");
+  span.arg("restore", op.restore ? 1 : 0);
+  if (op.restore) {
     std::ifstream in(state_path(name));
     if (!in) {
       return HostResult::error(err::kNoSuchSession,
@@ -152,103 +237,66 @@ HostResult SessionHost::open(const std::string& name, const std::string& design,
     }
     std::stringstream ss;
     ss << in.rdbuf();
-    text = ss.str();
+    s.regen.restore(ss.str());
+  } else {
+    s.regen.update(design_network(op.design));
   }
-
-  auto session = std::make_shared<Session>(opt_.regen);
-  session->design = design;
-  {
-    std::lock_guard lock(sessions_mu_);
-    const auto [it, inserted] = sessions_.emplace(name, session);
-    if (!inserted) {
-      return HostResult::error(err::kSessionExists,
-                               "session '" + name + "' already open");
-    }
-  }
-
-  // First generation (or restore) on the pool, like every other mutation.
-  HostResult r = run_on_pool([&]() -> HostResult {
-    NA_TRACE_SPAN(span, "serve.open");
-    span.arg("restore", restore ? 1 : 0);
-    std::lock_guard lock(session->mu);
-    if (restore) {
-      session->regen.restore(text);
-    } else {
-      session->regen.update(design_network(design));
-    }
-    session->current = session->regen.network();
-    HostResult ok;
-    ok.full_regen = !restore;
-    ok.nets_rerouted = session->regen.last().nets_rerouted;
-    ok.nets_kept = session->current.net_count();
-    return ok;
-  });
-  if (!r.ok) {  // bad design / corrupt state file: drop the table entry
-    std::lock_guard lock(sessions_mu_);
-    sessions_.erase(name);
-  }
-  return r;
+  s.current = s.regen.network();
+  HostResult ok;
+  ok.full_regen = !op.restore;
+  ok.nets_rerouted = s.regen.last().nets_rerouted;
+  ok.nets_kept = s.current.net_count();
+  return ok;
 }
 
-HostResult SessionHost::edit(const std::string& name,
-                             const std::vector<EditCmd>& cmds) {
-  auto session = find(name);
-  if (session == nullptr) {
-    return HostResult::error(err::kNoSuchSession,
-                             "no open session '" + name + "'");
-  }
-  return run_on_pool([&]() -> HostResult {
-    NA_TRACE_SPAN(span, "serve.edit");
-    span.arg("edits", static_cast<long long>(cmds.size()));
-    std::lock_guard lock(session->mu);
-    Network next = [&] {
-      try {
-        NetworkEditor ed(session->current);
-        for (const EditCmd& cmd : cmds) apply_edit(ed, cmd);
-        return ed.build();
-      } catch (const std::exception& e) {
-        // The editor worked on a copy: a bad edit script leaves the
-        // session exactly as it was.
-        throw ProtocolError(err::kBadEdit, e.what());
-      }
-    }();
-    session->regen.update(next);
-    session->current = std::move(next);
-    ++session->seq;
-    session->dirty = true;
-    const RegenCounters& last = session->regen.last();
-    HostResult ok;
-    ok.seq = session->seq;
-    ok.full_regen = last.full_regens > 0;
-    ok.nets_rerouted = last.nets_rerouted;
-    ok.nets_kept = last.nets_kept;
-    span.arg("seq", ok.seq);
-    span.arg("full", ok.full_regen ? 1 : 0);
-    return ok;
-  });
+HostResult SessionHost::exec_one_edit(Session& s,
+                                      const std::vector<EditCmd>& cmds) {
+  Network next = [&] {
+    try {
+      NetworkEditor ed(s.current);
+      for (const EditCmd& cmd : cmds) apply_edit(ed, cmd);
+      return ed.build();
+    } catch (const std::exception& e) {
+      // The editor worked on a copy: a bad edit script leaves the
+      // session exactly as it was — even mid-batch.
+      throw ProtocolError(err::kBadEdit, e.what());
+    }
+  }();
+  s.regen.update(next);
+  s.current = std::move(next);
+  ++s.seq;
+  s.dirty = true;
+  const RegenCounters& last = s.regen.last();
+  HostResult ok;
+  ok.seq = s.seq;
+  ok.full_regen = last.full_regens > 0;
+  ok.nets_rerouted = last.nets_rerouted;
+  ok.nets_kept = last.nets_kept;
+  return ok;
 }
 
-HostResult SessionHost::get(const std::string& name,
-                            const std::string& format) {
-  auto session = find(name);
-  if (session == nullptr) {
-    return HostResult::error(err::kNoSuchSession,
-                             "no open session '" + name + "'");
-  }
-  std::lock_guard lock(session->mu);
-  if (!session->regen.has_diagram()) {
+HostResult SessionHost::exec_get(Session& s, const std::string& name,
+                                 const std::string& format) {
+  if (!s.regen.has_diagram()) {
     return HostResult::error(err::kInternal, "session has no diagram");
   }
   HostResult r;
   if (format == "svg") {
-    r.payload = to_svg(session->regen.diagram());
+    r.payload = to_svg(s.regen.diagram());
   } else if (format == "ascii") {
-    r.payload = to_ascii(session->regen.diagram());
+    r.payload = to_ascii(s.regen.diagram());
   } else {
-    r.payload = to_escher_diagram(session->regen.diagram(), name);
+    r.payload = to_escher_diagram(s.regen.diagram(), name);
   }
-  r.seq = session->seq;
+  r.seq = s.seq;
   return r;
+}
+
+HostResult SessionHost::exec_close(Session& s, const std::string& name) {
+  if (s.dirty && !opt_.state_dir.empty()) {
+    return save_locked(s, name);
+  }
+  return HostResult{};
 }
 
 HostResult SessionHost::save_locked(Session& s, const std::string& name) {
@@ -275,35 +323,138 @@ HostResult SessionHost::save_locked(Session& s, const std::string& name) {
   return r;
 }
 
-HostResult SessionHost::save(const std::string& name) {
-  auto session = find(name);
-  if (session == nullptr) {
-    return HostResult::error(err::kNoSuchSession,
-                             "no open session '" + name + "'");
+// ----- the async entry points ------------------------------------------------
+
+void SessionHost::open_async(const std::string& name,
+                             const std::string& design, bool restore,
+                             HostCallback done) {
+  if (!valid_session_name(name)) {
+    done(HostResult::error(err::kBadRequest, "bad session name '" + name + "'"));
+    return;
   }
-  std::lock_guard lock(session->mu);
-  return save_locked(*session, name);
+  if (restore && opt_.state_dir.empty()) {
+    done(HostResult::error(err::kNoStateDir, "server runs without --state-dir"));
+    return;
+  }
+  auto session = std::make_shared<Session>(opt_.regen);
+  session->design = design;
+  {
+    std::lock_guard lock(sessions_mu_);
+    const auto [it, inserted] = sessions_.emplace(name, session);
+    if (!inserted) {
+      done(HostResult::error(err::kSessionExists,
+                             "session '" + name + "' already open"));
+      return;
+    }
+  }
+  PendingOp op;
+  op.kind = OpKind::kOpen;
+  op.restore = restore;
+  op.design = design;
+  // Bad design / corrupt state file: drop the table entry again — but
+  // only if it is still ours (a close+reopen may have replaced it).
+  op.done = [this, name, session, done = std::move(done)](HostResult r) {
+    if (!r.ok) {
+      std::lock_guard lock(sessions_mu_);
+      const auto it = sessions_.find(name);
+      if (it != sessions_.end() && it->second == session) sessions_.erase(it);
+    }
+    done(std::move(r));
+  };
+  enqueue(name, session, std::move(op));
 }
 
-HostResult SessionHost::close(const std::string& name) {
+void SessionHost::edit_async(const std::string& name, std::vector<EditCmd> cmds,
+                             HostCallback done) {
+  auto session = find(name);
+  if (session == nullptr) {
+    done(HostResult::error(err::kNoSuchSession, "no open session '" + name + "'"));
+    return;
+  }
+  PendingOp op;
+  op.kind = OpKind::kEdit;
+  op.edits = std::move(cmds);
+  op.done = std::move(done);
+  enqueue(name, std::move(session), std::move(op));
+}
+
+void SessionHost::get_async(const std::string& name, const std::string& format,
+                            HostCallback done) {
+  auto session = find(name);
+  if (session == nullptr) {
+    done(HostResult::error(err::kNoSuchSession, "no open session '" + name + "'"));
+    return;
+  }
+  PendingOp op;
+  op.kind = OpKind::kGet;
+  op.format = format;
+  op.done = std::move(done);
+  enqueue(name, std::move(session), std::move(op));
+}
+
+void SessionHost::save_async(const std::string& name, HostCallback done) {
+  auto session = find(name);
+  if (session == nullptr) {
+    done(HostResult::error(err::kNoSuchSession, "no open session '" + name + "'"));
+    return;
+  }
+  PendingOp op;
+  op.kind = OpKind::kSave;
+  op.done = std::move(done);
+  enqueue(name, std::move(session), std::move(op));
+}
+
+void SessionHost::close_async(const std::string& name, HostCallback done) {
   std::shared_ptr<Session> session;
   {
     std::lock_guard lock(sessions_mu_);
     const auto it = sessions_.find(name);
     if (it == sessions_.end()) {
-      return HostResult::error(err::kNoSuchSession,
-                               "no open session '" + name + "'");
+      done(HostResult::error(err::kNoSuchSession,
+                             "no open session '" + name + "'"));
+      return;
     }
     session = it->second;
     sessions_.erase(it);
   }
-  // Waits for any in-flight job of this session, then saves final state.
-  std::lock_guard lock(session->mu);
-  if (session->dirty && !opt_.state_dir.empty()) {
-    return save_locked(*session, name);
-  }
-  return HostResult{};
+  // The close op runs after every in-flight job of this session, then
+  // saves final state.
+  PendingOp op;
+  op.kind = OpKind::kClose;
+  op.done = std::move(done);
+  enqueue(name, std::move(session), std::move(op));
 }
+
+// ----- blocking conveniences -------------------------------------------------
+
+HostResult SessionHost::open(const std::string& name, const std::string& design,
+                             bool restore) {
+  return block_on([&](HostCallback cb) {
+    open_async(name, design, restore, std::move(cb));
+  });
+}
+
+HostResult SessionHost::edit(const std::string& name,
+                             const std::vector<EditCmd>& cmds) {
+  return block_on(
+      [&](HostCallback cb) { edit_async(name, cmds, std::move(cb)); });
+}
+
+HostResult SessionHost::get(const std::string& name,
+                            const std::string& format) {
+  return block_on(
+      [&](HostCallback cb) { get_async(name, format, std::move(cb)); });
+}
+
+HostResult SessionHost::save(const std::string& name) {
+  return block_on([&](HostCallback cb) { save_async(name, std::move(cb)); });
+}
+
+HostResult SessionHost::close(const std::string& name) {
+  return block_on([&](HostCallback cb) { close_async(name, std::move(cb)); });
+}
+
+// ----- shutdown and stats ----------------------------------------------------
 
 int SessionHost::save_dirty_sessions() {
   if (opt_.state_dir.empty()) return 0;
@@ -323,6 +474,25 @@ int SessionHost::save_dirty_sessions() {
 int SessionHost::open_sessions() const {
   std::lock_guard lock(sessions_mu_);
   return static_cast<int>(sessions_.size());
+}
+
+void SessionHost::note_batch(size_t edits_in_job) {
+  std::lock_guard lock(batch_mu_);
+  ++batch_.jobs;
+  batch_.edits += static_cast<long long>(edits_in_job);
+  batch_.max_size =
+      std::max(batch_.max_size, static_cast<long long>(edits_in_job));
+  const int bucket = edits_in_job <= 1   ? 0
+                     : edits_in_job <= 3 ? 1
+                     : edits_in_job <= 7 ? 2
+                     : edits_in_job <= 15 ? 3
+                                          : 4;
+  ++batch_.hist[bucket];
+}
+
+SessionHost::BatchStats SessionHost::batch_stats() const {
+  std::lock_guard lock(batch_mu_);
+  return batch_;
 }
 
 void SessionHost::absorb_stats(obs::MetricsRegistry& reg) const {
@@ -363,6 +533,15 @@ void SessionHost::absorb_stats(obs::MetricsRegistry& reg) const {
     spec.respec_stale += s.respec_stale;
   }
   reg.set("serve.edits_applied", edits);
+  const BatchStats b = batch_stats();
+  reg.set("serve.batch.jobs", b.jobs);
+  reg.set("serve.batch.edits", b.edits);
+  reg.set("serve.batch.max", b.max_size);
+  reg.set("serve.batch.hist_1", b.hist[0]);
+  reg.set("serve.batch.hist_2_3", b.hist[1]);
+  reg.set("serve.batch.hist_4_7", b.hist[2]);
+  reg.set("serve.batch.hist_8_15", b.hist[3]);
+  reg.set("serve.batch.hist_16p", b.hist[4]);
   obs::absorb(reg, sum);
   obs::absorb(reg, spec);
   const ThreadPool::Stats pool = pool_.stats();

@@ -2,28 +2,36 @@
 // shared immutable ModuleLibrary, one work-stealing pool.
 //
 // Concurrency model (DESIGN §10 argues determinism from it):
-//   * every session mutation (open's first full generation, every edit,
-//     restore) runs as a job on the shared ThreadPool, the caller blocking
-//     on a future — the pool is the single place compute happens, so pool
-//     pressure counters cover the whole service;
-//   * a per-session mutex serialises jobs touching one session — edits to
-//     one session are totally ordered (the response's `seq` is the order),
-//     edits to different sessions run concurrently;
-//   * the session table itself is a second, short-hold mutex (lookup and
-//     insert only — never held while a session works);
-//   * reads (get/save) lock only the session mutex on the calling thread:
-//     they copy bytes out, no placement/routing work to schedule.
+//   * every session operation is *asynchronous*: the caller enqueues it on
+//     the session's op queue with a completion callback; a single pool job
+//     per session drains that queue, so the I/O threads of the event-loop
+//     connection plane never block on placement/routing work;
+//   * the queue serialises operations touching one session — edits to one
+//     session are totally ordered (the response's `seq` is the order),
+//     edits to different sessions run concurrently on the pool;
+//   * consecutive queued *edit* requests for one session coalesce into a
+//     single pool job (one queue pass, one session-mutex hold, one trace
+//     span).  Within the batch each request still runs its own
+//     NetworkEditor copy-then-commit and its own RegenSession::update in
+//     arrival order, so the diagram after edit #k is byte-identical to
+//     unbatched execution — batching changes job granularity, never the
+//     update sequence;
+//   * the session table itself is a short-hold mutex (lookup and insert
+//     only — never held while a session works).
 //
 // Because RegenSession::update is deterministic for a given (network,
 // diagram, options) state and edits against one session are serialised,
 // the diagram a session holds after edit #k is a pure function of its
 // open design and the edit sequence — independent of what other sessions
-// do concurrently.  That is the cross-session isolation serve_test pins.
+// do concurrently, and independent of how requests happened to batch.
 #pragma once
 
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -70,6 +78,10 @@ struct HostResult {
   }
 };
 
+/// Completion of an async host operation.  Invoked exactly once, either
+/// synchronously (validation failures) or from a pool worker.
+using HostCallback = std::function<void(HostResult)>;
+
 class SessionHost {
  public:
   explicit SessionHost(HostOptions opt);
@@ -80,22 +92,35 @@ class SessionHost {
   /// Creates session `name` from a design string ("life", "controller",
   /// "chain", "datapath[:bits]"), or reloads it from the state dir when
   /// `restore` is set.  The initial full generation runs on the pool.
-  HostResult open(const std::string& name, const std::string& design,
-                  bool restore);
+  void open_async(const std::string& name, const std::string& design,
+                  bool restore, HostCallback done);
 
-  /// Applies an edit script to session `name` on the pool (serialised with
-  /// every other job of that session; concurrent with other sessions).
-  HostResult edit(const std::string& name, const std::vector<EditCmd>& cmds);
+  /// Applies an edit script to session `name` (serialised with every
+  /// other op of that session; concurrent with other sessions; coalesced
+  /// with other queued edits of the same session).
+  void edit_async(const std::string& name, std::vector<EditCmd> cmds,
+                  HostCallback done);
 
   /// Renders the session's current diagram ("escher", "svg", "ascii").
-  HostResult get(const std::string& name, const std::string& format);
+  void get_async(const std::string& name, const std::string& format,
+                 HostCallback done);
 
   /// Persists the session: into `<state_dir>/<name>.session` when a state
   /// dir is configured, else inline in the result payload.
-  HostResult save(const std::string& name);
+  void save_async(const std::string& name, HostCallback done);
 
   /// Drops the session (saving it first when a state dir is configured
   /// and it has unsaved edits).
+  void close_async(const std::string& name, HostCallback done);
+
+  /// Blocking conveniences over the async API, for tests, demos and
+  /// benches driving the host without a server.  Never call from a pool
+  /// worker.
+  HostResult open(const std::string& name, const std::string& design,
+                  bool restore);
+  HostResult edit(const std::string& name, const std::vector<EditCmd>& cmds);
+  HostResult get(const std::string& name, const std::string& format);
+  HostResult save(const std::string& name);
   HostResult close(const std::string& name);
 
   /// Saves every session with unsaved edits; returns how many were
@@ -105,34 +130,75 @@ class SessionHost {
   /// Service-level counters plus per-session regen totals (aggregated).
   void absorb_stats(obs::MetricsRegistry& reg) const;
 
+  /// Edit-coalescing counters: pool jobs that carried edits, how many
+  /// edit requests rode in them, the largest batch, and a small size
+  /// histogram (1, 2-3, 4-7, 8-15, 16+).  Reported under serve.batch.*.
+  struct BatchStats {
+    long long jobs = 0;
+    long long edits = 0;
+    long long max_size = 0;
+    long long hist[5] = {0, 0, 0, 0, 0};
+  };
+  BatchStats batch_stats() const;
+
   int open_sessions() const;
   ThreadPool& pool() { return pool_; }
   const std::string& state_dir() const { return opt_.state_dir; }
   const ModuleLibrary& library() const { return lib_; }
 
+  /// The trace-flush quiescence gate: every op execution (and the
+  /// server's inline request handling) holds it shared; the flusher takes
+  /// it exclusive, at which point no request is emitting trace events.
+  std::shared_mutex& flush_gate() { return flush_gate_; }
+
  private:
+  enum class OpKind { kOpen, kEdit, kGet, kSave, kClose };
+  struct PendingOp {
+    OpKind kind;
+    bool restore = false;
+    std::string design;         // open
+    std::vector<EditCmd> edits; // edit
+    std::string format;         // get
+    HostCallback done;
+  };
   struct Session {
-    std::mutex mu;  ///< per-session serialization
+    std::mutex mu;  ///< state access: the drain job and stats readers
     RegenSession regen;
     Network current;     ///< the network state edits build on
     long long seq = 0;   ///< applied edits
     bool dirty = false;  ///< has edits not yet saved
     std::string design;
 
+    std::mutex qmu;  ///< op queue + running flag (short hold)
+    std::deque<PendingOp> queue;
+    bool running = false;  ///< a drain job is on the pool
+
     explicit Session(RegenOptions opt) : regen(std::move(opt)) {}
   };
 
   std::shared_ptr<Session> find(const std::string& name) const;
   std::string state_path(const std::string& name) const;
-  /// Runs `fn` on the pool and blocks for its result.
-  HostResult run_on_pool(std::function<HostResult()> fn);
+  void enqueue(const std::string& name, std::shared_ptr<Session> session,
+               PendingOp op);
+  /// The per-session pool job: drains the op queue, coalescing edits.
+  void drain(const std::string& name, const std::shared_ptr<Session>& session);
+  HostResult exec_open(Session& s, const std::string& name,
+                       const PendingOp& op);
+  HostResult exec_one_edit(Session& s, const std::vector<EditCmd>& cmds);
+  HostResult exec_get(Session& s, const std::string& name,
+                      const std::string& format);
+  HostResult exec_close(Session& s, const std::string& name);
   HostResult save_locked(Session& s, const std::string& name);
+  void note_batch(size_t edits_in_job);
 
   HostOptions opt_;
   const ModuleLibrary lib_;  ///< shared immutable template cache
   ThreadPool pool_;
   mutable std::mutex sessions_mu_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;
+  mutable std::mutex batch_mu_;
+  BatchStats batch_;
+  std::shared_mutex flush_gate_;
 };
 
 /// Builds the network for a design string; throws ProtocolError

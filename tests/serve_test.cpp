@@ -6,9 +6,11 @@
 // ctest runs never collide.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <atomic>
 #include <csignal>
 #include <filesystem>
@@ -97,6 +99,14 @@ std::string field_payload(const std::string& response) {
     out.push_back(c);
   }
   return out;
+}
+
+/// Integer value of a metric inside a stats response ("key":value).
+long long metric_value(const std::string& stats, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = stats.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::strtoll(stats.c_str() + at + needle.size(), nullptr, 10);
 }
 
 std::string edit_line(const std::string& session, int i) {
@@ -316,6 +326,189 @@ TEST(Serve, SigtermStopsServer) {
   // Restore default dispositions for the rest of the test binary.
   std::signal(SIGTERM, SIG_DFL);
   std::signal(SIGINT, SIG_DFL);
+}
+
+TEST(Serve, ClientDisconnectBeforeReadDoesNotKillServer) {
+  LiveServer live;
+  ASSERT_TRUE(is_ok(
+      live.connect().request(R"({"op":"open","session":"d","design":"chain"})")));
+
+  // The SIGPIPE regression: each client fires an edit and slams the
+  // connection shut without ever reading the response.  The daemon must
+  // apply every edit and write (or drop) every response without dying.
+  // A polite client watches the session between rude visits (which also
+  // keeps the edit order deterministic for the byte-identity check —
+  // ordering across *connections* is arrival order, not client order).
+  BlockingClient keeper = live.connect();
+  constexpr int kRude = 20;
+  for (int i = 0; i < kRude; ++i) {
+    {
+      BlockingClient c = live.connect();
+      ASSERT_TRUE(c.send_line(edit_line("d", i)));
+      c.close();  // gone before the response exists
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    long long seq = 0;
+    while (seq < i + 1 && std::chrono::steady_clock::now() < deadline) {
+      const std::string r = keeper.request(R"({"op":"get","session":"d"})");
+      ASSERT_TRUE(is_ok(r)) << r << " / " << keeper.last_error();
+      seq = field_seq(r);
+      if (seq <= i) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_EQ(seq, i + 1) << "rude client " << i << "'s edit was lost";
+  }
+
+  // ...and the daemon is still fully alive afterwards.
+  const std::string r = keeper.request(edit_line("d", kRude));
+  ASSERT_TRUE(is_ok(r)) << r;
+  EXPECT_EQ(field_seq(r), kRude + 1);
+  EXPECT_EQ(field_payload(keeper.request(R"({"op":"get","session":"d"})")),
+            local_reference("chain", "d", kRude + 1));
+}
+
+TEST(Serve, DribbleFedRequestStillParses) {
+  LiveServer live;
+  BlockingClient c = live.connect();
+
+  // One byte per send(): the reactor must accumulate across however many
+  // EPOLLIN wakeups it takes and only dispatch at the newline.
+  const std::string line = R"({"op":"open","session":"slow","design":"chain"})"
+                           "\n";
+  for (char ch : line) {
+    ASSERT_EQ(::send(c.fd(), &ch, 1, MSG_NOSIGNAL), 1);
+  }
+  std::string response;
+  ASSERT_TRUE(c.recv_line(&response));
+  EXPECT_TRUE(is_ok(response)) << response;
+
+  // Same treatment for an edit, interleaved with a whole second request in
+  // one final burst (split mid-line): both must answer, in order.
+  const std::string burst = edit_line("slow", 0) + "\n" +
+                            R"({"op":"get","session":"slow"})" + "\n";
+  for (size_t i = 0; i < burst.size(); i += 7) {
+    const size_t n = std::min<size_t>(7, burst.size() - i);
+    ASSERT_EQ(::send(c.fd(), burst.data() + i, n, MSG_NOSIGNAL),
+              static_cast<ssize_t>(n));
+  }
+  ASSERT_TRUE(c.recv_line(&response));
+  EXPECT_EQ(field_seq(response), 1);
+  ASSERT_TRUE(c.recv_line(&response));
+  EXPECT_EQ(field_payload(response), local_reference("chain", "slow", 1));
+}
+
+TEST(Serve, ConnectionChurnFiveHundred) {
+  ServerOptions opt;
+  opt.io_threads = 2;
+  LiveServer live(opt);
+
+  // 500 short-lived connections — 400 sequential plus a 100-strong
+  // concurrent burst: the event loop must reclaim every one (the old
+  // plane held a thread per connection for the server's whole life).
+  constexpr int kSequential = 400;
+  for (int i = 0; i < kSequential; ++i) {
+    BlockingClient c = live.connect();
+    ASSERT_TRUE(is_ok(c.request(R"({"op":"ping"})"))) << "conn " << i;
+  }
+
+  // ...plus a concurrent burst of open/close churn across threads.
+  constexpr int kThreads = 4, kEach = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kEach; ++i) {
+        BlockingClient c = live.connect();
+        ASSERT_TRUE(is_ok(c.request(R"({"op":"ping"})")));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const Server::Counters counters = live.server.counters();
+  EXPECT_GE(counters.connections, kSequential + kThreads * kEach);
+  EXPECT_GE(counters.requests, kSequential + kThreads * kEach);
+  EXPECT_TRUE(is_ok(live.connect().request(R"({"op":"ping"})")));
+}
+
+TEST(Serve, StatsCountTrafficExactly) {
+  ServerOptions opt;
+  opt.max_line = 4096;
+  LiveServer live(opt);
+  BlockingClient c = live.connect();
+
+  // Known traffic: 3 successes, 2 errors — one of them an oversized line,
+  // which never reaches the parser and must still be counted.
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"open","session":"t","design":"chain"})")));
+  ASSERT_TRUE(is_ok(c.request(edit_line("t", 0))));
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"ping"})")));
+  EXPECT_EQ(field_code(c.request("{broken")), "bad_json");
+  std::string huge = R"({"op":"ping","pad":")";
+  huge.append(8192, 'x');
+  huge += R"("})";
+  EXPECT_EQ(field_code(c.request(huge)), "line_too_long");
+
+  // The stats response reports the totals *before* itself.
+  const std::string stats = c.request(R"({"op":"stats"})");
+  ASSERT_TRUE(is_ok(stats)) << stats;
+  EXPECT_EQ(metric_value(stats, "serve.requests"), 5);
+  EXPECT_EQ(metric_value(stats, "serve.errors"), 2);
+  EXPECT_EQ(metric_value(stats, "serve.connections"), 1);
+
+  // And the counters() accessor agrees once the stats request itself is in.
+  const Server::Counters counters = live.server.counters();
+  EXPECT_EQ(counters.requests, 6);
+  EXPECT_EQ(counters.errors, 2);
+}
+
+TEST(Serve, PipelinedEditsBatchAndStayDeterministic) {
+  LiveServer live;
+  BlockingClient c = live.connect();
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"open","session":"p","design":"chain"})")));
+
+  // Fire a burst of pipelined edits without reading a single response:
+  // the connection plane may coalesce them into fewer pool jobs, but the
+  // responses must come back in order with seq == arrival order, and the
+  // final diagram must be byte-identical to unbatched execution.
+  constexpr int kEdits = 14;
+  for (int i = 0; i < kEdits; ++i) {
+    ASSERT_TRUE(c.send_line(edit_line("p", i)));
+  }
+  for (int i = 0; i < kEdits; ++i) {
+    std::string r;
+    ASSERT_TRUE(c.recv_line(&r));
+    ASSERT_TRUE(is_ok(r)) << r;
+    EXPECT_EQ(field_seq(r), i + 1);  // wire order == edit order
+  }
+  EXPECT_EQ(field_payload(c.request(R"({"op":"get","session":"p"})")),
+            local_reference("chain", "p", kEdits));
+
+  // Every edit request rode in exactly one edit-carrying job; how many
+  // jobs depends on timing, but the accounting must balance.
+  const std::string stats = c.request(R"({"op":"stats"})");
+  EXPECT_EQ(metric_value(stats, "serve.batch.edits"), kEdits + 0);
+  const long long jobs = metric_value(stats, "serve.batch.jobs");
+  EXPECT_GE(jobs, 1);
+  EXPECT_LE(jobs, kEdits);
+  const long long max_size = metric_value(stats, "serve.batch.max");
+  EXPECT_GE(max_size, 1);
+  EXPECT_LE(max_size, kEdits);
+}
+
+TEST(Serve, ClientDistinguishesTransportFailure) {
+  LiveServer live;
+  BlockingClient c = live.connect();
+
+  // A successful round trip leaves last_error() empty.
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"ping"})")));
+  EXPECT_TRUE(c.last_error().empty()) << c.last_error();
+
+  // Stop the server: now request() returns "" *because the transport
+  // failed*, and last_error() says so — distinguishable from a server
+  // that genuinely sent an empty line.
+  live.stop();
+  const std::string r = c.request(R"({"op":"ping"})");
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(c.last_error().empty());
 }
 
 TEST(Serve, StatsReportServiceCounters) {
