@@ -3,10 +3,12 @@
 // Starts an in-process serve::Server (event-loop connection plane, 4 I/O
 // threads) on an ephemeral port and drives it with 1, 4, 16, 64 and 256
 // concurrent sessions (one BlockingClient per session, one thread per
-// client).  Every client opens a "chain" session and applies a fixed
-// number of single-module edits, timing each request round-trip.  Reports
-// requests/sec, the p50/p99 edit latency and the edit-coalescing batch
-// histogram per concurrency level — the numbers the README's service
+// client).  Every client opens a "chain" session, applies a fixed number
+// of single-module edits (each now a cheap composed netlist step — regen
+// is deferred), and ends with a timed get: the observation point that
+// flushes the whole run through one composed regen.  Reports requests/sec,
+// p50/p99 edit latency, the flush (get) latency, and the multi-edit regen
+// counters per concurrency level — the numbers the README's service
 // walkthrough quotes.
 //
 // Emits BENCH_serve.json (same schema_version envelope as the other
@@ -61,6 +63,7 @@ long long metric_value(const std::string& stats, const std::string& key) {
 /// Cumulative edit-coalescing counters, read off a stats round trip.
 struct BatchSnapshot {
   long long jobs = 0, edits = 0;
+  long long regens = 0, composed = 0;
   long long hist[5] = {0, 0, 0, 0, 0};
 
   static BatchSnapshot read(serve::BlockingClient& c) {
@@ -68,6 +71,8 @@ struct BatchSnapshot {
     BatchSnapshot s;
     s.jobs = metric_value(stats, "serve.batch.jobs");
     s.edits = metric_value(stats, "serve.batch.edits");
+    s.regens = metric_value(stats, "serve.batch.regens");
+    s.composed = metric_value(stats, "serve.batch.composed");
     static const char* kHist[5] = {"serve.batch.hist_1", "serve.batch.hist_2_3",
                                    "serve.batch.hist_4_7",
                                    "serve.batch.hist_8_15",
@@ -82,15 +87,21 @@ struct LevelResult {
   long long requests = 0;   ///< edit requests completed across all sessions
   double p50_ms = 0;
   double p99_ms = 0;
+  double flush_p50_ms = 0;  ///< final get per session: pays the composed regen
+  double flush_p99_ms = 0;
 };
 
 /// Runs `sessions` concurrent clients x `edits` edits each against `port`.
+/// Each session ends with a timed get — the observation point where the
+/// deferred edits flush through one composed regen — so the level's work
+/// includes the geometry it produced, not just the netlist queuing.
 LevelResult run_level(int port, int sessions, int edits) {
   std::vector<std::vector<double>> lat(sessions);
+  std::vector<double> flush(sessions, 0.0);
   std::vector<std::thread> threads;
   const auto t0 = Clock::now();
   for (int s = 0; s < sessions; ++s) {
-    threads.emplace_back([port, s, edits, &lat] {
+    threads.emplace_back([port, s, edits, &lat, &flush] {
       serve::BlockingClient c;
       std::string error;
       if (!c.connect("127.0.0.1", port, &error)) {
@@ -111,6 +122,9 @@ LevelResult run_level(int port, int sessions, int edits) {
           return;
         }
       }
+      const auto g0 = Clock::now();
+      c.request(R"({"op":"get","session":")" + name + R"("})");
+      flush[s] = ms_since(g0);
       c.request(R"({"op":"close","session":")" + name + R"("})");
     });
   }
@@ -126,6 +140,9 @@ LevelResult run_level(int port, int sessions, int edits) {
   std::sort(all.begin(), all.end());
   r.p50_ms = quantile_ms(all, 0.50);
   r.p99_ms = quantile_ms(all, 0.99);
+  std::sort(flush.begin(), flush.end());
+  r.flush_p50_ms = quantile_ms(flush, 0.50);
+  r.flush_p99_ms = quantile_ms(flush, 0.99);
   return r;
 }
 
@@ -162,8 +179,9 @@ int main() {
 
   std::printf("na_serve bench: port %d, %d edits/session, io_threads=%d\n\n",
               port, edits, opt.io_threads);
-  std::printf("%10s %12s %12s %12s %12s %10s %10s\n", "sessions", "req/s",
-              "p50 ms", "p99 ms", "wall ms", "batch jobs", "avg batch");
+  std::printf("%10s %12s %12s %12s %12s %12s %10s %10s\n", "sessions",
+              "req/s", "p50 ms", "p99 ms", "flush p50", "wall ms", "regens",
+              "composed");
   for (const int sessions : {1, 4, 16, 64, 256}) {
     if (sessions > max_sessions) {
       std::printf("%10d       (skipped: NA_SERVE_BENCH_MAX_SESSIONS=%d)\n",
@@ -176,18 +194,23 @@ int main() {
     const double rps = r.requests / (r.wall_ms / 1e3);
     const long long jobs = after.jobs - before.jobs;
     const long long batched = after.edits - before.edits;
-    std::printf("%10d %12.0f %12.2f %12.2f %12.1f %10lld %10s\n", sessions,
-                rps, r.p50_ms, r.p99_ms, r.wall_ms, jobs,
-                jobs > 0 ? std::to_string((batched + jobs - 1) / jobs).c_str()
-                         : "-");
+    const long long regens = after.regens - before.regens;
+    const long long composed = after.composed - before.composed;
+    std::printf("%10d %12.0f %12.2f %12.2f %12.2f %12.1f %10lld %10lld\n",
+                sessions, rps, r.p50_ms, r.p99_ms, r.flush_p50_ms, r.wall_ms,
+                regens, composed);
     bench_json_add("serve", "sessions=" + std::to_string(sessions), r.wall_ms,
                    0,
                    {{"requests", r.requests},
                     {"requests_per_s", rps},
                     {"edit_p50_ms", r.p50_ms},
                     {"edit_p99_ms", r.p99_ms},
+                    {"flush_p50_ms", r.flush_p50_ms},
+                    {"flush_p99_ms", r.flush_p99_ms},
                     {"batch_jobs", jobs},
                     {"batch_edits", batched},
+                    {"batch_regens", regens},
+                    {"batch_composed", composed},
                     {"batch_hist_1", after.hist[0] - before.hist[0]},
                     {"batch_hist_2_3", after.hist[1] - before.hist[1]},
                     {"batch_hist_4_7", after.hist[2] - before.hist[2]},

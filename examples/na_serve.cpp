@@ -31,6 +31,8 @@ void usage(const char* argv0) {
       "  --router-threads N  router workers inside one edit (default 1)\n"
       "  --state-dir PATH  session save/restore directory (default: off)\n"
       "  --max-line N      request line cap in bytes (default 1 MiB)\n"
+      "  --max-in-flight N pipelined-request cap per connection "
+      "(default 128)\n"
       "  --flush-events N  stream-flush the trace above N buffered events\n"
       "                    (default 4096)\n"
       "  --trace PATH      stream a Chrome trace to PATH while serving\n"
@@ -101,6 +103,12 @@ int main(int argc, char** argv) {
       const char* s = next();
       if (s == nullptr || !int_arg(s, "--max-line", 64, 1L << 28, &v)) return 2;
       opt.max_line = static_cast<size_t>(v);
+    } else if (flag == "--max-in-flight") {
+      const char* s = next();
+      if (s == nullptr || !int_arg(s, "--max-in-flight", 1, 1L << 20, &v)) {
+        return 2;
+      }
+      opt.max_in_flight = static_cast<size_t>(v);
     } else if (flag == "--flush-events") {
       const char* s = next();
       if (s == nullptr || !int_arg(s, "--flush-events", 0, 1L << 30, &v)) {

@@ -11,6 +11,7 @@
 // add module, delete net, re-pin terminal, resize, reconnect.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -79,6 +80,54 @@ class NetworkEditor {
   std::vector<EModule> modules_;
   std::vector<ESysTerm> system_terms_;
   std::vector<std::string> net_order_;  ///< net creation order, for stable ids
+};
+
+// ScriptComposer — compose k edit scripts into one pending Network.
+//
+// Each `apply` runs one script transactionally: a fresh NetworkEditor copy
+// of the pending network, the script, then build() — a throwing script
+// leaves the composition exactly as it was.  The per-script build() is not
+// an implementation convenience but load-bearing for byte-identity with
+// sequential execution: build() drops nets left without any terminal, so a
+// net emptied by script i and re-populated by script i+1 must be re-created
+// at the *end* of net declaration order, exactly as it would be if each
+// script had produced its own Network.  Composing k scripts on one shared
+// editor (building once) would instead keep the original slot.
+//
+// The composer tracks how many scripts are pending since the last flush;
+// the owner regenerates from network() at an observation point and calls
+// flushed().
+class ScriptComposer {
+ public:
+  explicit ScriptComposer(Network base) : net_(std::move(base)) {}
+
+  /// Replaces the pending network (e.g. after a session restore) and
+  /// clears the pending-step count.
+  void rebase(Network base) {
+    net_ = std::move(base);
+    steps_ = 0;
+  }
+
+  /// Applies one edit script transactionally.  Propagates whatever the
+  /// script throws; on throw the pending network is unchanged.
+  void apply(const std::function<void(NetworkEditor&)>& script) {
+    NetworkEditor ed(net_);
+    script(ed);
+    net_ = ed.build();
+    ++steps_;
+  }
+
+  const Network& network() const { return net_; }
+
+  /// Scripts applied since construction/rebase/flushed().
+  int steps() const { return steps_; }
+
+  /// Marks the pending scripts as regenerated-from.
+  void flushed() { steps_ = 0; }
+
+ private:
+  Network net_;
+  int steps_ = 0;
 };
 
 }  // namespace na

@@ -46,6 +46,18 @@ struct NetlistDiff {
            removed_modules.empty() && added_nets.empty() &&
            changed_nets.empty() && removed_nets.empty();
   }
+
+  /// Modules touched by the edit (added + changed + removed).
+  int modules_touched() const {
+    return static_cast<int>(added_modules.size() + changed_modules.size() +
+                            removed_modules.size());
+  }
+
+  /// Nets touched by the edit (added + changed + removed).
+  int nets_touched() const {
+    return static_cast<int>(added_nets.size() + changed_nets.size() +
+                            removed_nets.size());
+  }
 };
 
 /// Diffs `after` against `before`.  Symmetric in information content: every

@@ -327,6 +327,7 @@ void RegenSession::account(const RegenCounters& one) {
   totals_.updates += one.updates;
   totals_.incremental += one.incremental;
   totals_.full_regens += one.full_regens;
+  totals_.edits_composed += one.edits_composed;
   totals_.modules_replaced += one.modules_replaced;
   totals_.modules_frozen += one.modules_frozen;
   totals_.nets_kept += one.nets_kept;
@@ -390,14 +391,8 @@ const Diagram& RegenSession::update(const Network& next) {
   const NetlistDiff diff = [&] {
     NA_TRACE_SPAN(span, "regen.diff");
     NetlistDiff d = diff_networks(*net_, next);
-    span.arg("modules_changed",
-             static_cast<long long>(d.added_modules.size() +
-                                    d.changed_modules.size() +
-                                    d.removed_modules.size()));
-    span.arg("nets_changed",
-             static_cast<long long>(d.added_nets.size() +
-                                    d.changed_nets.size() +
-                                    d.removed_nets.size()));
+    span.arg("modules_changed", d.modules_touched());
+    span.arg("nets_changed", d.nets_touched());
     return d;
   }();
   if (diff.empty()) {
@@ -497,6 +492,15 @@ const Diagram& RegenSession::update(const Network& next) {
   account(one);
   account_speculation(routed.speculation);
   return *dia_;
+}
+
+const Diagram& RegenSession::update_composed(const Network& next, int edits) {
+  const Diagram& dia = update(next);
+  // update() ran exactly one diff/patch pass; credit it with the composed
+  // edit count so callers can verify one-regen-per-flush in the counters.
+  last_.edits_composed = edits;
+  totals_.edits_composed += edits;
+  return dia;
 }
 
 }  // namespace na

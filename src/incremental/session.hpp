@@ -27,6 +27,7 @@ struct RegenCounters {
   int updates = 0;
   int incremental = 0;    ///< updates served by the patch path
   int full_regens = 0;    ///< updates that fell back to full generation
+  int edits_composed = 0;  ///< edit scripts covered by update_composed calls
   int modules_replaced = 0;
   int modules_frozen = 0;
   int nets_kept = 0;
@@ -71,6 +72,13 @@ class RegenSession {
   /// the incremental path.  The returned reference stays valid until the
   /// next update()/adopt() call.
   const Diagram& update(const Network& next);
+
+  /// Multi-edit entry point: regenerates for `next` exactly as update()
+  /// would, but records that the one diff/update covered `edits` composed
+  /// edit scripts (ScriptComposer::steps() at flush time).  The service
+  /// tier uses this at observation points so k deferred edits cost one
+  /// netlist diff and one patch pass instead of k.
+  const Diagram& update_composed(const Network& next, int edits);
 
   /// Re-seeds the session from an externally produced diagram — e.g. one
   /// reloaded through escher_reader after an editor restart, or a careful

@@ -57,6 +57,7 @@ inline void absorb(MetricsRegistry& reg, const RegenCounters& c) {
   reg.set("regen.updates", c.updates);
   reg.set("regen.incremental", c.incremental);
   reg.set("regen.full_regens", c.full_regens);
+  reg.set("regen.edits_composed", c.edits_composed);
   reg.set("regen.modules_replaced", c.modules_replaced);
   reg.set("regen.modules_frozen", c.modules_frozen);
   reg.set("regen.nets_kept", c.nets_kept);

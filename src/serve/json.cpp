@@ -39,6 +39,21 @@ class Parser {
     ++pos_;
   }
 
+  /// Reads the 4 hex digits of a \u escape (cursor past the 'u').
+  unsigned hex4() {
+    if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = s_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= h - '0';
+      else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+      else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+      else fail("bad \\u escape digit");
+    }
+    return code;
+  }
+
   std::string string() {
     expect('"');
     std::string out;
@@ -63,25 +78,39 @@ class Parser {
         case 'b': out += '\b'; break;
         case 'f': out += '\f'; break;
         case 'u': {
-          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = s_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= h - '0';
-            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
-            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
-            else fail("bad \\u escape digit");
+          unsigned code = hex4();
+          // RFC 8259 §7: code points above the BMP travel as a surrogate
+          // pair of \u escapes.  Pair them here; a surrogate half on its
+          // own names no code point and is rejected (the error carries
+          // the byte offset like every other parse failure).
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate in \\u escape");
           }
-          // UTF-8 encode the code point (surrogate pairs are not paired —
-          // protocol strings are names and file payloads, plain ASCII).
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > s_.size() || s_[pos_] != '\\' ||
+                s_[pos_ + 1] != 'u') {
+              fail("unpaired high surrogate in \\u escape");
+            }
+            pos_ += 2;
+            const unsigned lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              fail("high surrogate not followed by low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+          }
+          // UTF-8 encode the code point.
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (code & 0x3F));
           }

@@ -25,9 +25,18 @@
 //             | {"ok": false, ["id": int,] "error":
 //                  {"code": CODE, "message": string}}
 //
+//   edit     response carries {"seq", "batched": true}: the script was
+//   composed into the session's pending network, and regeneration is
+//   deferred to the next observation point (get/save/close/shutdown save)
+//   where k pending edits flush through ONE netlist diff and ONE
+//   RegenSession update.  get/save responses carry "flushed_edits" — how
+//   many pending edits that op flushed.  Both fields depend only on the
+//   session's request order, never on how requests happened to batch.
+//
 //   stats    response carries {"metrics": {...}} with serve.connections /
 //   serve.requests / serve.errors, the serve.batch.* edit-coalescing
-//   counters, and aggregated per-session regen totals.  The stats request
+//   counters (serve.batch.regens flushes covering serve.batch.composed
+//   edits), and aggregated per-session regen totals.  The stats request
 //   itself is not yet counted in the totals it reports.
 //
 // A malformed request (oversized line, bad JSON, unknown op, missing

@@ -20,6 +20,30 @@ Server::~Server() {
 }
 
 bool Server::start(std::string* error) {
+  // Degenerate options fail loudly at startup, naming the flag, instead
+  // of silently misbehaving later (an io_threads of 0 used to be clamped
+  // deep inside run(); a max_line of 0 would reject every request; a
+  // zero in-flight window would deadlock every pipelined connection).
+  const auto reject = [error](const char* msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (opt_.host.threads < 1) {
+    return reject("bad value for --threads: must be >= 1");
+  }
+  if (opt_.io_threads < 1) {
+    return reject("bad value for --io-threads: must be >= 1");
+  }
+  if (opt_.max_line == 0) {
+    return reject("bad value for --max-line: must be >= 1");
+  }
+  if (opt_.max_in_flight == 0) {
+    return reject("bad value for --max-in-flight: must be >= 1");
+  }
+  if (opt_.port < 0 || opt_.port > 65535) {
+    return reject("bad value for --port: must be in [0, 65535]");
+  }
+
   // A client that disconnects before its response is written must cost us
   // an EPIPE, never a process-killing SIGPIPE.  Belt (signal disposition)
   // and braces (MSG_NOSIGNAL on every send).
@@ -62,9 +86,10 @@ bool Server::start(std::string* error) {
 void Server::run() {
   flusher_ = std::thread([this] { flusher_main(); });
 
-  const int io_threads = std::max(1, opt_.io_threads);
+  const int io_threads = opt_.io_threads;  // start() validated >= 1
   EventLoop::Options loop_opt;
   loop_opt.max_line = opt_.max_line;
+  loop_opt.max_in_flight = opt_.max_in_flight;
   for (int i = 0; i < io_threads; ++i) {
     EventLoop::Callbacks cb;
     cb.on_line = [this](uint64_t conn, uint64_t ticket, std::string_view line) {
@@ -214,17 +239,25 @@ std::string Server::render_result(Op op, long long id, const HostResult& r) {
   if (id >= 0) w.field("id", id);
   switch (op) {
     case Op::kOpen:
-    case Op::kEdit:
       w.field("seq", r.seq)
           .field("full_regen", r.full_regen)
           .field("nets_rerouted", r.nets_rerouted)
           .field("nets_kept", r.nets_kept);
       break;
+    case Op::kEdit:
+      // Deliberately free of regen fields: the edit only composed its
+      // script into the pending network (regen is deferred to the next
+      // observation point), so the response is a pure function of the
+      // request sequence — identical however requests batch.
+      w.field("seq", r.seq).field("batched", r.batched);
+      break;
     case Op::kGet:
-      w.field("seq", r.seq).field("payload", std::string_view(r.payload));
+      w.field("seq", r.seq)
+          .field("flushed_edits", r.flushed_edits)
+          .field("payload", std::string_view(r.payload));
       break;
     case Op::kSave:
-      w.field("seq", r.seq);
+      w.field("seq", r.seq).field("flushed_edits", r.flushed_edits);
       if (!r.payload.empty()) {  // no state dir: blob travels inline
         w.field("payload", std::string_view(r.payload));
       }

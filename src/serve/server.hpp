@@ -57,6 +57,8 @@ struct ServerOptions {
   /// Event-loop I/O threads of the connection plane.  Two comfortably
   /// saturate the loopback path; the pool does the heavy lifting.
   int io_threads = 2;
+  /// Pipelined-request cap per connection (event-loop in-flight window).
+  size_t max_in_flight = 128;
   /// Streaming trace flush threshold (buffered events); 0 never flushes
   /// mid-run.  Only relevant when a trace stream is open.
   size_t trace_flush_events = 4096;
@@ -69,7 +71,9 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds and listens.  False + message on failure (port in use, ...).
+  /// Binds and listens.  False + message on failure (port in use, bad
+  /// bind address, degenerate option values — the message names the
+  /// offending flag).
   bool start(std::string* error);
 
   /// The bound port (after start); useful with port 0.

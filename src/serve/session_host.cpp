@@ -241,46 +241,55 @@ HostResult SessionHost::exec_open(Session& s, const std::string& name,
   } else {
     s.regen.update(design_network(op.design));
   }
-  s.current = s.regen.network();
+  s.pending.rebase(s.regen.network());
   HostResult ok;
   ok.full_regen = !op.restore;
   ok.nets_rerouted = s.regen.last().nets_rerouted;
-  ok.nets_kept = s.current.net_count();
+  ok.nets_kept = s.pending.network().net_count();
   return ok;
 }
 
 HostResult SessionHost::exec_one_edit(Session& s,
                                       const std::vector<EditCmd>& cmds) {
-  Network next = [&] {
-    try {
-      NetworkEditor ed(s.current);
-      for (const EditCmd& cmd : cmds) apply_edit(ed, cmd);
-      return ed.build();
-    } catch (const std::exception& e) {
-      // The editor worked on a copy: a bad edit script leaves the
-      // session exactly as it was — even mid-batch.
-      throw ProtocolError(err::kBadEdit, e.what());
-    }
-  }();
-  s.regen.update(next);
-  s.current = std::move(next);
+  try {
+    // Netlist work only — the composer's transactional apply runs the
+    // script on an editor copy of the pending network, so a bad script
+    // leaves the session exactly as it was, even mid-batch.  The
+    // diff + regen for this edit runs at the next observation point.
+    s.pending.apply(
+        [&](NetworkEditor& ed) {
+          for (const EditCmd& cmd : cmds) apply_edit(ed, cmd);
+        });
+  } catch (const std::exception& e) {
+    throw ProtocolError(err::kBadEdit, e.what());
+  }
   ++s.seq;
   s.dirty = true;
-  const RegenCounters& last = s.regen.last();
   HostResult ok;
   ok.seq = s.seq;
-  ok.full_regen = last.full_regens > 0;
-  ok.nets_rerouted = last.nets_rerouted;
-  ok.nets_kept = last.nets_kept;
+  ok.batched = true;
   return ok;
+}
+
+int SessionHost::flush_pending(Session& s) {
+  const int pending = s.pending.steps();
+  if (pending == 0) return 0;
+  NA_TRACE_SPAN(span, "serve.flush");
+  span.arg("edits", pending);
+  s.regen.update_composed(s.pending.network(), pending);
+  s.pending.flushed();
+  note_flush(static_cast<size_t>(pending));
+  return pending;
 }
 
 HostResult SessionHost::exec_get(Session& s, const std::string& name,
                                  const std::string& format) {
+  const int flushed = flush_pending(s);
   if (!s.regen.has_diagram()) {
     return HostResult::error(err::kInternal, "session has no diagram");
   }
   HostResult r;
+  r.flushed_edits = flushed;
   if (format == "svg") {
     r.payload = to_svg(s.regen.diagram());
   } else if (format == "ascii") {
@@ -303,6 +312,10 @@ HostResult SessionHost::save_locked(Session& s, const std::string& name) {
   HostResult r;
   std::string text;
   try {
+    // A save is an observation point: it must snapshot exactly the state
+    // after the preceding edit in queue order, so the pending composition
+    // flushes first.  Edits queued behind the save start a new run.
+    r.flushed_edits = flush_pending(s);
     text = s.regen.save();
   } catch (const std::exception& e) {
     return HostResult::error(err::kInternal, e.what());
@@ -464,6 +477,9 @@ int SessionHost::save_dirty_sessions() {
     all.assign(sessions_.begin(), sessions_.end());
   }
   int saved = 0;
+  // Shutdown saves flush pending compositions (regen + trace spans), so
+  // hold the flush gate shared like any other op body.
+  std::shared_lock gate(flush_gate_);
   for (auto& [name, session] : all) {
     std::lock_guard lock(session->mu);
     if (session->dirty && save_locked(*session, name).ok) ++saved;
@@ -490,6 +506,12 @@ void SessionHost::note_batch(size_t edits_in_job) {
   ++batch_.hist[bucket];
 }
 
+void SessionHost::note_flush(size_t edits_flushed) {
+  std::lock_guard lock(batch_mu_);
+  ++batch_.regens;
+  batch_.composed += static_cast<long long>(edits_flushed);
+}
+
 SessionHost::BatchStats SessionHost::batch_stats() const {
   std::lock_guard lock(batch_mu_);
   return batch_;
@@ -504,15 +526,18 @@ void SessionHost::absorb_stats(obs::MetricsRegistry& reg) const {
   }
   reg.set("serve.sessions_open", static_cast<long long>(all.size()));
   long long edits = 0;
+  long long pending = 0;
   RegenCounters sum;
   ParallelRouteStats spec;
   for (const auto& session : all) {
     std::lock_guard lock(session->mu);
     edits += session->seq;
+    pending += session->pending.steps();
     const RegenCounters& t = session->regen.totals();
     sum.updates += t.updates;
     sum.incremental += t.incremental;
     sum.full_regens += t.full_regens;
+    sum.edits_composed += t.edits_composed;
     sum.modules_replaced += t.modules_replaced;
     sum.modules_frozen += t.modules_frozen;
     sum.nets_kept += t.nets_kept;
@@ -533,9 +558,12 @@ void SessionHost::absorb_stats(obs::MetricsRegistry& reg) const {
     spec.respec_stale += s.respec_stale;
   }
   reg.set("serve.edits_applied", edits);
+  reg.set("serve.pending_edits", pending);
   const BatchStats b = batch_stats();
   reg.set("serve.batch.jobs", b.jobs);
   reg.set("serve.batch.edits", b.edits);
+  reg.set("serve.batch.regens", b.regens);
+  reg.set("serve.batch.composed", b.composed);
   reg.set("serve.batch.max", b.max_size);
   reg.set("serve.batch.hist_1", b.hist[0]);
   reg.set("serve.batch.hist_2_3", b.hist[1]);

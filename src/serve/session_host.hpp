@@ -9,21 +9,31 @@
 //   * the queue serialises operations touching one session — edits to one
 //     session are totally ordered (the response's `seq` is the order),
 //     edits to different sessions run concurrently on the pool;
-//   * consecutive queued *edit* requests for one session coalesce into a
-//     single pool job (one queue pass, one session-mutex hold, one trace
-//     span).  Within the batch each request still runs its own
-//     NetworkEditor copy-then-commit and its own RegenSession::update in
-//     arrival order, so the diagram after edit #k is byte-identical to
-//     unbatched execution — batching changes job granularity, never the
-//     update sequence;
+//   * regeneration is *deferred to observation points*: an edit request
+//     only applies its script to the session's pending network (a
+//     transactional ScriptComposer step — netlist work, no geometry) and
+//     replies immediately; the expensive diff + RegenSession::update runs
+//     once per observation point — get, save, close-with-save, shutdown
+//     save — covering every edit composed since the previous flush
+//     (`serve.batch.regens` counts flushes, `serve.batch.composed` the
+//     edits they covered);
+//   * consecutive queued *edit* requests for one session still coalesce
+//     into a single pool job (one queue pass, one session-mutex hold, one
+//     trace span) — job granularity, independent of flush granularity;
 //   * the session table itself is a short-hold mutex (lookup and insert
 //     only — never held while a session works).
 //
-// Because RegenSession::update is deterministic for a given (network,
-// diagram, options) state and edits against one session are serialised,
-// the diagram a session holds after edit #k is a pure function of its
-// open design and the edit sequence — independent of what other sessions
-// do concurrently, and independent of how requests happened to batch.
+// Why deferral preserves byte-identity where eager composition cannot:
+// the incremental engine is path-dependent (gravity placement scores
+// against the previous routed diagram, partition grouping depends on the
+// dirty set), so collapsing k updates into one at an arbitrary internal
+// boundary — e.g. whatever run of edits a drain job happened to grab —
+// would make output depend on queue timing.  Deferral instead makes the
+// composition boundaries *protocol-determined*: flushes happen exactly at
+// the ops whose responses expose geometry, so the flush sequence — and
+// with it every diagram a client can observe, every `seq`, and every
+// response byte — is a pure function of the session's request sequence,
+// independent of pipelining, drain-job batching, and other sessions.
 #pragma once
 
 #include <deque>
@@ -36,6 +46,7 @@
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "incremental/edit.hpp"
 #include "incremental/session.hpp"
 #include "netlist/module_library.hpp"
 #include "obs/metrics.hpp"
@@ -62,7 +73,14 @@ struct HostResult {
   std::string message;
   /// edit: 1-based per-session edit sequence number after applying.
   long long seq = 0;
-  /// edit: whether the update fell back to a full regeneration.
+  /// edit: the script was composed into the pending network; regeneration
+  /// is deferred to the next observation point.  Constant on every
+  /// successful edit, so responses stay byte-identical however requests
+  /// batch.
+  bool batched = false;
+  /// get/save: edits flushed (composed into one regen) by this op.
+  int flushed_edits = 0;
+  /// open: whether the update ran a full generation.
   bool full_regen = false;
   int nets_rerouted = 0;
   int nets_kept = 0;
@@ -132,12 +150,17 @@ class SessionHost {
 
   /// Edit-coalescing counters: pool jobs that carried edits, how many
   /// edit requests rode in them, the largest batch, and a small size
-  /// histogram (1, 2-3, 4-7, 8-15, 16+).  Reported under serve.batch.*.
+  /// histogram (1, 2-3, 4-7, 8-15, 16+) — plus the multi-edit regen
+  /// counters: `regens` flushes ran (one RegenSession::update each) and
+  /// `composed` edits were covered by them.  `regens < edits` whenever a
+  /// flush covered more than one edit.  Reported under serve.batch.*.
   struct BatchStats {
     long long jobs = 0;
     long long edits = 0;
     long long max_size = 0;
     long long hist[5] = {0, 0, 0, 0, 0};
+    long long regens = 0;    ///< composed flushes (one update each)
+    long long composed = 0;  ///< edit scripts those flushes covered
   };
   BatchStats batch_stats() const;
 
@@ -164,7 +187,9 @@ class SessionHost {
   struct Session {
     std::mutex mu;  ///< state access: the drain job and stats readers
     RegenSession regen;
-    Network current;     ///< the network state edits build on
+    /// Edits since the last flush, composed netlist-only; regenerated
+    /// from at the next observation point.
+    ScriptComposer pending;
     long long seq = 0;   ///< applied edits
     bool dirty = false;  ///< has edits not yet saved
     std::string design;
@@ -173,7 +198,8 @@ class SessionHost {
     std::deque<PendingOp> queue;
     bool running = false;  ///< a drain job is on the pool
 
-    explicit Session(RegenOptions opt) : regen(std::move(opt)) {}
+    explicit Session(RegenOptions opt)
+        : regen(std::move(opt)), pending(Network{}) {}
   };
 
   std::shared_ptr<Session> find(const std::string& name) const;
@@ -189,7 +215,12 @@ class SessionHost {
                       const std::string& format);
   HostResult exec_close(Session& s, const std::string& name);
   HostResult save_locked(Session& s, const std::string& name);
+  /// Regenerates from the pending composition (one diff, one update for
+  /// however many edits are queued); returns how many it flushed.  Called
+  /// at every observation point, session->mu held.
+  int flush_pending(Session& s);
   void note_batch(size_t edits_in_job);
+  void note_flush(size_t edits_flushed);
 
   HostOptions opt_;
   const ModuleLibrary lib_;  ///< shared immutable template cache

@@ -41,6 +41,46 @@ TEST(ServeJson, DecodesEscapes) {
   EXPECT_EQ(parse_json(R"("\t\r\b\f\/")").text, "\t\r\b\f/");
 }
 
+TEST(ServeJson, PairsSurrogateEscapes) {
+  // RFC 8259 section 7: non-BMP code points travel as \u-escaped
+  // surrogate pairs.  U+1F600 = D83D DE00 -> 4-byte UTF-8.
+  EXPECT_EQ(parse_json(R"("\uD83D\uDE00")").text, "\xF0\x9F\x98\x80");
+  EXPECT_EQ(parse_json(R"("x\uD83D\uDE00y")").text, "x\xF0\x9F\x98\x80y");
+  // U+10000 (first supplementary) and U+10FFFF (last).
+  EXPECT_EQ(parse_json(R"("\uD800\uDC00")").text, "\xF0\x90\x80\x80");
+  EXPECT_EQ(parse_json(R"("\uDBFF\uDFFF")").text, "\xF4\x8F\xBF\xBF");
+  // BMP neighbours of the surrogate range still decode alone.
+  EXPECT_EQ(parse_json(R"("\uD7FF\uE000")").text, "\xED\x9F\xBF\xEE\x80\x80");
+}
+
+TEST(ServeJson, RejectsUnpairedSurrogates) {
+  const char* bad[] = {
+      R"("\uD83D")",         // lone high at end of string
+      R"("\uD83Dx")",        // high followed by a plain char
+      R"("\uD83D\n")",       // high followed by a non-\u escape
+      R"("\uD83D\u0041")",   // high followed by a non-surrogate \u
+      R"("\uD83D\uD83D")",   // high followed by another high
+      R"("\uDE00")",         // lone low
+      R"("\uDE00\uD83D")",   // pair in the wrong order
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(parse_json(text), std::runtime_error) << "input: " << text;
+  }
+}
+
+TEST(ServeJson, SurrogateErrorsCarryByteOffset) {
+  try {
+    parse_json(R"({"a": "\uDE00"})");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    // The cursor sits just past the 4 hex digits of the offending escape.
+    EXPECT_NE(std::string(e.what()).find("byte 13"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("surrogate"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ServeJson, AsIntIsStrict) {
   long long n = 0;
   EXPECT_FALSE(parse_json("1.5").as_int(&n));

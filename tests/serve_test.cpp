@@ -13,7 +13,9 @@
 #include <chrono>
 #include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <filesystem>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -115,8 +117,8 @@ std::string edit_line(const std::string& session, int i) {
          R"(","template":"","w":4,"h":3}]})";
 }
 
-/// What the server should produce for `session` after the same edits,
-/// computed with a local RegenSession (the determinism reference).
+/// What the server should produce for `session` when every edit is
+/// observed (a get/save between each): one RegenSession update per edit.
 std::string local_reference(const std::string& design,
                             const std::string& session, int edits) {
   RegenSession regen{RegenOptions{}};
@@ -128,6 +130,23 @@ std::string local_reference(const std::string& design,
     net = ed.build();
     regen.update(net);
   }
+  return to_escher_diagram(regen.diagram(), session);
+}
+
+/// What the server should produce for `session` after an *uninterrupted*
+/// run of edits followed by one get: the edits compose into a single
+/// flush — one diff, one update — at the observation point.
+std::string composed_reference(const std::string& design,
+                               const std::string& session, int edits) {
+  RegenSession regen{RegenOptions{}};
+  regen.update(design_network(design));
+  ScriptComposer pending(regen.network());
+  for (int i = 0; i < edits; ++i) {
+    pending.apply([&](NetworkEditor& ed) {
+      ed.add_module("mod" + std::to_string(i), "", {4, 3});
+    });
+  }
+  regen.update_composed(pending.network(), pending.steps());
   return to_escher_diagram(regen.diagram(), session);
 }
 
@@ -145,7 +164,7 @@ TEST(Serve, OpenEditGetMatchesLocalSession) {
   }
   const std::string got =
       field_payload(c.request(R"({"op":"get","session":"a"})"));
-  EXPECT_EQ(got, local_reference("chain", "a", 3));
+  EXPECT_EQ(got, composed_reference("chain", "a", 3));
 }
 
 TEST(Serve, PerSessionOrderingUnderConcurrentClients) {
@@ -213,7 +232,7 @@ TEST(Serve, SixteenConcurrentSessionsStayIsolated) {
 
   for (int s = 0; s < kSessions; ++s) {
     const std::string name = "iso" + std::to_string(s);
-    EXPECT_EQ(results[s], local_reference("chain", name, kEdits))
+    EXPECT_EQ(results[s], composed_reference("chain", name, kEdits))
         << "session " << name << " diverged";
   }
   EXPECT_EQ(live.server.host().open_sessions(), kSessions);
@@ -480,7 +499,7 @@ TEST(Serve, PipelinedEditsBatchAndStayDeterministic) {
     EXPECT_EQ(field_seq(r), i + 1);  // wire order == edit order
   }
   EXPECT_EQ(field_payload(c.request(R"({"op":"get","session":"p"})")),
-            local_reference("chain", "p", kEdits));
+            composed_reference("chain", "p", kEdits));
 
   // Every edit request rode in exactly one edit-carrying job; how many
   // jobs depends on timing, but the accounting must balance.
@@ -492,6 +511,15 @@ TEST(Serve, PipelinedEditsBatchAndStayDeterministic) {
   const long long max_size = metric_value(stats, "serve.batch.max");
   EXPECT_GE(max_size, 1);
   EXPECT_LE(max_size, kEdits);
+
+  // Multi-edit regen: the whole uninterrupted run flushed through exactly
+  // one RegenSession update at the get — not one per edit, and unlike the
+  // job count this is protocol-determined, not timing-determined.
+  EXPECT_EQ(metric_value(stats, "serve.batch.regens"), 1);
+  EXPECT_EQ(metric_value(stats, "serve.batch.composed"), kEdits + 0);
+  EXPECT_LT(metric_value(stats, "serve.batch.regens"),
+            metric_value(stats, "serve.batch.edits"));
+  EXPECT_EQ(metric_value(stats, "regen.edits_composed"), kEdits + 0);
 }
 
 TEST(Serve, ClientDistinguishesTransportFailure) {
@@ -522,4 +550,203 @@ TEST(Serve, StatsReportServiceCounters) {
   EXPECT_NE(r.find("\"serve.sessions_open\":1"), std::string::npos);
   EXPECT_NE(r.find("\"serve.edits_applied\":1"), std::string::npos);
   EXPECT_NE(r.find("\"regen.updates\":"), std::string::npos);
+}
+
+TEST(ServeOptions, DegenerateOptionsFailAtStartNamingTheFlag) {
+  const auto start_error = [](ServerOptions opt) {
+    opt.port = opt.port == -1 ? -1 : 0;
+    Server server(std::move(opt));
+    std::string error;
+    EXPECT_FALSE(server.start(&error));
+    return error;
+  };
+  {
+    ServerOptions opt;
+    opt.io_threads = 0;
+    EXPECT_NE(start_error(opt).find("--io-threads"), std::string::npos);
+  }
+  {
+    ServerOptions opt;
+    opt.max_line = 0;
+    EXPECT_NE(start_error(opt).find("--max-line"), std::string::npos);
+  }
+  {
+    ServerOptions opt;
+    opt.max_in_flight = 0;
+    EXPECT_NE(start_error(opt).find("--max-in-flight"), std::string::npos);
+  }
+  {
+    ServerOptions opt;
+    opt.host.threads = 0;
+    EXPECT_NE(start_error(opt).find("--threads"), std::string::npos);
+  }
+  {
+    ServerOptions opt;
+    opt.port = -1;
+    EXPECT_NE(start_error(opt).find("--port"), std::string::npos);
+  }
+}
+
+TEST(MultiEdit, StatsCountComposedRegens) {
+  LiveServer live;
+  BlockingClient c = live.connect();
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"open","session":"cc","design":"chain"})")));
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(is_ok(c.request(edit_line("cc", i))));
+
+  // stats is NOT an observation point: the 3 edits are still pending.
+  std::string stats = c.request(R"({"op":"stats"})");
+  EXPECT_EQ(metric_value(stats, "serve.pending_edits"), 3);
+  EXPECT_EQ(metric_value(stats, "serve.batch.regens"), 0);
+
+  // The get flushes all of them through one update.
+  const std::string got = c.request(R"({"op":"get","session":"cc"})");
+  ASSERT_TRUE(is_ok(got)) << got;
+  EXPECT_NE(got.find("\"flushed_edits\":3"), std::string::npos) << got;
+  stats = c.request(R"({"op":"stats"})");
+  EXPECT_EQ(metric_value(stats, "serve.pending_edits"), 0);
+  EXPECT_EQ(metric_value(stats, "serve.batch.regens"), 1);
+  EXPECT_EQ(metric_value(stats, "serve.batch.composed"), 3);
+  EXPECT_EQ(metric_value(stats, "serve.batch.edits"), 3);
+  EXPECT_LT(metric_value(stats, "serve.batch.regens"),
+            metric_value(stats, "serve.batch.edits"));
+
+  // An idle get flushes nothing and runs no further update.
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"get","session":"cc"})")));
+  stats = c.request(R"({"op":"stats"})");
+  EXPECT_EQ(metric_value(stats, "serve.batch.regens"), 1);
+}
+
+TEST(MultiEdit, SaveBetweenEditsSnapshotsPrecedingEdit) {
+  LiveServer live;  // no state dir: save returns the blob inline
+  BlockingClient c = live.connect();
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"open","session":"sv","design":"chain"})")));
+
+  // Pipeline edit / save / edit / get without reading: however the drain
+  // jobs slice this, the save must snapshot exactly the state after the
+  // first edit, and the get must observe both.
+  ASSERT_TRUE(c.send_line(edit_line("sv", 0)));
+  ASSERT_TRUE(c.send_line(R"({"op":"save","session":"sv"})"));
+  ASSERT_TRUE(c.send_line(edit_line("sv", 1)));
+  ASSERT_TRUE(c.send_line(R"({"op":"get","session":"sv"})"));
+
+  std::string edit0, save, edit1, get;
+  ASSERT_TRUE(c.recv_line(&edit0));
+  ASSERT_TRUE(c.recv_line(&save));
+  ASSERT_TRUE(c.recv_line(&edit1));
+  ASSERT_TRUE(c.recv_line(&get));
+  ASSERT_TRUE(is_ok(edit0)) << edit0;
+  ASSERT_TRUE(is_ok(save)) << save;
+  ASSERT_TRUE(is_ok(edit1)) << edit1;
+  ASSERT_TRUE(is_ok(get)) << get;
+  EXPECT_NE(save.find("\"flushed_edits\":1"), std::string::npos) << save;
+  EXPECT_NE(get.find("\"flushed_edits\":1"), std::string::npos) << get;
+
+  // Local reference with the same observation structure: flush after
+  // edit 0 (the save), snapshot, flush after edit 1 (the get).
+  RegenSession regen{RegenOptions{}};
+  regen.update(design_network("chain"));
+  ScriptComposer pending(regen.network());
+  pending.apply([](NetworkEditor& ed) { ed.add_module("mod0", "", {4, 3}); });
+  regen.update_composed(pending.network(), pending.steps());
+  pending.flushed();
+  const std::string want_blob = regen.save();
+  pending.apply([](NetworkEditor& ed) { ed.add_module("mod1", "", {4, 3}); });
+  regen.update_composed(pending.network(), pending.steps());
+  pending.flushed();
+  const std::string want_dia = to_escher_diagram(regen.diagram(), "sv");
+
+  EXPECT_EQ(field_payload(save), want_blob)
+      << "save between pipelined edits did not snapshot the state after "
+         "the preceding edit";
+  EXPECT_EQ(field_payload(get), want_dia);
+}
+
+namespace {
+
+/// Deterministic seeded request schedule for session "f": valid single-
+/// and multi-command edit scripts, removes of earlier adds, failing
+/// scripts mid-run, interleaved saves, and a final get.
+std::vector<std::string> fuzz_schedule(uint32_t seed, int n) {
+  std::mt19937 rng(seed);
+  std::vector<std::string> lines;
+  std::vector<std::string> added;
+  int next_mod = 0;
+  for (int i = 0; i < n; ++i) {
+    const int roll = static_cast<int>(rng() % 100);
+    if (roll < 45) {  // fresh module
+      const std::string m = "fz" + std::to_string(next_mod++);
+      lines.push_back(
+          R"({"op":"edit","session":"f","edits":[{"kind":"add_module","name":")" +
+          m + R"(","template":"","w":4,"h":3}]})");
+      added.push_back(m);
+    } else if (roll < 60) {  // one script: add + terminal + connect
+      const std::string m = "fc" + std::to_string(next_mod++);
+      const std::string net = "chain" + std::to_string(rng() % 4);
+      lines.push_back(
+          R"({"op":"edit","session":"f","edits":[)"
+          R"({"kind":"add_module","name":")" + m +
+          R"(","template":"","w":4,"h":3},)"
+          R"({"kind":"add_terminal","module":")" + m +
+          R"(","name":"t","type":"in","x":0,"y":1},)"
+          R"({"kind":"connect","net":")" + net + R"(","module":")" + m +
+          R"(","term":"t"}]})");
+      added.push_back(m);
+    } else if (roll < 72 && !added.empty()) {  // remove an earlier add
+      const size_t k = rng() % added.size();
+      lines.push_back(
+          R"({"op":"edit","session":"f","edits":[{"kind":"remove_module","name":")" +
+          added[k] + R"("}]})");
+      added.erase(added.begin() + static_cast<long>(k));
+    } else if (roll < 86) {  // failing script (unknown module)
+      lines.push_back(
+          R"({"op":"edit","session":"f","edits":[{"kind":"remove_module","name":"missing)" +
+          std::to_string(rng() % 1000) + R"("}]})");
+    } else {  // save: an observation point mid-run
+      lines.push_back(R"({"op":"save","session":"f"})");
+    }
+  }
+  lines.push_back(R"({"op":"get","session":"f"})");
+  return lines;
+}
+
+}  // namespace
+
+TEST(MultiEdit, BatchedAndUnbatchedRepliesAreByteIdentical) {
+  // The byte-identity acceptance bar, fuzzed: stream a seeded random
+  // request mix pipelined (edits coalesce and compose into few flushes)
+  // and replay it request-per-response on a second server (every op its
+  // own drain job).  Every response — seq numbers, batched markers,
+  // flushed_edits, error messages, save blobs, the final diagram — must
+  // match byte for byte, because all of them are functions of request
+  // order alone, never of how the queue was sliced.
+  const std::vector<std::string> lines = fuzz_schedule(0x5eed, 40);
+
+  std::vector<std::string> pipelined;
+  {
+    LiveServer live;
+    BlockingClient c = live.connect();
+    ASSERT_TRUE(
+        is_ok(c.request(R"({"op":"open","session":"f","design":"chain"})")));
+    for (const std::string& line : lines) ASSERT_TRUE(c.send_line(line));
+    for (size_t i = 0; i < lines.size(); ++i) {
+      std::string r;
+      ASSERT_TRUE(c.recv_line(&r)) << "no response to: " << lines[i];
+      pipelined.push_back(std::move(r));
+    }
+  }
+
+  std::vector<std::string> unbatched;
+  {
+    LiveServer live;
+    BlockingClient c = live.connect();
+    ASSERT_TRUE(
+        is_ok(c.request(R"({"op":"open","session":"f","design":"chain"})")));
+    for (const std::string& line : lines) unbatched.push_back(c.request(line));
+  }
+
+  ASSERT_EQ(pipelined.size(), unbatched.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(pipelined[i], unbatched[i])
+        << "response " << i << " diverged for request: " << lines[i];
+  }
 }
