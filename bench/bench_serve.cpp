@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/histogram.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 
@@ -39,11 +40,11 @@ double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
-/// Latency at quantile q (0..1) of a sorted sample, nearest-rank.
-double quantile_ms(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0;
-  const size_t rank = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
-  return sorted[std::min(rank, sorted.size() - 1)];
+/// Quantile in milliseconds off a histogram snapshot.  Same estimator the
+/// daemon's `metrics` op uses (obs::Histogram, microsecond buckets), so
+/// bench-side and server-side p50/p99 agree to the bucket width.
+double quantile_ms(const obs::HistogramData& data, double q) {
+  return static_cast<double>(data.quantile(q)) / 1000.0;
 }
 
 std::string edit_line(const std::string& session, int i) {
@@ -96,8 +97,11 @@ struct LevelResult {
 /// deferred edits flush through one composed regen — so the level's work
 /// includes the geometry it produced, not just the netlist queuing.
 LevelResult run_level(int port, int sessions, int edits) {
-  std::vector<std::vector<double>> lat(sessions);
-  std::vector<double> flush(sessions, 0.0);
+  // Wait-free shared histograms instead of per-session sample vectors:
+  // every client thread records straight into the same counters the
+  // daemon uses for serve.lat.edit, at fixed memory per level.
+  obs::Histogram lat;
+  obs::Histogram flush;
   std::vector<std::thread> threads;
   const auto t0 = Clock::now();
   for (int s = 0; s < sessions; ++s) {
@@ -110,11 +114,10 @@ LevelResult run_level(int port, int sessions, int edits) {
       }
       const std::string name = "bench" + std::to_string(s);
       c.request(R"({"op":"open","session":")" + name + R"(","design":"chain"})");
-      lat[s].reserve(edits);
       for (int i = 0; i < edits; ++i) {
         const auto e0 = Clock::now();
         const std::string r = c.request(edit_line(name, i));
-        lat[s].push_back(ms_since(e0));
+        lat.record_ms(ms_since(e0));
         if (r.rfind(R"({"ok":true)", 0) != 0) {
           std::fprintf(stderr, "edit failed: %s\n",
                        r.empty() ? ("transport: " + c.last_error()).c_str()
@@ -124,7 +127,7 @@ LevelResult run_level(int port, int sessions, int edits) {
       }
       const auto g0 = Clock::now();
       c.request(R"({"op":"get","session":")" + name + R"("})");
-      flush[s] = ms_since(g0);
+      flush.record_ms(ms_since(g0));
       c.request(R"({"op":"close","session":")" + name + R"("})");
     });
   }
@@ -132,17 +135,13 @@ LevelResult run_level(int port, int sessions, int edits) {
 
   LevelResult r;
   r.wall_ms = ms_since(t0);
-  std::vector<double> all;
-  for (const auto& per : lat) {
-    r.requests += static_cast<long long>(per.size());
-    all.insert(all.end(), per.begin(), per.end());
-  }
-  std::sort(all.begin(), all.end());
-  r.p50_ms = quantile_ms(all, 0.50);
-  r.p99_ms = quantile_ms(all, 0.99);
-  std::sort(flush.begin(), flush.end());
-  r.flush_p50_ms = quantile_ms(flush, 0.50);
-  r.flush_p99_ms = quantile_ms(flush, 0.99);
+  const obs::HistogramData lat_data = lat.snapshot();
+  const obs::HistogramData flush_data = flush.snapshot();
+  r.requests = lat_data.count;
+  r.p50_ms = quantile_ms(lat_data, 0.50);
+  r.p99_ms = quantile_ms(lat_data, 0.99);
+  r.flush_p50_ms = quantile_ms(flush_data, 0.50);
+  r.flush_p99_ms = quantile_ms(flush_data, 0.99);
   return r;
 }
 

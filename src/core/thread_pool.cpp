@@ -1,12 +1,21 @@
 #include "core/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 
 namespace na {
 namespace {
 thread_local int tl_worker_index = -1;
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
 ThreadPool::ThreadPool(int threads) {
@@ -27,10 +36,27 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+ThreadPool::Task ThreadPool::make_task(std::function<void()> fn) const {
+  Task t{std::move(fn), 0};
+  if (wait_hist_.load(std::memory_order_relaxed) != nullptr) {
+    t.enqueue_ns = steady_ns();
+  }
+  return t;
+}
+
+void ThreadPool::sample_wait(const Task& task) const {
+  if (task.enqueue_ns == 0) return;
+  obs::Histogram* h = wait_hist_.load(std::memory_order_relaxed);
+  if (h == nullptr) return;
+  const std::uint64_t now = steady_ns();
+  const std::uint64_t wait = now > task.enqueue_ns ? now - task.enqueue_ns : 0;
+  h->record(static_cast<long long>(wait / 1000));  // histogram unit: µs
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mu_);
-    queues_[next_queue_].push_back(std::move(task));
+    queues_[next_queue_].push_back(make_task(std::move(task)));
     next_queue_ = (next_queue_ + 1) % queues_.size();
     ++queued_;
     stats_.peak_queued = std::max(stats_.peak_queued, queued_);
@@ -42,7 +68,7 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::submit_urgent(std::function<void()> task) {
   {
     std::lock_guard lock(mu_);
-    urgent_.push_back(std::move(task));
+    urgent_.push_back(make_task(std::move(task)));
     ++queued_;
     stats_.peak_queued = std::max(stats_.peak_queued, queued_);
     ++stats_.urgent_submitted;
@@ -56,13 +82,22 @@ ThreadPool::Stats ThreadPool::stats() const {
   return stats_;
 }
 
+void ThreadPool::set_queue_wait_histogram(obs::Histogram* h) {
+  wait_hist_.store(h, std::memory_order_relaxed);
+}
+
+int ThreadPool::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return queued_;
+}
+
 int ThreadPool::worker_index() { return tl_worker_index; }
 
 void ThreadPool::worker_loop(int index) {
   tl_worker_index = index;
   std::unique_lock lock(mu_);
   for (;;) {
-    std::function<void()> task;
+    Task task;
     if (!urgent_.empty()) {
       task = std::move(urgent_.front());
       urgent_.pop_front();
@@ -81,12 +116,13 @@ void ThreadPool::worker_loop(int index) {
         }
       }
     }
-    if (task) {
+    if (task.fn) {
+      sample_wait(task);
       --queued_;
       NA_TRACE_COUNTER("pool.queue", "queued", queued_);
       ++active_;
       lock.unlock();
-      task();
+      task.fn();
       lock.lock();
       --active_;
       if (queued_ == 0 && active_ == 0) idle_cv_.notify_all();

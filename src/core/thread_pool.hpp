@@ -13,7 +13,9 @@
 // noise and the simple scheme stays ThreadSanitizer-clean.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -21,6 +23,11 @@
 #include <vector>
 
 namespace na {
+
+namespace obs {
+class Histogram;
+}  // namespace obs
+
 
 class ThreadPool {
  public:
@@ -51,6 +58,18 @@ class ThreadPool {
   };
   Stats stats() const;
 
+  /// Routes per-task queue-wait samples (submit to dequeue, microseconds)
+  /// into `h`; nullptr (the default) turns the probe off — then submit and
+  /// dequeue skip the clock reads entirely.  `h` must outlive the pool or
+  /// a later set_queue_wait_histogram(nullptr).  Histogram recording is
+  /// wait-free, so the sample happens under the pool lock without adding
+  /// contention beyond the two steady_clock reads.
+  void set_queue_wait_histogram(obs::Histogram* h);
+
+  /// Tasks currently waiting across the urgent lane and every per-worker
+  /// queue — the live gauge the daemon's watchdog samples.
+  int queue_depth() const;
+
   int size() const { return static_cast<int>(workers_.size()); }
 
   /// Index of the calling thread within its pool, -1 off-pool.  Lets task
@@ -58,10 +77,20 @@ class ThreadPool {
   static int worker_index();
 
  private:
-  void worker_loop(int index);
+  /// A queued task plus its submission timestamp (0 when the queue-wait
+  /// probe was off at submit time — such tasks are not sampled).
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
 
-  std::vector<std::deque<std::function<void()>>> queues_;
-  std::deque<std::function<void()>> urgent_;
+  void worker_loop(int index);
+  Task make_task(std::function<void()> fn) const;
+  void sample_wait(const Task& task) const;
+
+  std::vector<std::deque<Task>> queues_;
+  std::deque<Task> urgent_;
+  std::atomic<obs::Histogram*> wait_hist_{nullptr};
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;

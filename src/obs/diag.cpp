@@ -6,15 +6,20 @@
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace na::obs {
 namespace {
 
 struct DiagState {
+  struct Category {
+    int count = 0;  ///< lines attempted
+    int limit = 0;  ///< rate limit of the most recent diagf() call
+  };
   std::mutex mu;
-  std::map<std::string, int> counts;  ///< lines attempted per category
-  std::FILE* sink = nullptr;          ///< nullptr = stderr
+  std::map<std::string, Category> counts;
+  std::FILE* sink = nullptr;  ///< nullptr = stderr
 
   static DiagState& instance() {
     static DiagState* s = new DiagState;
@@ -33,7 +38,9 @@ void diagf(const char* category, int limit, const char* fmt, ...) {
 
   DiagState& st = DiagState::instance();
   std::lock_guard lock(st.mu);
-  const int n = ++st.counts[category];
+  DiagState::Category& cat = st.counts[category];
+  cat.limit = limit;
+  const int n = ++cat.count;
   std::FILE* out = st.sink != nullptr ? st.sink : stderr;
   if (n <= limit) {
     // One stream call per line: no interleaving between threads.
@@ -56,7 +63,18 @@ int diag_emitted(const char* category) {
   DiagState& st = DiagState::instance();
   std::lock_guard lock(st.mu);
   const auto it = st.counts.find(category);
-  return it == st.counts.end() ? 0 : it->second;
+  return it == st.counts.end() ? 0 : it->second.count;
+}
+
+void diag_absorb(MetricsRegistry& reg) {
+  DiagState& st = DiagState::instance();
+  std::lock_guard lock(st.mu);
+  for (const auto& [name, cat] : st.counts) {  // map: sorted, byte-stable
+    reg.set("diag.lines." + name, static_cast<long long>(cat.count));
+    const long long suppressed =
+        cat.count > cat.limit ? cat.count - cat.limit : 0;
+    reg.set("diag.suppressed." + name, suppressed);
+  }
 }
 
 void diag_reset() {

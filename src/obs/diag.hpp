@@ -16,6 +16,8 @@
 
 namespace na::obs {
 
+class MetricsRegistry;
+
 /// Default per-category line budget.
 inline constexpr int kDiagDefaultLimit = 64;
 
@@ -29,6 +31,14 @@ void diagf(const char* category, int limit, const char* fmt, ...);
 
 /// Diagnostic lines attempted (including suppressed) for `category` — test hook.
 int diag_emitted(const char* category);
+
+/// Exports every category's counters into `reg`: `diag.lines.<cat>`
+/// (lines attempted) and `diag.suppressed.<cat>` (attempted past the
+/// category's rate limit — the lines that never reached stderr).  A
+/// nonzero suppressed count in a stats emission is the tell that the
+/// visible log understates what happened.  Category iteration order is
+/// sorted, so the emission stays byte-stable.
+void diag_absorb(MetricsRegistry& reg);
 
 /// Resets every category's counters — test hook.
 void diag_reset();

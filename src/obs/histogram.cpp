@@ -1,0 +1,141 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace na::obs {
+
+int Histogram::bucket_index(long long v) {
+  if (v < 0) v = 0;
+  if (v < kSubBuckets) return static_cast<int>(v);
+  const int msb = std::bit_width(static_cast<unsigned long long>(v)) - 1;
+  if (msb >= kMaxPow) return kBucketCount - 1;
+  // v in [2^msb, 2^(msb+1)): 16 sub-buckets of width 2^(msb-4).
+  const int sub = static_cast<int>((v >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  return kSubBuckets + (msb - kSubBucketBits) * kSubBuckets + sub;
+}
+
+long long Histogram::bucket_lower(int index) {
+  if (index < kSubBuckets) return index;
+  const int octave = (index - kSubBuckets) / kSubBuckets;  // msb - 4
+  const int sub = (index - kSubBuckets) % kSubBuckets;
+  const int msb = octave + kSubBucketBits;
+  return (1LL << msb) + static_cast<long long>(sub) * (1LL << octave);
+}
+
+long long Histogram::bucket_upper(int index) {
+  if (index < kSubBuckets) return index + 1;
+  const int octave = (index - kSubBuckets) / kSubBuckets;
+  return bucket_lower(index) + (1LL << octave);
+}
+
+void Histogram::record(long long v) {
+  if (v < 0) v = 0;
+  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  long long cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::record_ms(double ms) {
+  record(static_cast<long long>(std::llround(ms * 1000.0)));
+}
+
+HistogramData Histogram::snapshot() const {
+  HistogramData d;
+  d.count = count_.load(std::memory_order_relaxed);
+  d.sum = sum_.load(std::memory_order_relaxed);
+  if (d.count > 0) {
+    const long long mn = min_.load(std::memory_order_relaxed);
+    d.min = mn == kMinSentinel ? 0 : mn;  // live-snapshot tearing guard
+    d.max = max_.load(std::memory_order_relaxed);
+  }
+  for (int i = 0; i < kBucketCount; ++i) {
+    const long long c = counts_[i].load(std::memory_order_relaxed);
+    if (c > 0) d.buckets.emplace_back(i, c);
+  }
+  return d;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(kMinSentinel, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ----- HistogramData ---------------------------------------------------------
+
+void HistogramData::merge(const HistogramData& other) {
+  if (other.count == 0) return;
+  if (count == 0 || other.min < min) min = other.min;
+  if (count == 0 || other.max > max) max = other.max;
+  count += other.count;
+  sum += other.sum;
+  // Both bucket lists are ascending by index: merge like sorted runs.
+  std::vector<std::pair<int, long long>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  size_t a = 0;
+  size_t b = 0;
+  while (a < buckets.size() || b < other.buckets.size()) {
+    if (b == other.buckets.size() ||
+        (a < buckets.size() && buckets[a].first < other.buckets[b].first)) {
+      merged.push_back(buckets[a++]);
+    } else if (a == buckets.size() ||
+               other.buckets[b].first < buckets[a].first) {
+      merged.push_back(other.buckets[b++]);
+    } else {
+      merged.emplace_back(buckets[a].first,
+                          buckets[a].second + other.buckets[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+long long HistogramData::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank: the smallest rank covering a q fraction of the samples.
+  const long long rank =
+      std::max<long long>(1, static_cast<long long>(std::ceil(q * static_cast<double>(count))));
+  long long cum = 0;
+  for (const auto& [index, c] : buckets) {
+    cum += c;
+    if (cum >= rank) {
+      return std::min(Histogram::bucket_upper(index) - 1, max);
+    }
+  }
+  return max;
+}
+
+void HistogramData::append_json(JsonWriter& w) const {
+  w.begin_object()
+      .field("count", count)
+      .field("sum", sum)
+      .field("min", min)
+      .field("max", max)
+      .field("p50", quantile(0.50))
+      .field("p90", quantile(0.90))
+      .field("p99", quantile(0.99));
+  w.key("buckets").begin_array();
+  for (const auto& [index, c] : buckets) {
+    w.begin_array().value(Histogram::bucket_lower(index)).value(c).end_array();
+  }
+  w.end_array().end_object();
+}
+
+}  // namespace na::obs

@@ -142,10 +142,23 @@ void MetricsRegistry::add(std::string name, long long delta) {
   entries_.push_back({std::move(name), MetricValue(delta)});
 }
 
+void MetricsRegistry::set_histogram(std::string name, HistogramData h) {
+  for (HistEntry& e : histograms_) {
+    if (e.name == name) {
+      e.data = std::move(h);
+      return;
+    }
+  }
+  histograms_.push_back({std::move(name), std::move(h)});
+}
+
 void MetricsRegistry::merge_prefixed(const MetricsRegistry& other,
                                      std::string_view prefix) {
   for (const Entry& e : other.entries_) {
     set(std::string(prefix) + e.name, e.value);
+  }
+  for (const HistEntry& e : other.histograms_) {
+    set_histogram(std::string(prefix) + e.name, e.data);
   }
 }
 
@@ -156,11 +169,20 @@ const MetricValue* MetricsRegistry::find(std::string_view name) const {
   return nullptr;
 }
 
+const HistogramData* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  for (const HistEntry& e : histograms_) {
+    if (e.name == name) return &e.data;
+  }
+  return nullptr;
+}
+
 std::string MetricsRegistry::to_text() const {
   size_t width = 0;
   for (const Entry& e : entries_) width = std::max(width, e.name.size());
+  for (const HistEntry& e : histograms_) width = std::max(width, e.name.size());
   std::string out;
-  char buf[64];
+  char buf[160];
   for (const Entry& e : entries_) {
     out += e.name;
     out.append(width + 2 - e.name.size(), ' ');
@@ -172,6 +194,17 @@ std::string MetricsRegistry::to_text() const {
     out += buf;
     out += '\n';
   }
+  for (const HistEntry& e : histograms_) {
+    out += e.name;
+    out.append(width + 2 - e.name.size(), ' ');
+    const HistogramData& h = e.data;
+    std::snprintf(buf, sizeof buf,
+                  "count=%lld p50_ms=%.3f p90_ms=%.3f p99_ms=%.3f max_ms=%.3f",
+                  h.count, h.quantile(0.50) / 1000.0, h.quantile(0.90) / 1000.0,
+                  h.quantile(0.99) / 1000.0, h.max / 1000.0);
+    out += buf;
+    out += '\n';
+  }
   return out;
 }
 
@@ -179,9 +212,63 @@ std::string MetricsRegistry::to_json() const {
   JsonWriter w;
   w.begin_object().field("schema_version", kSchemaVersion).key("metrics").begin_object();
   for (const Entry& e : entries_) w.field(e.name, e.value);
-  w.end_object().end_object();
+  w.end_object();
+  if (!histograms_.empty()) {
+    w.key("histograms").begin_object();
+    for (const HistEntry& e : histograms_) {
+      w.key(e.name);
+      e.data.append_json(w);
+    }
+    w.end_object();
+  }
+  w.end_object();
   std::string out = w.take();
   out += '\n';
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  const auto sanitized = [](std::string_view name) {
+    std::string out = "na_";
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9');
+      out += ok ? c : '_';
+    }
+    return out;
+  };
+  std::string out;
+  char buf[96];
+  for (const Entry& e : entries_) {
+    const std::string name = sanitized(e.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name;
+    if (e.value.is_int) {
+      std::snprintf(buf, sizeof buf, " %lld\n", e.value.i);
+    } else {
+      std::snprintf(buf, sizeof buf, " %.3f\n", e.value.d);
+    }
+    out += buf;
+  }
+  for (const HistEntry& e : histograms_) {
+    const std::string name = sanitized(e.name);
+    const HistogramData& h = e.data;
+    out += "# TYPE " + name + " histogram\n";
+    long long cum = 0;
+    for (const auto& [index, c] : h.buckets) {
+      cum += c;
+      std::snprintf(buf, sizeof buf, "%s_bucket{le=\"%lld\"} %lld\n",
+                    name.c_str(), Histogram::bucket_upper(index) - 1, cum);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof buf, "%s_bucket{le=\"+Inf\"} %lld\n",
+                  name.c_str(), h.count);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "%s_sum %lld\n", name.c_str(), h.sum);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "%s_count %lld\n", name.c_str(), h.count);
+    out += buf;
+  }
   return out;
 }
 

@@ -19,6 +19,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace na::obs {
 
 /// A metric value: integer counter or floating timer/ratio.  Implicit
@@ -75,35 +77,57 @@ class JsonWriter {
 /// Ordered name -> value table.  set() keeps first-insertion order (so
 /// emission order is the absorption order, stable and diff-friendly) and
 /// overwrites on re-set; add() accumulates into an integer counter.
+/// Histogram snapshots live in a parallel insertion-ordered table:
+/// scalars render as before, histograms as summary lines (text), a
+/// "histograms" object (JSON — present only when one was set, so
+/// scalar-only emissions keep their old shape) and classic
+/// `_bucket{le=...}` series (Prometheus).
 class MetricsRegistry {
  public:
   void set(std::string name, MetricValue v);
   void add(std::string name, long long delta);
+  /// Stores (or overwrites) a histogram snapshot under `name`.  By
+  /// convention latency histograms record microseconds.
+  void set_histogram(std::string name, HistogramData h);
   /// Copies every entry of `other` into this registry as `prefix + name`.
   /// Lets a binary that runs the pipeline twice (life_game's figures 6.6
   /// and 6.7) keep both runs' counters apart in one emission.
   void merge_prefixed(const MetricsRegistry& other, std::string_view prefix);
 
-  bool empty() const { return entries_.empty(); }
+  bool empty() const { return entries_.empty() && histograms_.empty(); }
   size_t size() const { return entries_.size(); }
   /// Lookup for tests; nullptr when absent.
   const MetricValue* find(std::string_view name) const;
+  const HistogramData* find_histogram(std::string_view name) const;
 
-  /// Aligned `name  value` lines.
+  /// Aligned `name  value` lines; histograms render one summary line each
+  /// (count plus ms quantiles, assuming microsecond values).
   std::string to_text() const;
-  /// One JSON object: {"schema_version": N, "metrics": {...}}.
+  /// One JSON object: {"schema_version": N, "metrics": {...}} plus a
+  /// "histograms" object when any histogram was set.
   std::string to_json() const;
+  /// Prometheus text exposition (version 0.0.4): every scalar as an
+  /// untyped `na_<name>` sample, every histogram as cumulative
+  /// `_bucket{le="..."}` series plus `_sum`/`_count`.  Metric names are
+  /// sanitised ('.' and anything non-alphanumeric become '_'); `le`
+  /// bounds are the raw recorded units (microseconds for latencies).
+  std::string to_prometheus() const;
 
   /// Format version of to_json() (and of the bench records built on the
-  /// same emitter) — bump when fields change meaning.
-  static constexpr int kSchemaVersion = 2;
+  /// same emitter) — bump when fields change meaning.  3: histograms.
+  static constexpr int kSchemaVersion = 3;
 
  private:
   struct Entry {
     std::string name;
     MetricValue value;
   };
+  struct HistEntry {
+    std::string name;
+    HistogramData data;
+  };
   std::vector<Entry> entries_;
+  std::vector<HistEntry> histograms_;
 };
 
 /// Aligned text table over MetricValue cells — the shared renderer behind

@@ -11,9 +11,10 @@ namespace na::obs {
 ObsOptions::Stats parse_stats_mode(const std::string& value) {
   if (value == "text") return ObsOptions::Stats::kText;
   if (value == "json") return ObsOptions::Stats::kJson;
+  if (value == "prom") return ObsOptions::Stats::kProm;
   if (value == "off") return ObsOptions::Stats::kOff;
   throw std::runtime_error("bad value '" + value +
-                           "' for --stats (use text, json or off)");
+                           "' for --stats (use text, json, prom or off)");
 }
 
 void obs_begin(const ObsOptions& opt) {
@@ -38,21 +39,30 @@ bool obs_finish(const ObsOptions& opt, const MetricsRegistry& reg) {
       ok = false;
     }
   }
+  if (opt.stats == ObsOptions::Stats::kOff) return ok;
+  // Emit a copy extended with the diagnostics counters: categories that
+  // fired show up as diag.lines.<cat>/diag.suppressed.<cat>, so rate-
+  // limited warnings stay visible in the machine-readable output.
+  MetricsRegistry out = reg;
+  diag_absorb(out);
   switch (opt.stats) {
     case ObsOptions::Stats::kOff:
       break;
     case ObsOptions::Stats::kText:
-      std::fputs(reg.to_text().c_str(), stdout);
+      std::fputs(out.to_text().c_str(), stdout);
       break;
     case ObsOptions::Stats::kJson:
-      std::fputs(reg.to_json().c_str(), stdout);
+      std::fputs(out.to_json().c_str(), stdout);
+      break;
+    case ObsOptions::Stats::kProm:
+      std::fputs(out.to_prometheus().c_str(), stdout);
       break;
   }
   return ok;
 }
 
 const char* obs_usage() {
-  return "--trace <file (Chrome trace-event JSON)> --stats <text|json|off>";
+  return "--trace <file (Chrome trace-event JSON)> --stats <text|json|prom|off>";
 }
 
 }  // namespace na::obs

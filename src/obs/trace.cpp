@@ -26,10 +26,14 @@ struct Event {
 struct ThreadBuffer {
   int tid = 0;
   std::vector<Event> events;
-  /// Recording sequence number of events[0] — nonzero once a streaming
-  /// flush has dropped earlier events, so per-thread `seq` stays globally
-  /// monotonic across chunks.
+  /// Recording sequence number of the *oldest* retained event — nonzero
+  /// once a streaming flush or a ring wrap has dropped earlier events, so
+  /// per-thread `seq` stays globally monotonic across chunks.
   std::uint64_t seq_base = 0;
+  /// Flight-recorder ring head: index of the oldest event once the buffer
+  /// has wrapped.  0 while the buffer is a plain append log, so every
+  /// reader can uniformly iterate `events[(ring_head + i) % size]`.
+  size_t ring_head = 0;
 };
 
 struct Registry {
@@ -40,6 +44,11 @@ struct Registry {
   // event was already written (comma placement).
   std::FILE* stream = nullptr;
   bool stream_wrote_any = false;
+  // Slow-request log (trace_slow_*).  Guarded by its own mutex so a
+  // capture (pool thread, holding the daemon's flush gate shared) never
+  // contends with recording threads creating buffers under `mu`.
+  std::mutex slow_mu;
+  std::FILE* slow_log = nullptr;
 
   static Registry& instance() {
     static Registry* r = new Registry;  // leaked: outlives thread exit
@@ -48,6 +57,45 @@ struct Registry {
 };
 
 thread_local ThreadBuffer* tl_buffer = nullptr;
+
+/// Flight-recorder capacity in events per thread; 0 = unbounded (plain
+/// append).  Read relaxed by every recording thread on each push.
+std::atomic<size_t> g_flight_capacity{0};
+/// Events lost to ring wrap-around since enable/reset.
+std::atomic<std::uint64_t> g_flight_dropped{0};
+std::atomic<std::uint64_t> g_slow_records{0};
+
+/// Appends `e` to `buf`, honouring the flight-recorder bound.  Owner
+/// thread only.  Below capacity this is the plain push_back of the
+/// unbounded mode; at capacity the oldest event is overwritten in place
+/// and the ring head and base sequence advance, so the buffer's memory
+/// never grows past capacity * sizeof(Event).
+void push_event(ThreadBuffer& buf, const Event& e) {
+  const size_t cap = g_flight_capacity.load(std::memory_order_relaxed);
+  if (cap == 0 || buf.events.size() < cap) {
+    buf.events.push_back(e);
+    return;
+  }
+  if (buf.events.size() > cap) {
+    // Capacity shrank (or the recorder was enabled over an existing
+    // buffer): restore logical order, shed the oldest, release the
+    // excess memory.  One-time cost on the owning thread's next record.
+    std::rotate(buf.events.begin(),
+                buf.events.begin() + static_cast<std::ptrdiff_t>(buf.ring_head),
+                buf.events.end());
+    const size_t shed = buf.events.size() - cap;
+    buf.events.erase(buf.events.begin(),
+                     buf.events.begin() + static_cast<std::ptrdiff_t>(shed));
+    buf.events.shrink_to_fit();
+    buf.ring_head = 0;
+    buf.seq_base += shed;
+    g_flight_dropped.fetch_add(shed, std::memory_order_relaxed);
+  }
+  buf.events[buf.ring_head] = e;
+  buf.ring_head = (buf.ring_head + 1) % buf.events.size();
+  ++buf.seq_base;
+  g_flight_dropped.fetch_add(1, std::memory_order_relaxed);
+}
 
 ThreadBuffer& local_buffer() {
   if (tl_buffer == nullptr) {
@@ -164,21 +212,21 @@ void record_complete(const char* name, std::uint64_t ts, std::uint64_t dur,
   ThreadBuffer& buf = local_buffer();
   Event e{name, ts, dur, 'X', static_cast<std::uint8_t>(nargs), {}};
   for (int i = 0; i < nargs && i < kMaxTraceArgs; ++i) e.args[i] = args[i];
-  buf.events.push_back(e);
+  push_event(buf, e);
 }
 
 void record_instant(const char* name, const TraceArg* args, int nargs) {
   ThreadBuffer& buf = local_buffer();
   Event e{name, now_ns(), 0, 'i', static_cast<std::uint8_t>(nargs), {}};
   for (int i = 0; i < nargs && i < kMaxTraceArgs; ++i) e.args[i] = args[i];
-  buf.events.push_back(e);
+  push_event(buf, e);
 }
 
 void record_counter(const char* name, const char* series, long long value) {
   ThreadBuffer& buf = local_buffer();
   Event e{name, now_ns(), 0, 'C', 1, {}};
   e.args[0] = {series, value};
-  buf.events.push_back(e);
+  push_event(buf, e);
 }
 
 }  // namespace detail
@@ -206,24 +254,43 @@ void trace_reset() {
   for (auto& buf : reg.buffers) {
     buf->events.clear();
     buf->seq_base = 0;
+    buf->ring_head = 0;
   }
   reg.epoch = 0;
+  g_flight_dropped.store(0, std::memory_order_relaxed);
 }
+
+namespace {
+
+/// Appends every retained event of `buf` to `out` in recording order —
+/// ring-aware: the oldest event sits at ring_head, so logical position i
+/// maps to slot (ring_head + i) % size and carries seq = seq_base + i.
+/// Plain append-log buffers have ring_head == 0, making this the identity
+/// iteration.  Caller holds the registry mutex or owns the buffer.
+void collect_buffer(const ThreadBuffer& buf, std::vector<TraceEventView>& out) {
+  const size_t n = buf.events.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Event& e = buf.events[(buf.ring_head + i) % n];
+    TraceEventView v{e.name,
+                     e.ts,
+                     e.dur,
+                     buf.tid,
+                     buf.seq_base + i,
+                     e.ph,
+                     {}};
+    v.args.assign(e.args, e.args + e.nargs);
+    out.push_back(std::move(v));
+  }
+}
+
+}  // namespace
 
 std::vector<TraceEventView> trace_events() {
   Registry& reg = Registry::instance();
   std::vector<TraceEventView> out;
   {
     std::lock_guard lock(reg.mu);
-    for (const auto& buf : reg.buffers) {
-      for (std::uint64_t i = 0; i < buf->events.size(); ++i) {
-        const Event& e = buf->events[i];
-        TraceEventView v{e.name, e.ts, e.dur, buf->tid, buf->seq_base + i,
-                         e.ph,   {}};
-        v.args.assign(e.args, e.args + e.nargs);
-        out.push_back(std::move(v));
-      }
-    }
+    for (const auto& buf : reg.buffers) collect_buffer(*buf, out);
   }
   // Merge sort: global timestamp order, ties broken by (tid, seq) so the
   // result is deterministic for a fixed event set.
@@ -280,15 +347,10 @@ size_t trace_stream_flush() {
     if (reg.stream == nullptr) return 0;
     f = reg.stream;
     for (auto& buf : reg.buffers) {
-      for (std::uint64_t i = 0; i < buf->events.size(); ++i) {
-        const Event& e = buf->events[i];
-        TraceEventView v{e.name, e.ts, e.dur, buf->tid, buf->seq_base + i,
-                         e.ph,   {}};
-        v.args.assign(e.args, e.args + e.nargs);
-        events.push_back(std::move(v));
-      }
+      collect_buffer(*buf, events);
       buf->seq_base += buf->events.size();
       buf->events.clear();
+      buf->ring_head = 0;
     }
     if (events.empty()) return 0;
     std::stable_sort(events.begin(), events.end(), event_order);
@@ -332,5 +394,109 @@ size_t trace_buffered_events() {
   for (const auto& buf : reg.buffers) n += buf->events.size();
   return n;
 }
+
+// ----- flight recorder -------------------------------------------------------
+
+void trace_flight_enable(size_t events_per_thread) {
+  g_flight_capacity.store(events_per_thread, std::memory_order_relaxed);
+  g_flight_dropped.store(0, std::memory_order_relaxed);
+}
+
+bool trace_flight_enabled() {
+  return g_flight_capacity.load(std::memory_order_relaxed) > 0;
+}
+
+size_t trace_flight_capacity() {
+  return g_flight_capacity.load(std::memory_order_relaxed);
+}
+
+std::uint64_t trace_flight_dropped() {
+  return g_flight_dropped.load(std::memory_order_relaxed);
+}
+
+bool trace_flight_dump(const std::string& path) {
+  if (!trace_flight_enabled()) return false;
+  // The rings *are* the retained events, so a dump is a one-shot write of
+  // everything buffered — collection is ring-aware, emission identical to
+  // trace_write().
+  return trace_write(path);
+}
+
+// ----- slow-request tail sampling --------------------------------------------
+
+bool trace_slow_log_open(const std::string& path) {
+  Registry& reg = Registry::instance();
+  std::lock_guard lock(reg.slow_mu);
+  if (reg.slow_log != nullptr) return false;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  reg.slow_log = f;
+  g_slow_records.store(0, std::memory_order_relaxed);
+  return true;
+}
+
+bool trace_slow_log_close() {
+  Registry& reg = Registry::instance();
+  std::lock_guard lock(reg.slow_mu);
+  if (reg.slow_log == nullptr) return false;
+  const bool ok = std::fclose(reg.slow_log) == 0;
+  reg.slow_log = nullptr;
+  return ok;
+}
+
+bool trace_slow_log_active() {
+  Registry& reg = Registry::instance();
+  std::lock_guard lock(reg.slow_mu);
+  return reg.slow_log != nullptr;
+}
+
+std::uint64_t trace_slow_log_records() {
+  return g_slow_records.load(std::memory_order_relaxed);
+}
+
+size_t trace_slow_capture(const char* label, std::uint64_t start_ns,
+                          std::uint64_t end_ns, double ms) {
+  Registry& reg = Registry::instance();
+  {
+    // Cheap no-log fast path; the real write re-checks under the lock.
+    std::lock_guard lock(reg.slow_mu);
+    if (reg.slow_log == nullptr) return 0;
+  }
+  // Serialise first, outside the log lock: only the calling thread's own
+  // buffer is read (it owns every write to it), so no registry lock and
+  // no quiescence are needed — this is why tail sampling can run inside
+  // the request path.
+  std::vector<TraceEventView> window;
+  if (tl_buffer != nullptr) {
+    std::vector<TraceEventView> all;
+    collect_buffer(*tl_buffer, all);
+    for (TraceEventView& v : all) {
+      if (v.ts >= start_ns && v.ts <= end_ns) window.push_back(std::move(v));
+    }
+  }
+  std::string out = "{\"label\":\"";
+  append_json_escaped(out, label);
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "\",\"ms\":%.3f,\"start_ns\":%llu,\"end_ns\":%llu,\"events\":[",
+                ms, static_cast<unsigned long long>(start_ns),
+                static_cast<unsigned long long>(end_ns));
+  out += buf;
+  for (size_t i = 0; i < window.size(); ++i) {
+    if (i > 0) out += ',';
+    append_event_json(out, window[i]);
+  }
+  out += "]}\n";
+  {
+    std::lock_guard lock(reg.slow_mu);
+    if (reg.slow_log == nullptr) return 0;  // closed between check and write
+    std::fwrite(out.data(), 1, out.size(), reg.slow_log);
+    std::fflush(reg.slow_log);
+  }
+  g_slow_records.fetch_add(1, std::memory_order_relaxed);
+  return window.size();
+}
+
+std::uint64_t trace_now_ns() { return detail::now_ns(); }
 
 }  // namespace na::obs

@@ -116,6 +116,71 @@ bool trace_stream_active();
 /// the bound the daemon's flush-at-idle policy keeps small.
 size_t trace_buffered_events();
 
+// ----- flight recorder -------------------------------------------------------
+// The other way a long-lived process keeps tracing always on: instead of
+// streaming everything out, every thread buffer becomes a ring holding
+// only its last `events_per_thread` events.  Memory is then fixed —
+// threads x capacity x sizeof(event) — and what the rings hold at any
+// moment is the recent history ("what was the daemon doing just now"),
+// dumpable on demand into a normal Chrome-JSON trace: the black box you
+// read after something went wrong, not a full flight log.
+//
+// Recording into a ring stays lock-free and owner-thread-only: wrapping
+// overwrites the oldest event and advances the buffer's base sequence
+// number, so dumps stay byte-stable and per-thread seq stays monotonic.
+// Dumps obey the same quiescence contract as every other flush — the
+// daemon takes its flush gate exclusive first (DESIGN §11 has the
+// happens-before argument).  Combining a ring with a streaming flush is
+// pointless (the flush would drain the ring); the daemon rejects the
+// flag combination.
+
+/// Bounds every thread buffer to the last `events_per_thread` events;
+/// 0 restores unbounded buffering.  Call before the instrumented work
+/// starts — existing over-capacity buffers shed their oldest events on
+/// the owning thread's next record.
+void trace_flight_enable(size_t events_per_thread);
+bool trace_flight_enabled();
+size_t trace_flight_capacity();
+/// Events overwritten (lost to ring wrap-around) since the recorder was
+/// enabled or reset.
+std::uint64_t trace_flight_dropped();
+/// Writes everything the rings currently retain as a Chrome-JSON trace.
+/// Same quiescence contract as trace_write(); false when the flight
+/// recorder is off or the file cannot be written.
+bool trace_flight_dump(const std::string& path);
+
+// ----- slow-request tail sampling --------------------------------------------
+// The ring answers "what is the daemon doing now"; the slow log answers
+// "what did the slow request do".  A layer that times its own work (the
+// session host times every op body) calls trace_slow_capture() when an
+// execution exceeded its threshold: the calling thread's retained events
+// within the [start_ns, end_ns] window — the span subtree the op emitted,
+// still sitting in the thread's ring — are appended to the slow log as
+// one self-contained line-JSON record.  Tail sampling: nothing is decided
+// up front, yet every slow request leaves full evidence, at ring cost.
+//
+// Capture reads only the calling thread's own buffer (no cross-thread
+// peeking, no quiescence needed); the log file itself is mutex-guarded.
+
+/// Opens (truncates) the slow-request log.  False when a log is already
+/// open or the file cannot be created.
+bool trace_slow_log_open(const std::string& path);
+/// Closes the log; false when none is open.
+bool trace_slow_log_close();
+bool trace_slow_log_active();
+/// Records appended since the log was opened.
+std::uint64_t trace_slow_log_records();
+/// Appends {"label", "ms", "events": [...]} covering the calling thread's
+/// retained events with start timestamps in [start_ns, end_ns].  Returns
+/// the number of events written; 0 (and no record) when no log is open.
+/// `label` must be a static string.
+size_t trace_slow_capture(const char* label, std::uint64_t start_ns,
+                          std::uint64_t end_ns, double ms);
+
+/// Current trace-clock timestamp (ns since the recorder epoch) — the
+/// window boundaries trace_slow_capture() expects.
+std::uint64_t trace_now_ns();
+
 namespace detail {
 
 extern std::atomic<bool> g_enabled;

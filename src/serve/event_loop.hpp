@@ -90,6 +90,14 @@ class EventLoop {
     return static_cast<int>(conn >> 48);
   }
 
+  /// Enqueues a closure on the loop's task queue and wakes the loop
+  /// (thread-safe).  Tasks run on the loop thread in post order, between
+  /// epoll waits — the watchdog posts its tick-lag probes through here,
+  /// so the measured delay is exactly the time a cross-thread completion
+  /// would have waited for the loop.  Call only while the loop runs
+  /// (after start(), before join()).
+  void post(std::function<void()> fn);
+
  private:
   struct PendingLine {
     bool oversized = false;
@@ -113,7 +121,6 @@ class EventLoop {
   };
 
   void thread_main();
-  void post(std::function<void()> fn);
   void run_tasks();
   void do_adopt(int fd);
   void handle_readable(uint64_t id, Conn& c);

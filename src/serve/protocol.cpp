@@ -111,6 +111,7 @@ const char* to_string(Op op) {
     case Op::kEdit: return "edit";
     case Op::kGet: return "get";
     case Op::kStats: return "stats";
+    case Op::kMetrics: return "metrics";
     case Op::kSave: return "save";
     case Op::kClose: return "close";
     case Op::kShutdown: return "shutdown";
@@ -164,6 +165,8 @@ Request parse_request(std::string_view line) {
     }
   } else if (op == "stats") {
     req.op = Op::kStats;
+  } else if (op == "metrics") {
+    req.op = Op::kMetrics;
   } else if (op == "save") {
     req.op = Op::kSave;
     req.session = required_string(root, "session");
@@ -192,9 +195,10 @@ std::string error_response(const char* code, std::string_view message,
   return w.take();
 }
 
-std::string stats_response(const obs::MetricsRegistry& reg, long long id) {
+std::string registry_response(Op op, const obs::MetricsRegistry& reg,
+                              long long id) {
   obs::JsonWriter w;
-  w.begin_object().field("ok", true).field("op", std::string_view("stats"));
+  w.begin_object().field("ok", true).field("op", std::string_view(to_string(op)));
   if (id >= 0) w.field("id", id);
   // to_json() is a complete document (with a trailing newline — strip it,
   // responses are single lines); splice it as the "metrics" field.
@@ -205,6 +209,10 @@ std::string stats_response(const obs::MetricsRegistry& reg, long long id) {
   out += doc;
   out += '}';
   return out;
+}
+
+std::string stats_response(const obs::MetricsRegistry& reg, long long id) {
+  return registry_response(Op::kStats, reg, id);
 }
 
 }  // namespace na::serve

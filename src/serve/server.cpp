@@ -1,7 +1,9 @@
 #include "serve/server.hpp"
 
 #include <arpa/inet.h>
+#include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <netinet/in.h>
 #include <poll.h>
@@ -43,6 +45,10 @@ bool Server::start(std::string* error) {
   if (opt_.port < 0 || opt_.port > 65535) {
     return reject("bad value for --port: must be in [0, 65535]");
   }
+  if (opt_.watchdog_ms < 0) {
+    return reject("bad value for --watchdog-ms: must be >= 0 (0 disables)");
+  }
+  started_at_ = std::chrono::steady_clock::now();
 
   // A client that disconnects before its response is written must cost us
   // an EPIPE, never a process-killing SIGPIPE.  Belt (signal disposition)
@@ -110,14 +116,24 @@ void Server::run() {
       loops_.pop_back();
     }
   }
+  // Only after loops_ has settled: the watchdog iterates it to post its
+  // lag probes, so its thread must not overlap the appends above.
+  if (opt_.watchdog_ms > 0) {
+    watchdog_ = std::thread([this] { watchdog_main(); });
+  }
 
   // Accept loop with a ~100ms stop tick: poll() wakes either for a new
   // connection or to re-check the (signal-settable) stop flag.
   size_t next_loop = 0;
   while (!stopping() && !loops_.empty()) {
+    // ~100ms admin tick: re-check the (signal-settable) stop flag and
+    // perform any requested flight-recorder dump off the signal handler.
+    if (flight_dump_.exchange(false, std::memory_order_relaxed)) {
+      dump_flight(opt_.flight_dump_path);
+    }
     pollfd p{listen_fd_, POLLIN, 0};
     const int r = ::poll(&p, 1, 100);
-    if (r <= 0) continue;  // timeout, EINTR: re-check stop flag
+    if (r <= 0) continue;  // timeout, EINTR
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     {
@@ -128,11 +144,19 @@ void Server::run() {
     next_loop = (next_loop + 1) % loops_.size();
   }
 
-  // Graceful drain: no new connections, every loop stops reading (the
-  // requests it is serving still complete and flush their responses),
-  // join, persist, flush.
+  // Graceful drain: no new connections, the watchdog stops posting its
+  // loop probes, every loop stops reading (the requests it is serving
+  // still complete and flush their responses), join, persist, flush.
   ::close(listen_fd_);
   listen_fd_ = -1;
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
   for (auto& loop : loops_) loop->begin_drain();
   for (auto& loop : loops_) loop->join();
 
@@ -192,11 +216,31 @@ void Server::on_line(uint64_t conn, uint64_t ticket, std::string_view line) {
   dispatch(conn, ticket, std::move(req));
 }
 
+obs::Histogram* Server::latency_hist(Op op) {
+  switch (op) {
+    case Op::kOpen: return &lat_open_;
+    case Op::kEdit: return &lat_edit_;
+    case Op::kGet: return &lat_get_;
+    case Op::kSave: return &lat_save_;
+    default: return nullptr;
+  }
+}
+
 void Server::dispatch(uint64_t conn, uint64_t ticket, Request req) {
   const Op op = req.op;
   const long long id = req.id;
-  // Session ops answer through this completion, from a pool worker.
-  auto done = [this, conn, ticket, op, id](HostResult r) {
+  // Session ops answer through this completion, from a pool worker.  The
+  // dispatch-to-completion time is the op's server-side latency (host
+  // queue wait + execution + completion hop) — recorded per op into the
+  // serve.lat.* histograms the metrics op reports.
+  obs::Histogram* lat = latency_hist(op);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto done = [this, conn, ticket, op, id, lat, t0](HostResult r) {
+    if (lat != nullptr) {
+      lat->record(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count());
+    }
     if (!r.ok) {
       respond(conn, ticket, error_response(r.error_code, r.message, id));
       return;
@@ -209,6 +253,9 @@ void Server::dispatch(uint64_t conn, uint64_t ticket, Request req) {
       return;
     case Op::kStats:
       respond(conn, ticket, build_stats_response(id));
+      return;
+    case Op::kMetrics:
+      respond(conn, ticket, build_metrics_response(id));
       return;
     case Op::kShutdown:
       request_stop();
@@ -269,8 +316,7 @@ std::string Server::render_result(Op op, long long id, const HostResult& r) {
   return w.take();
 }
 
-std::string Server::build_stats_response(long long id) {
-  obs::MetricsRegistry reg;
+void Server::absorb_stats(obs::MetricsRegistry& reg) const {
   {
     std::lock_guard lock(counters_mu_);
     reg.set("serve.connections", counters_.connections);
@@ -278,7 +324,112 @@ std::string Server::build_stats_response(long long id) {
     reg.set("serve.errors", counters_.errors);
   }
   host_.absorb_stats(reg);
-  return stats_response(reg, id);
+  reg.set("serve.peak_rss_bytes", obs::peak_rss_bytes());
+  reg.set("serve.uptime_ms",
+          static_cast<long long>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - started_at_)
+                  .count()));
+}
+
+void Server::absorb_metrics(obs::MetricsRegistry& reg) const {
+  absorb_stats(reg);
+  if (obs::trace_flight_enabled()) {
+    reg.set("serve.flight.capacity",
+            static_cast<long long>(obs::trace_flight_capacity()));
+    reg.set("serve.flight.dropped",
+            static_cast<long long>(obs::trace_flight_dropped()));
+  }
+  if (obs::trace_slow_log_active()) {
+    reg.set("serve.slow.records",
+            static_cast<long long>(obs::trace_slow_log_records()));
+  }
+  {
+    std::lock_guard lock(gauges_mu_);
+    reg.merge_prefixed(gauges_, "");
+  }
+  reg.set_histogram("serve.lat.open", lat_open_.snapshot());
+  reg.set_histogram("serve.lat.edit", lat_edit_.snapshot());
+  reg.set_histogram("serve.lat.get", lat_get_.snapshot());
+  reg.set_histogram("serve.lat.save", lat_save_.snapshot());
+  reg.set_histogram("serve.lat.loop_tick", lat_loop_.snapshot());
+  host_.absorb_latency(reg);
+}
+
+std::string Server::build_stats_response(long long id) {
+  obs::MetricsRegistry reg;
+  absorb_stats(reg);
+  return registry_response(Op::kStats, reg, id);
+}
+
+std::string Server::build_metrics_response(long long id) {
+  obs::MetricsRegistry reg;
+  absorb_metrics(reg);
+  return registry_response(Op::kMetrics, reg, id);
+}
+
+bool Server::dump_flight(const std::string& path) {
+  if (!obs::trace_flight_enabled()) return false;
+  // Exclusive side of the flush gate: no request is mid-record, so the
+  // rings are quiescent and the dump is byte-stable (DESIGN §11).
+  std::unique_lock gate(host_.flush_gate());
+  return obs::trace_flight_dump(path);
+}
+
+void Server::watchdog_tick() {
+  // Event-loop lag probes: post-to-run delay through each loop's task
+  // queue — exactly the wait a cross-thread completion experiences.
+  for (auto& loop : loops_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    loop->post([this, t0] {
+      lat_loop_.record(std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
+    });
+  }
+  // Live gauges, sampled off the request path.
+  const long long queue_depth = host_.pool().queue_depth();
+  const long long sessions = host_.open_sessions();
+  const long long pending = host_.pending_edits();
+  const long long rss = obs::peak_rss_bytes();
+  const long long uptime_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count();
+  {
+    std::lock_guard lock(gauges_mu_);
+    gauges_.set("serve.gauge.pool_queue_depth", queue_depth);
+    gauges_.set("serve.gauge.sessions_open", sessions);
+    gauges_.set("serve.gauge.pending_edits", pending);
+    gauges_.set("serve.gauge.rss_bytes", rss);
+    gauges_.set("serve.gauge.uptime_ms", uptime_ms);
+    gauges_.add("serve.gauge.watchdog_ticks", 1);
+  }
+  if (!opt_.prom_file.empty()) {
+    obs::MetricsRegistry reg;
+    absorb_metrics(reg);
+    // Write-then-rename so a scraper never reads a torn file.
+    const std::string tmp = opt_.prom_file + ".tmp";
+    if (std::FILE* f = std::fopen(tmp.c_str(), "w"); f != nullptr) {
+      const std::string text = reg.to_prometheus();
+      const bool ok =
+          std::fwrite(text.data(), 1, text.size(), f) == text.size();
+      if (std::fclose(f) == 0 && ok) {
+        std::rename(tmp.c_str(), opt_.prom_file.c_str());
+      }
+    }
+  }
+}
+
+void Server::watchdog_main() {
+  std::unique_lock lk(watchdog_mu_);
+  while (!watchdog_stop_) {
+    lk.unlock();
+    watchdog_tick();
+    lk.lock();
+    watchdog_cv_.wait_for(lk, std::chrono::milliseconds(opt_.watchdog_ms),
+                          [this] { return watchdog_stop_; });
+  }
 }
 
 void Server::nudge_flusher() {
@@ -321,6 +472,12 @@ void stop_on_signal(int) {
     s->request_stop();  // one relaxed atomic store: async-signal-safe
   }
 }
+
+void dump_on_signal(int) {
+  if (Server* s = g_signal_server.load(std::memory_order_relaxed)) {
+    s->request_flight_dump();  // flag only; the accept tick dumps
+  }
+}
 }  // namespace
 
 void install_signal_handlers(Server& server) {
@@ -330,6 +487,10 @@ void install_signal_handlers(Server& server) {
   sigemptyset(&sa.sa_mask);
   ::sigaction(SIGINT, &sa, nullptr);
   ::sigaction(SIGTERM, &sa, nullptr);
+  struct sigaction dump{};
+  dump.sa_handler = dump_on_signal;
+  sigemptyset(&dump.sa_mask);
+  ::sigaction(SIGUSR1, &dump, nullptr);
 }
 
 }  // namespace na::serve

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -41,6 +42,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
 #include "serve/event_loop.hpp"
 #include "serve/session_host.hpp"
 
@@ -62,6 +65,17 @@ struct ServerOptions {
   /// Streaming trace flush threshold (buffered events); 0 never flushes
   /// mid-run.  Only relevant when a trace stream is open.
   size_t trace_flush_events = 4096;
+  /// Watchdog sampler interval: every tick publishes the live gauges
+  /// (event-loop tick lag, pool queue depth, pending edits, open
+  /// sessions, RSS, uptime) and rewrites `prom_file` when set.  0
+  /// disables the thread.
+  int watchdog_ms = 1000;
+  /// When non-empty, the watchdog rewrites this file each tick with the
+  /// full registry in Prometheus text exposition — point a node_exporter
+  /// textfile collector (or curl) at it.
+  std::string prom_file;
+  /// Where a SIGUSR1-triggered flight-recorder dump lands.
+  std::string flight_dump_path = "na_flight.json";
 };
 
 class Server {
@@ -99,6 +113,31 @@ class Server {
   };
   Counters counters() const;
 
+  /// Scalar service registry — what the `stats` op reports: connection/
+  /// request counters, host + regen totals, peak RSS and uptime.  The
+  /// daemon's exit-stats block reuses it so the wire and the shutdown
+  /// report can never drift.
+  void absorb_stats(obs::MetricsRegistry& reg) const;
+
+  /// Full telemetry registry — what the `metrics` op (and the watchdog's
+  /// Prometheus file) report: absorb_stats() plus the watchdog gauges,
+  /// the flight-recorder/slow-log counters, and every latency histogram
+  /// (serve.lat.open/edit/get/save from dispatch, serve.lat.flush and
+  /// serve.pool.queue_wait from the host, serve.lat.loop_tick from the
+  /// watchdog probes).
+  void absorb_metrics(obs::MetricsRegistry& reg) const;
+
+  /// Async-signal-safe flight-dump request (the SIGUSR1 handler calls
+  /// this); the accept loop's ~100ms tick performs the dump.
+  void request_flight_dump() {
+    flight_dump_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Dumps the flight-recorder rings to `path` under the exclusive side
+  /// of the flush gate (recorder quiescent, dump byte-stable).  False
+  /// when the flight recorder is off or the file cannot be written.
+  bool dump_flight(const std::string& path);
+
  private:
   /// One request line, on a loop thread: parse, answer inline ops,
   /// dispatch session ops onto the host's async queues.
@@ -111,18 +150,42 @@ class Server {
   /// Formats the success response for a host result (op-specific fields).
   std::string render_result(Op op, long long id, const HostResult& r);
   std::string build_stats_response(long long id);
+  std::string build_metrics_response(long long id);
+  /// The per-op latency histogram for `op`; nullptr for the inline ops
+  /// (ping/stats/metrics/shutdown) which are not worth a series.
+  obs::Histogram* latency_hist(Op op);
   void nudge_flusher();
   void flusher_main();
+  void watchdog_main();
+  void watchdog_tick();
 
   ServerOptions opt_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> flight_dump_{false};
+  std::chrono::steady_clock::time_point started_at_{};
 
   std::vector<std::unique_ptr<EventLoop>> loops_;
 
   mutable std::mutex counters_mu_;
   Counters counters_;
+
+  /// Dispatch-to-completion time per session op, µs (the server-side
+  /// latency a client experiences minus its socket).  Wait-free recording
+  /// from pool completions; snapshots taken by the metrics op.
+  obs::Histogram lat_open_;
+  obs::Histogram lat_edit_;
+  obs::Histogram lat_get_;
+  obs::Histogram lat_save_;
+  /// post-to-run delay of watchdog probes through the event loops, µs —
+  /// how long a completion currently waits for its loop thread.
+  obs::Histogram lat_loop_;
+
+  /// Last watchdog sample of every live gauge (serve.gauge.*), merged
+  /// into the metrics response.
+  mutable std::mutex gauges_mu_;
+  obs::MetricsRegistry gauges_;
 
   std::mutex flush_mu_;
   std::condition_variable flush_cv_;
@@ -130,13 +193,20 @@ class Server {
   bool flusher_stop_ = false;
   std::thread flusher_;
 
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
+
   /// Declared last: the host's pool (whose jobs post completions into the
   /// loops above) must be torn down before the loops are.
   SessionHost host_;
 };
 
-/// Routes SIGINT and SIGTERM to server.request_stop().  The handler only
-/// touches an atomic flag.  One server at a time.
+/// Routes SIGINT and SIGTERM to server.request_stop(), and SIGUSR1 to
+/// server.request_flight_dump() (kill -USR1 the daemon to get a flight-
+/// recorder dump without stopping it).  Each handler only touches an
+/// atomic flag.  One server at a time.
 void install_signal_handlers(Server& server);
 
 }  // namespace na::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <future>
@@ -121,6 +122,7 @@ SessionHost::SessionHost(HostOptions opt)
     : opt_(std::move(opt)),
       lib_(ModuleLibrary::standard_cells()),
       pool_(opt_.threads) {
+  pool_.set_queue_wait_histogram(&pool_wait_hist_);
   if (!opt_.state_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(opt_.state_dir, ec);  // best effort
@@ -187,6 +189,11 @@ void SessionHost::drain(const std::string& name,
       // Shared side of the trace-flush gate: the flusher only runs when
       // no op body is emitting trace events.
       std::shared_lock gate(flush_gate_);
+      // Tail-sampling window: the batch's trace events all land on this
+      // thread between these two stamps, so a slow batch can hand its
+      // span subtree to the slow log without touching any other buffer.
+      const std::uint64_t slow_t0 =
+          opt_.slow_ms > 0.0 ? obs::trace_now_ns() : 0;
       if (batch.front().kind == OpKind::kEdit) {
         NA_TRACE_SPAN(span, "serve.edit");
         span.arg("requests", static_cast<long long>(batch.size()));
@@ -215,6 +222,19 @@ void SessionHost::drain(const std::string& name,
           }
           return HostResult::error(err::kInternal, "bad op kind");
         });
+      }
+      if (opt_.slow_ms > 0.0) {
+        const std::uint64_t slow_t1 = obs::trace_now_ns();
+        const double ms =
+            static_cast<double>(slow_t1 - slow_t0) / 1'000'000.0;
+        if (ms > opt_.slow_ms) {
+          static constexpr const char* kLabels[] = {
+              "serve.open", "serve.edit", "serve.get", "serve.save",
+              "serve.close"};
+          obs::trace_slow_capture(
+              kLabels[static_cast<int>(batch.front().kind)], slow_t0, slow_t1,
+              ms);
+        }
       }
     }
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -276,7 +296,11 @@ int SessionHost::flush_pending(Session& s) {
   if (pending == 0) return 0;
   NA_TRACE_SPAN(span, "serve.flush");
   span.arg("edits", pending);
+  const auto t0 = std::chrono::steady_clock::now();
   s.regen.update_composed(s.pending.network(), pending);
+  flush_hist_.record(std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
   s.pending.flushed();
   note_flush(static_cast<size_t>(pending));
   return pending;
@@ -577,6 +601,26 @@ void SessionHost::absorb_stats(obs::MetricsRegistry& reg) const {
   reg.set("serve.pool.urgent_drained", pool.urgent_drained);
   reg.set("serve.trace_buffered_events",
           static_cast<long long>(obs::trace_buffered_events()));
+}
+
+void SessionHost::absorb_latency(obs::MetricsRegistry& reg) const {
+  reg.set_histogram("serve.lat.flush", flush_hist_.snapshot());
+  reg.set_histogram("serve.pool.queue_wait", pool_wait_hist_.snapshot());
+}
+
+long long SessionHost::pending_edits() const {
+  std::vector<std::shared_ptr<Session>> all;
+  {
+    std::lock_guard lock(sessions_mu_);
+    all.reserve(sessions_.size());
+    for (const auto& [name, session] : sessions_) all.push_back(session);
+  }
+  long long pending = 0;
+  for (const auto& session : all) {
+    std::lock_guard lock(session->mu);
+    pending += session->pending.steps();
+  }
+  return pending;
 }
 
 }  // namespace na::serve

@@ -64,6 +64,13 @@ struct HostOptions {
   /// Directory for save/restore; empty disables persistence (save returns
   /// the blob inline, open+restore fails).
   std::string state_dir;
+  /// Slow-request tail-sampling threshold: a drain batch whose execution
+  /// exceeds this many milliseconds has its span subtree (the executing
+  /// thread's retained trace events over the batch window) appended to
+  /// the slow-request log via obs::trace_slow_capture().  0 disables the
+  /// probe.  Only useful with the flight recorder on and a slow log open
+  /// — the daemon CLI enforces that pairing.
+  double slow_ms = 0.0;
 };
 
 /// Outcome of one host call.  `ok` false carries a protocol error code.
@@ -148,6 +155,17 @@ class SessionHost {
   /// Service-level counters plus per-session regen totals (aggregated).
   void absorb_stats(obs::MetricsRegistry& reg) const;
 
+  /// Host-side latency histograms (microseconds): serve.lat.flush (the
+  /// deferred regen a get/save/close triggered) and serve.pool.queue_wait
+  /// (submit-to-dequeue wait of the shared pool).  Separate from
+  /// absorb_stats so the scalar `stats` response keeps its shape; the
+  /// `metrics` op absorbs both.
+  void absorb_latency(obs::MetricsRegistry& reg) const;
+
+  /// Edits composed but not yet flushed, across every open session — the
+  /// watchdog's pending-work gauge.  Takes each session mutex briefly.
+  long long pending_edits() const;
+
   /// Edit-coalescing counters: pool jobs that carried edits, how many
   /// edit requests rode in them, the largest batch, and a small size
   /// histogram (1, 2-3, 4-7, 8-15, 16+) — plus the multi-edit regen
@@ -224,6 +242,10 @@ class SessionHost {
 
   HostOptions opt_;
   const ModuleLibrary lib_;  ///< shared immutable template cache
+  /// Declared before the pool: the pool's queue-wait probe records into
+  /// it until the pool is torn down.
+  obs::Histogram pool_wait_hist_;
+  obs::Histogram flush_hist_;  ///< update_composed time per flush, µs
   ThreadPool pool_;
   mutable std::mutex sessions_mu_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;

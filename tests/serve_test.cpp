@@ -15,6 +15,8 @@
 #include <csignal>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <random>
 #include <string>
 #include <thread>
@@ -22,6 +24,8 @@
 
 #include "incremental/edit.hpp"
 #include "incremental/session.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "schematic/escher_writer.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
@@ -109,6 +113,19 @@ long long metric_value(const std::string& stats, const std::string& key) {
   const size_t at = stats.find(needle);
   if (at == std::string::npos) return -1;
   return std::strtoll(stats.c_str() + at + needle.size(), nullptr, 10);
+}
+
+/// Integer field of one named histogram inside a metrics response, e.g.
+/// hist_field(r, "serve.lat.edit", "p50").  -1 when absent.
+long long hist_field(const std::string& metrics, const std::string& hist,
+                     const std::string& field) {
+  const size_t at = metrics.find("\"" + hist + "\":{");
+  if (at == std::string::npos) return -1;
+  const std::string needle = "\"" + field + "\":";
+  const size_t f = metrics.find(needle, at);
+  const size_t end = metrics.find('}', at);
+  if (f == std::string::npos || f > end) return -1;
+  return std::strtoll(metrics.c_str() + f + needle.size(), nullptr, 10);
 }
 
 std::string edit_line(const std::string& session, int i) {
@@ -550,6 +567,188 @@ TEST(Serve, StatsReportServiceCounters) {
   EXPECT_NE(r.find("\"serve.sessions_open\":1"), std::string::npos);
   EXPECT_NE(r.find("\"serve.edits_applied\":1"), std::string::npos);
   EXPECT_NE(r.find("\"regen.updates\":"), std::string::npos);
+}
+
+TEST(Serve, MetricsOpRoundTripsHistograms) {
+  LiveServer live;
+  BlockingClient c = live.connect();
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"open","session":"h","design":"chain"})")));
+
+  // Known op mix, with the client measuring its own edit latency through
+  // the same estimator the server uses.
+  constexpr int kEdits = 12;
+  obs::Histogram client_lat;
+  for (int i = 0; i < kEdits; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ASSERT_TRUE(is_ok(c.request(edit_line("h", i))));
+    client_lat.record_ms(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"get","session":"h"})")));
+
+  const std::string r = c.request(R"({"op":"metrics","id":7})");
+  ASSERT_TRUE(is_ok(r)) << r;
+  EXPECT_NE(r.find("\"op\":\"metrics\""), std::string::npos);
+  EXPECT_NE(r.find("\"id\":7"), std::string::npos);
+
+  // The full registry rides along: scalars plus per-op latency histograms.
+  EXPECT_NE(r.find("\"histograms\""), std::string::npos);
+  EXPECT_EQ(hist_field(r, "serve.lat.open", "count"), 1);
+  EXPECT_EQ(hist_field(r, "serve.lat.edit", "count"), kEdits);
+  EXPECT_EQ(hist_field(r, "serve.lat.get", "count"), 1);
+  EXPECT_EQ(hist_field(r, "serve.lat.flush", "count"), 1);
+  EXPECT_GE(hist_field(r, "serve.pool.queue_wait", "count"), 1);
+  EXPECT_GT(metric_value(r, "serve.peak_rss_bytes"), 0);
+  EXPECT_GE(metric_value(r, "serve.uptime_ms"), 0);
+
+  // Quantile sanity, and agreement with the bench-side estimator: the
+  // server-measured edit latency (dispatch to response, no socket RTT)
+  // can never exceed what the client saw end to end.
+  const long long p50 = hist_field(r, "serve.lat.edit", "p50");
+  const long long p99 = hist_field(r, "serve.lat.edit", "p99");
+  const long long max = hist_field(r, "serve.lat.edit", "max");
+  EXPECT_GE(p50, 0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, max);
+  const obs::HistogramData client_data = client_lat.snapshot();
+  EXPECT_EQ(client_data.count, kEdits);
+  EXPECT_LE(max, client_data.max);
+
+  // The stats op keeps its scalar shape: no histograms object, but the
+  // process gauges ride along.
+  const std::string stats = c.request(R"({"op":"stats"})");
+  ASSERT_TRUE(is_ok(stats)) << stats;
+  EXPECT_EQ(stats.find("\"histograms\""), std::string::npos);
+  EXPECT_GT(metric_value(stats, "serve.peak_rss_bytes"), 0);
+  EXPECT_GE(metric_value(stats, "serve.uptime_ms"), 0);
+}
+
+TEST(Serve, WatchdogPublishesGaugesAndPromFile) {
+  const std::string prom =
+      testing::TempDir() + "serve_watchdog_test.prom";
+  std::remove(prom.c_str());
+  ServerOptions opt;
+  opt.watchdog_ms = 20;
+  opt.prom_file = prom;
+  LiveServer live(opt);
+  BlockingClient c = live.connect();
+  ASSERT_TRUE(is_ok(c.request(R"({"op":"open","session":"w","design":"chain"})")));
+
+  // Wait until a sampler tick taken *after* the open has landed and its
+  // loop-lag probes have run (generous bound; the interval is 20ms).
+  std::string r;
+  for (int i = 0; i < 200; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    r = c.request(R"({"op":"metrics"})");
+    if (metric_value(r, "serve.gauge.sessions_open") == 1 &&
+        hist_field(r, "serve.lat.loop_tick", "count") >= 1) {
+      break;
+    }
+  }
+  EXPECT_GE(metric_value(r, "serve.gauge.watchdog_ticks"), 1);
+  EXPECT_EQ(metric_value(r, "serve.gauge.sessions_open"), 1);
+  EXPECT_GE(metric_value(r, "serve.gauge.pool_queue_depth"), 0);
+  EXPECT_GE(metric_value(r, "serve.gauge.pending_edits"), 0);
+  EXPECT_GT(metric_value(r, "serve.gauge.rss_bytes"), 0);
+  // Loop-lag probes record into the loop_tick histogram.
+  EXPECT_GE(hist_field(r, "serve.lat.loop_tick", "count"), 1);
+
+  // The prom file is rewritten every tick with the full exposition.
+  std::string text;
+  for (int i = 0; i < 200 && text.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::ifstream in(prom, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("na_serve_requests "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE na_serve_lat_edit histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("na_serve_lat_edit_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  live.stop();
+  std::remove(prom.c_str());
+  std::remove((prom + ".tmp").c_str());
+}
+
+TEST(Serve, SlowRequestsLandInTheSlowLog) {
+  // In-process wiring of the tail-sampling path: flight recorder bounding
+  // the rings, a slow log, and a threshold every batch exceeds.
+  const std::string log = testing::TempDir() + "serve_slow_test.jsonl";
+  std::remove(log.c_str());
+  obs::trace_disable();
+  obs::trace_reset();
+  obs::trace_flight_enable(4096);
+  obs::trace_enable();
+  ASSERT_TRUE(obs::trace_slow_log_open(log));
+  {
+    ServerOptions opt;
+    opt.host.slow_ms = 1e-6;  // everything is "slow"
+    LiveServer live(opt);
+    BlockingClient c = live.connect();
+    ASSERT_TRUE(
+        is_ok(c.request(R"({"op":"open","session":"s","design":"chain"})")));
+    ASSERT_TRUE(is_ok(c.request(edit_line("s", 0))));
+    ASSERT_TRUE(is_ok(c.request(R"({"op":"get","session":"s"})")));
+
+    const std::string r = c.request(R"({"op":"metrics"})");
+    EXPECT_GE(metric_value(r, "serve.slow.records"), 2);
+    EXPECT_EQ(metric_value(r, "serve.flight.capacity"), 4096);
+  }
+  ASSERT_TRUE(obs::trace_slow_log_close());
+
+  std::ifstream in(log, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  EXPECT_NE(text.find("{\"label\":\"serve.open\""), std::string::npos);
+  EXPECT_NE(text.find("{\"label\":\"serve.edit\""), std::string::npos);
+  EXPECT_NE(text.find("\"ms\":"), std::string::npos);
+#if NA_TRACE_ENABLED
+  // The captured window carries the span subtree the batch recorded.
+  EXPECT_NE(text.find("\"serve.edit\""), std::string::npos);
+#endif
+
+  obs::trace_disable();
+  obs::trace_flight_enable(0);
+  obs::trace_reset();
+  std::remove(log.c_str());
+}
+
+TEST(Serve, FlightDumpWritesTheRetainedRings) {
+  if (!obs::trace_compiled_in()) GTEST_SKIP() << "NA_TRACE=OFF build";
+  const std::string path = testing::TempDir() + "serve_flight_test.json";
+  std::remove(path.c_str());
+  obs::trace_disable();
+  obs::trace_reset();
+  obs::trace_flight_enable(256);
+  obs::trace_enable();
+  {
+    LiveServer live;
+    BlockingClient c = live.connect();
+    ASSERT_TRUE(
+        is_ok(c.request(R"({"op":"open","session":"f","design":"chain"})")));
+    ASSERT_TRUE(is_ok(c.request(edit_line("f", 0))));
+    ASSERT_TRUE(is_ok(c.request(R"({"op":"get","session":"f"})")));
+    // On-demand dump takes the flush gate exclusive, so it can run while
+    // the server is live.
+    ASSERT_TRUE(live.server.dump_flight(path));
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("serve.edit"), std::string::npos);
+
+  obs::trace_disable();
+  obs::trace_flight_enable(0);
+  obs::trace_reset();
+  std::remove(path.c_str());
 }
 
 TEST(ServeOptions, DegenerateOptionsFailAtStartNamingTheFlag) {
